@@ -1,0 +1,436 @@
+// Package repro's root benchmarks map one-to-one onto the paper's
+// tables and figures (see DESIGN.md's experiment index). They run on a
+// scaled-down GeoLife-like corpus; cmd/benchtab regenerates the actual
+// paper tables, while these benches track the performance of each
+// reproduced pipeline under `go test -bench`.
+package repro
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/geolife"
+	"repro/internal/gepeto"
+	"repro/internal/privacy"
+	"repro/internal/rtree"
+	"repro/internal/trace"
+)
+
+// benchCorpus is a paper178-shaped corpus at 1/32 scale (~64k traces),
+// generated once and shared read-only across benchmarks.
+var (
+	corpusOnce  sync.Once
+	benchCorpus *trace.Dataset
+	benchTruth  *geolife.GroundTruth
+)
+
+func corpus(b *testing.B) (*trace.Dataset, *geolife.GroundTruth) {
+	b.Helper()
+	corpusOnce.Do(func() {
+		benchCorpus, benchTruth = geolife.GenerateWithTruth(geolife.Scaled(1, 32))
+	})
+	return benchCorpus, benchTruth
+}
+
+// uniq generates process-unique DFS directory names.
+var uniqCounter int
+
+func uniq(prefix string) string {
+	uniqCounter++
+	return fmt.Sprintf("%s-%04d", prefix, uniqCounter)
+}
+
+// newBenchToolkit deploys the standard 7-node testbed with the given
+// chunk size and uploads the shared corpus as two large files.
+func newBenchToolkit(b *testing.B, chunkSize int64) (*core.Toolkit, *trace.Dataset) {
+	b.Helper()
+	ds, _ := corpus(b)
+	tk, err := core.NewToolkit(core.ClusterConfig{
+		Nodes: 7, Racks: 2, SlotsPerNode: 4, ChunkSize: chunkSize, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := geolife.WriteRecordsConcat(tk.FS(), "data", ds, 2); err != nil {
+		b.Fatal(err)
+	}
+	return tk, ds
+}
+
+// BenchmarkTableI_Sampling measures the §V down-sampling job at the
+// three window sizes of Table I, reporting the collapse ratio.
+func BenchmarkTableI_Sampling(b *testing.B) {
+	for _, window := range []time.Duration{time.Minute, 5 * time.Minute, 10 * time.Minute} {
+		b.Run(window.String(), func(b *testing.B) {
+			tk, ds := newBenchToolkit(b, 2<<20)
+			b.ResetTimer()
+			var kept int64
+			for i := 0; i < b.N; i++ {
+				res, err := tk.Sample("data", uniq("out"), window, gepeto.SampleUpperLimit)
+				if err != nil {
+					b.Fatal(err)
+				}
+				kept = res.Counters.Value("task", "map_output_records")
+			}
+			b.ReportMetric(float64(ds.NumTraces())/float64(kept), "collapse-ratio")
+		})
+	}
+}
+
+// BenchmarkFig2_SamplingStrategies compares the two representative-
+// selection techniques (Figs. 2-3); they must cost the same.
+func BenchmarkFig2_SamplingStrategies(b *testing.B) {
+	ds, _ := corpus(b)
+	for _, tech := range []gepeto.SamplingTechnique{gepeto.SampleUpperLimit, gepeto.SampleMiddle} {
+		b.Run(tech.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				gepeto.SampleSequential(ds, time.Minute, tech)
+			}
+		})
+	}
+}
+
+// BenchmarkSamplingJobScaling reproduces the §V scaling observation:
+// the same sampling job on a 7-node vs a 31-node deployment (the
+// paper's sampling experiment used 31 Parapluie nodes, 124 mappers).
+func BenchmarkSamplingJobScaling(b *testing.B) {
+	for _, nodes := range []int{7, 31} {
+		b.Run(fmt.Sprintf("nodes-%d", nodes), func(b *testing.B) {
+			ds, _ := corpus(b)
+			tk, err := core.NewToolkit(core.ClusterConfig{
+				Nodes: nodes, Racks: 4, SlotsPerNode: 4, ChunkSize: 256 << 10, Seed: 1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := geolife.WriteRecordsConcat(tk.FS(), "data", ds, 8); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := tk.Sample("data", uniq("out"), 10*time.Second, gepeto.SampleUpperLimit); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTableIII_KMeans measures one k-means iteration per Table
+// III scenario: {dataset size} x {distance} x {chunk size}.
+func BenchmarkTableIII_KMeans(b *testing.B) {
+	for _, size := range []struct {
+		name  string
+		scale int
+	}{{"66MB", 62}, {"128MB", 32}} { // 1.05M/32812 and 2.03M/63552 at 1/32 of paper scale
+		for _, metric := range []geo.Metric{geo.MetricSquaredEuclidean, geo.MetricHaversine} {
+			for _, chunk := range []int64{2 << 20, 1 << 20} { // 64MB and 32MB at 1/32 scale
+				name := fmt.Sprintf("%s/%s/chunk-%dKB", size.name, metric, chunk>>10)
+				b.Run(name, func(b *testing.B) {
+					ds := geolife.Generate(geolife.Scaled(1, size.scale))
+					tk, err := core.NewToolkit(core.ClusterConfig{
+						Nodes: 7, Racks: 2, SlotsPerNode: 4, ChunkSize: chunk, Seed: 1,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if err := geolife.WriteRecordsConcat(tk.FS(), "data", ds, 2); err != nil {
+						b.Fatal(err)
+					}
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						// One iteration: MaxIter=1 runs exactly one MapReduce job.
+						if _, err := gepeto.KMeansMR(tk.Engine(), []string{"data"}, uniq("w"), gepeto.KMeansOptions{
+							K: 11, Distance: metric, MaxIter: 1, Seed: 1,
+						}); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkKMeansCombinerAblation isolates the §VI combiner
+// optimisation: identical iterations with and without map-side
+// partial sums, reporting shuffled bytes.
+func BenchmarkKMeansCombinerAblation(b *testing.B) {
+	for _, useComb := range []bool{false, true} {
+		name := "no-combiner"
+		if useComb {
+			name = "with-combiner"
+		}
+		b.Run(name, func(b *testing.B) {
+			tk, _ := newBenchToolkit(b, 2<<20)
+			b.ResetTimer()
+			var shuffle int64
+			for i := 0; i < b.N; i++ {
+				res, err := gepeto.KMeansMR(tk.Engine(), []string{"data"}, uniq("w"), gepeto.KMeansOptions{
+					K: 11, Distance: geo.MetricSquaredEuclidean, MaxIter: 1, Seed: 1, UseCombiner: useComb,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				shuffle = res.IterationResults[0].Counters.Value("shuffle", "shuffle_bytes")
+			}
+			b.ReportMetric(float64(shuffle), "shuffle-bytes")
+		})
+	}
+}
+
+// BenchmarkFig4_KMeansWorkflow times a full convergence run (the
+// Fig. 4 loop: one MapReduce job per iteration until stable).
+func BenchmarkFig4_KMeansWorkflow(b *testing.B) {
+	tk, _ := newBenchToolkit(b, 2<<20)
+	b.ResetTimer()
+	var iters int
+	for i := 0; i < b.N; i++ {
+		res, err := gepeto.KMeansMR(tk.Engine(), []string{"data"}, uniq("w"), gepeto.KMeansOptions{
+			K: 11, Distance: geo.MetricSquaredEuclidean, MaxIter: 25, Seed: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		iters = res.Iterations
+	}
+	b.ReportMetric(float64(iters), "iterations")
+}
+
+// BenchmarkFig5_Preprocess measures the two pipelined map-only jobs of
+// DJ-Cluster's preprocessing phase on the 1-min-sampled corpus.
+func BenchmarkFig5_Preprocess(b *testing.B) {
+	tk, _ := newBenchToolkit(b, 1<<20)
+	if _, err := tk.Sample("data", "sampled", time.Minute, gepeto.SampleUpperLimit); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s1, s2 := uniq("f1"), uniq("f2")
+		if _, err := tk.Engine().RunPipeline(
+			gepeto.SpeedFilterJob("speed", []string{"sampled"}, s1, 2.0),
+			gepeto.DedupJob("dedup", []string{s1}, s2, 1.0),
+		); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableIV_Preprocess measures preprocessing on each sampled
+// dataset of Table IV, reporting the keep rate of the speed filter.
+func BenchmarkTableIV_Preprocess(b *testing.B) {
+	for _, window := range []time.Duration{time.Minute, 5 * time.Minute, 10 * time.Minute} {
+		b.Run(window.String(), func(b *testing.B) {
+			tk, _ := newBenchToolkit(b, 1<<20)
+			if _, err := tk.Sample("data", "sampled", window, gepeto.SampleUpperLimit); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			var keep float64
+			for i := 0; i < b.N; i++ {
+				s1 := uniq("f1")
+				res, err := tk.Engine().Run(gepeto.SpeedFilterJob("speed", []string{"sampled"}, s1, 2.0))
+				if err != nil {
+					b.Fatal(err)
+				}
+				in := res.Counters.Value("task", "map_input_records")
+				out := res.Counters.Value("task", "map_output_records")
+				keep = float64(out) / float64(in)
+			}
+			b.ReportMetric(keep*100, "keep-%")
+		})
+	}
+}
+
+// BenchmarkDJClusterPhases times the complete DJ-Cluster pipeline
+// (Algs. 4-5 plus preprocessing and R-tree build).
+func BenchmarkDJClusterPhases(b *testing.B) {
+	tk, _ := newBenchToolkit(b, 1<<20)
+	if _, err := tk.Sample("data", "sampled", time.Minute, gepeto.SampleUpperLimit); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var clusters int
+	for i := 0; i < b.N; i++ {
+		res, err := gepeto.DJClusterMR(tk.Engine(), []string{"sampled"}, uniq("dj"), gepeto.DefaultDJClusterOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		clusters = len(res.Clusters)
+	}
+	b.ReportMetric(float64(clusters), "clusters")
+}
+
+// BenchmarkFig6_RTreeBuild measures the three-phase MapReduce R-tree
+// construction per curve, against the sequential bulk-load baseline.
+func BenchmarkFig6_RTreeBuild(b *testing.B) {
+	ds, _ := corpus(b)
+	for _, curve := range []string{"zorder", "hilbert"} {
+		b.Run("mapreduce-"+curve, func(b *testing.B) {
+			tk, _ := newBenchToolkit(b, 1<<20)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := gepeto.BuildRTreeMR(tk.Engine(), []string{"data"}, uniq("rt"),
+					gepeto.RTreeBuildOptions{Curve: curve, Seed: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	b.Run("sequential-bulkload", func(b *testing.B) {
+		entries := make([]rtree.Entry, 0, ds.NumTraces())
+		for _, tr := range ds.Trails {
+			for _, t := range tr.Traces {
+				entries = append(entries, rtree.Entry{ID: gepeto.TraceID(t), Point: t.Point})
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rtree.BulkLoad(entries, rtree.DefaultMaxEntries)
+		}
+	})
+}
+
+// BenchmarkDeploymentOverhead measures cluster bring-up plus dataset
+// upload and chunk replication (the paper's ~25 s HDFS deployment
+// overhead, §VI).
+func BenchmarkDeploymentOverhead(b *testing.B) {
+	ds, _ := corpus(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tk, err := core.NewToolkit(core.ClusterConfig{
+			Nodes: 7, Racks: 2, SlotsPerNode: 4, ChunkSize: 2 << 20, Seed: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := geolife.WriteRecordsConcat(tk.FS(), "data", ds, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSeqVsMR_Sampling compares the sequential baseline against
+// the MapReduce job for down-sampling (the motivation of §II: single-
+// machine analysis of large datasets is slow, so distribute it).
+func BenchmarkSeqVsMR_Sampling(b *testing.B) {
+	ds, _ := corpus(b)
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			gepeto.SampleSequential(ds, time.Minute, gepeto.SampleUpperLimit)
+		}
+	})
+	b.Run("mapreduce", func(b *testing.B) {
+		tk, _ := newBenchToolkit(b, 1<<20)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := tk.Sample("data", uniq("out"), time.Minute, gepeto.SampleUpperLimit); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkMMCAttack measures the §VIII extension: building MMC models
+// and running the linking attack across 8 users.
+func BenchmarkMMCAttack(b *testing.B) {
+	ds, truth := corpus(b)
+	users := len(ds.Trails)
+	if users > 8 {
+		users = 8
+	}
+	var known, anon []*privacy.MMC
+	truthMap := map[string]string{}
+	b.Run("build-models", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			known, anon = known[:0], anon[:0]
+			for u := 0; u < users; u++ {
+				tr := &ds.Trails[u]
+				half := len(tr.Traces) / 2
+				k, err := privacy.BuildMMC(&trace.Trail{User: tr.User, Traces: tr.Traces[:half]}, truth.POIs(tr.User), 50)
+				if err != nil {
+					b.Fatal(err)
+				}
+				a, err := privacy.BuildMMC(&trace.Trail{User: "anon-" + tr.User, Traces: tr.Traces[half:]}, truth.POIs(tr.User), 50)
+				if err != nil {
+					b.Fatal(err)
+				}
+				known = append(known, k)
+				anon = append(anon, a)
+				truthMap[a.User] = tr.User
+			}
+		}
+	})
+	b.Run("link", func(b *testing.B) {
+		var acc float64
+		for i := 0; i < b.N; i++ {
+			res := privacy.LinkByMMC(known, anon, truthMap)
+			acc = res.Accuracy()
+		}
+		b.ReportMetric(acc*100, "accuracy-%")
+	})
+}
+
+// BenchmarkPOIAttackEndToEnd measures the full inference attack of the
+// examples: sample, preprocess, cluster, label (sequential pipeline).
+func BenchmarkPOIAttackEndToEnd(b *testing.B) {
+	ds, truth := corpus(b)
+	b.ResetTimer()
+	var recall float64
+	for i := 0; i < b.N; i++ {
+		sampled := gepeto.SampleSequential(ds, time.Minute, gepeto.SampleUpperLimit)
+		_, pre := gepeto.PreprocessSequential(sampled, 2.0, 1.0)
+		res := gepeto.DJClusterSequential(pre, gepeto.DefaultDJClusterOptions())
+		pois, err := privacy.ExtractPOIs(res, privacy.TraceTimes(pre))
+		if err != nil {
+			b.Fatal(err)
+		}
+		recall = privacy.EvaluatePOIAttack(pois, truth, 50).POIRecall
+	}
+	b.ReportMetric(recall*100, "poi-recall-%")
+}
+
+// BenchmarkSocialLinkDiscovery measures the §II co-location attack as
+// two chained MapReduce jobs over the shared corpus.
+func BenchmarkSocialLinkDiscovery(b *testing.B) {
+	tk, _ := newBenchToolkit(b, 1<<20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := privacy.DiscoverSocialLinksMR(tk.Engine(), []string{"data"}, uniq("soc"), privacy.SocialOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMMCPrediction measures next-place prediction evaluation
+// (§VIII) over the corpus users.
+func BenchmarkMMCPrediction(b *testing.B) {
+	raw, truth := corpus(b)
+	_, ds := gepeto.PreprocessSequential(raw, 2.0, 1.0)
+	b.ResetTimer()
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		var sum float64
+		n := 0
+		for j := range ds.Trails {
+			tr := &ds.Trails[j]
+			half := len(tr.Traces) / 2
+			m, err := privacy.BuildMMC(&trace.Trail{User: tr.User, Traces: tr.Traces[:half]}, truth.POIs(tr.User), 50)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rep, err := privacy.EvaluatePrediction(m, &trace.Trail{User: tr.User, Traces: tr.Traces[half:]}, 50)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sum += rep.Accuracy()
+			n++
+		}
+		acc = sum / float64(n)
+	}
+	b.ReportMetric(acc*100, "accuracy-%")
+}

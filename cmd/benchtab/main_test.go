@@ -1,0 +1,46 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestEveryExperimentRunsAtTinyScale(t *testing.T) {
+	cfg := runConfig{scale: 64, seed: 1, maxIter: 3}
+	for _, e := range experiments {
+		e := e
+		t.Run(e.id, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := e.run(&buf, cfg); err != nil {
+				t.Fatalf("%s: %v", e.id, err)
+			}
+			if buf.Len() == 0 {
+				t.Fatalf("%s produced no output", e.id)
+			}
+			// Every experiment must render at least one markdown table
+			// or code block.
+			out := buf.String()
+			if !strings.Contains(out, "|") && !strings.Contains(out, "```") {
+				t.Fatalf("%s output has no table: %q", e.id, out[:min(len(out), 120)])
+			}
+		})
+	}
+}
+
+func TestExperimentIDsUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range experiments {
+		if seen[e.id] {
+			t.Fatalf("duplicate experiment id %s", e.id)
+		}
+		seen[e.id] = true
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,622 @@
+// Command gepeto is the command-line front end of the MapReduced
+// GEPETO toolkit. It operates on local directories of .rec trace files
+// (one file per user, "user TAB lat,lon,alt,unix" lines), spins up an
+// in-process simulated Hadoop cluster, and runs the paper's
+// algorithms:
+//
+//	gepeto generate   synthesize a GeoLife-like dataset (+ ground truth)
+//	gepeto sample     down-sampling (§V)
+//	gepeto kmeans     MapReduced k-means clustering (§VI)
+//	gepeto djcluster  MapReduced DJ-Cluster (§VII)
+//	gepeto rtree      MapReduce R-tree construction (§VII-C)
+//	gepeto attack     POI inference attack + optional evaluation
+//	gepeto sanitize   geo-sanitization (gaussian | cloak)
+//	gepeto visualize  render a dataset to SVG
+//	gepeto convert    GeoLife PLT tree <-> .rec directory conversion
+//
+// Run "gepeto <command> -h" for each command's flags (the k-means
+// flags mirror the paper's Table II runtime arguments).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/geolife"
+	"repro/internal/gepeto"
+	"repro/internal/mapreduce"
+	"repro/internal/privacy"
+	"repro/internal/trace"
+	"repro/internal/viz"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "generate":
+		err = cmdGenerate(args)
+	case "sample":
+		err = cmdSample(args)
+	case "kmeans":
+		err = cmdKMeans(args)
+	case "djcluster":
+		err = cmdDJCluster(args)
+	case "rtree":
+		err = cmdRTree(args)
+	case "attack":
+		err = cmdAttack(args)
+	case "sanitize":
+		err = cmdSanitize(args)
+	case "visualize":
+		err = cmdVisualize(args)
+	case "convert":
+		err = cmdConvert(args)
+	case "stats":
+		err = cmdStats(args)
+	case "social":
+		err = cmdSocial(args)
+	case "mmc":
+		err = cmdMMC(args)
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "gepeto: unknown command %q\n\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gepeto %s: %v\n", cmd, err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: gepeto <command> [flags]
+
+commands:
+  generate   synthesize a GeoLife-like dataset (+ ground-truth JSON)
+  sample     down-sample a dataset (map-only MapReduce job, paper §V)
+  kmeans     MapReduced k-means clustering (paper §VI)
+  djcluster  MapReduced DJ-Cluster density clustering (paper §VII)
+  rtree      MapReduce R-tree construction (paper §VII-C)
+  attack     run the POI inference attack, optionally score vs truth
+  sanitize   apply a geo-sanitization mechanism (gaussian | cloak)
+  visualize  render a dataset (and optional attack output) to SVG
+  convert    convert between GeoLife PLT directory layout and .rec dirs
+  stats      summarise a dataset (users, sessions, density, extent)
+  social     co-location social-link discovery (two chained MR jobs)
+  mmc        build Mobility Markov Chains per user and evaluate prediction
+
+run "gepeto <command> -h" for flags`)
+}
+
+// clusterFlags adds the shared simulated-deployment flags.
+func clusterFlags(fs *flag.FlagSet) (nodes, racks, slots *int, chunkMB *int64) {
+	nodes = fs.Int("nodes", 7, "worker nodes in the simulated cluster")
+	racks = fs.Int("racks", 2, "racks the nodes spread over")
+	slots = fs.Int("slots", 4, "task slots per node")
+	chunkMB = fs.Int64("chunk", 64, "DFS chunk size in MB (paper uses 64 and 32)")
+	return
+}
+
+// deployAndLoad builds a toolkit and uploads the local dataset dir.
+func deployAndLoad(nodes, racks, slots int, chunkMB int64, inDir string) (*core.Toolkit, *trace.Dataset, error) {
+	tk, err := core.NewToolkit(core.ClusterConfig{
+		Nodes: nodes, Racks: racks, SlotsPerNode: slots, ChunkSize: chunkMB << 20,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	ds, err := geolife.ReadRecordsLocal(inDir)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := tk.Upload(ds, "input"); err != nil {
+		return nil, nil, err
+	}
+	return tk, ds, nil
+}
+
+// saveOutput downloads a DFS directory and writes it locally.
+func saveOutput(tk *core.Toolkit, dfsDir, localDir string) error {
+	out, err := tk.Download(dfsDir)
+	if err != nil {
+		return err
+	}
+	return geolife.WriteRecordsLocal(localDir, out)
+}
+
+func cmdGenerate(args []string) error {
+	fs := flag.NewFlagSet("generate", flag.ExitOnError)
+	users := fs.Int("users", 10, "number of users")
+	traces := fs.Int("traces", 100_000, "total number of traces")
+	seed := fs.Int64("seed", 1, "generator seed")
+	out := fs.String("out", "data", "output directory for .rec files")
+	truthPath := fs.String("truth", "", "optional path for the ground-truth JSON")
+	preset := fs.String("preset", "", `paper preset: "paper90" or "paper178" (overrides -users/-traces)`)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := geolife.Config{Users: *users, TotalTraces: *traces, Seed: *seed}
+	switch *preset {
+	case "paper90":
+		cfg = geolife.Paper90(*seed)
+	case "paper178":
+		cfg = geolife.Paper178(*seed)
+	case "":
+	default:
+		return fmt.Errorf("unknown preset %q", *preset)
+	}
+	start := time.Now()
+	ds, truth := geolife.GenerateWithTruth(cfg)
+	if err := geolife.WriteRecordsLocal(*out, ds); err != nil {
+		return err
+	}
+	if *truthPath != "" {
+		if err := geolife.SaveTruth(*truthPath, truth); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("generated %d traces for %d users into %s in %v\n",
+		ds.NumTraces(), len(ds.Trails), *out, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+func cmdSample(args []string) error {
+	fs := flag.NewFlagSet("sample", flag.ExitOnError)
+	in := fs.String("in", "data", "input directory")
+	out := fs.String("out", "sampled", "output directory")
+	window := fs.Duration("window", time.Minute, "sampling window")
+	techName := fs.String("technique", "upper", `representative choice: "upper" or "middle"`)
+	reportPath := fs.String("report", "", "write the job report (counters, tasks, timings) as JSON to this file")
+	nodes, racks, slots, chunkMB := clusterFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tech, err := gepeto.ParseSamplingTechnique(*techName)
+	if err != nil {
+		return err
+	}
+	tk, ds, err := deployAndLoad(*nodes, *racks, *slots, *chunkMB, *in)
+	if err != nil {
+		return err
+	}
+	res, err := tk.Sample("input", "output", *window, tech)
+	if err != nil {
+		return err
+	}
+	if err := saveOutput(tk, "output", *out); err != nil {
+		return err
+	}
+	if *reportPath != "" {
+		data, err := json.MarshalIndent(res.Report(), "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*reportPath, data, 0o644); err != nil {
+			return err
+		}
+	}
+	outRecords := res.Counters.Value(mapreduce.CounterGroupTask, mapreduce.CounterMapOutputRecords)
+	fmt.Printf("sampling window=%v technique=%s: %d -> %d traces (%.1fx) | %d mappers, wall %v\n",
+		*window, tech, ds.NumTraces(), outRecords,
+		float64(ds.NumTraces())/float64(outRecords), res.MapTasks, res.Wall.Round(time.Millisecond))
+	return nil
+}
+
+func cmdKMeans(args []string) error {
+	fs := flag.NewFlagSet("kmeans", flag.ExitOnError)
+	// Runtime arguments per the paper's Table II.
+	in := fs.String("in", "data", "input path: directory containing the input files")
+	k := fs.Int("k", 11, "number of clusters outputted by the algorithm")
+	distName := fs.String("distance", "squaredeuclidean",
+		"name of the metric used for measuring distance between points (squaredeuclidean|euclidean|haversine|manhattan)")
+	delta := fs.Float64("convergencedelta", 1e-4, "value used for determining the convergence after each iteration (degrees)")
+	maxIter := fs.Int("maxiter", 150, "maximum number of iterations")
+	combiner := fs.Bool("combiner", false, "enable the map-side partial-sum combiner")
+	plusplus := fs.Bool("plusplus", false, "use k-means++ seeding instead of uniform random")
+	seed := fs.Int64("seed", 1, "initial-centroid seed")
+	nodes, racks, slots, chunkMB := clusterFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	metric, err := geo.ParseMetric(*distName)
+	if err != nil {
+		return err
+	}
+	tk, ds, err := deployAndLoad(*nodes, *racks, *slots, *chunkMB, *in)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("k-means on %d traces (%s)\n", ds.NumTraces(), tk.Describe())
+	res, err := tk.KMeans("input", gepeto.KMeansOptions{
+		K: *k, Distance: metric, ConvergenceDelta: *delta,
+		MaxIter: *maxIter, UseCombiner: *combiner, Seed: *seed, PlusPlusInit: *plusplus,
+	})
+	if err != nil {
+		return err
+	}
+	var total time.Duration
+	for _, ir := range res.IterationResults {
+		total += ir.Wall
+	}
+	fmt.Printf("iterations=%d converged=%v mean-iter=%v total=%v\n",
+		res.Iterations, res.Converged,
+		(total / time.Duration(res.Iterations)).Round(time.Millisecond),
+		total.Round(time.Millisecond))
+	for i, c := range res.Centroids {
+		fmt.Printf("  centroid %2d at %s (%d traces)\n", i, c, res.Sizes[i])
+	}
+	return nil
+}
+
+func cmdDJCluster(args []string) error {
+	fs := flag.NewFlagSet("djcluster", flag.ExitOnError)
+	in := fs.String("in", "data", "input directory")
+	radius := fs.Float64("r", 25, "neighborhood radius in meters")
+	minPts := fs.Int("minpts", 4, "minimum points per neighborhood")
+	maxSpeed := fs.Float64("maxspeed", 2, "preprocessing speed threshold (km/h)")
+	dupRadius := fs.Float64("dupradius", 1, "duplicate-removal radius (meters)")
+	global := fs.Bool("global", false, "cluster across users (default: per-user POIs)")
+	curve := fs.String("curve", "zorder", "space-filling curve for the R-tree build (zorder|hilbert)")
+	topN := fs.Int("top", 10, "clusters to print")
+	nodes, racks, slots, chunkMB := clusterFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tk, ds, err := deployAndLoad(*nodes, *racks, *slots, *chunkMB, *in)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("DJ-Cluster on %d traces (%s)\n", ds.NumTraces(), tk.Describe())
+	res, err := tk.DJCluster("input", gepeto.DJClusterOptions{
+		RadiusMeters: *radius, MinPts: *minPts, MaxSpeedKmh: *maxSpeed,
+		DupRadiusMeters: *dupRadius, PerUser: !*global,
+		RTree: gepeto.RTreeBuildOptions{Curve: *curve},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("preprocessing: %d -> %d (speed filter) -> %d (dedup)\n",
+		res.InputTraces, res.AfterSpeedFilter, res.AfterDedup)
+	fmt.Printf("clusters=%d noise=%d\n", len(res.Clusters), res.Noise)
+	for i, c := range res.Clusters {
+		if i >= *topN {
+			fmt.Printf("  ... and %d more\n", len(res.Clusters)-*topN)
+			break
+		}
+		fmt.Printf("  %s user=%s size=%d centroid=%s\n", c.ID, c.User, len(c.Members), c.Centroid)
+	}
+	return nil
+}
+
+func cmdRTree(args []string) error {
+	fs := flag.NewFlagSet("rtree", flag.ExitOnError)
+	in := fs.String("in", "data", "input directory")
+	curve := fs.String("curve", "zorder", "space-filling curve (zorder|hilbert)")
+	partitions := fs.Int("partitions", 0, "number of partitions (default: cluster slots)")
+	sample := fs.Int("sample", 200, "objects sampled per chunk in phase 1")
+	nodes, racks, slots, chunkMB := clusterFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tk, ds, err := deployAndLoad(*nodes, *racks, *slots, *chunkMB, *in)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	entries, height, results, err := tk.BuildRTree("input", gepeto.RTreeBuildOptions{
+		Curve: *curve, Partitions: *partitions, SamplePerChunk: *sample,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("R-tree over %d traces via %s curve: %d entries, height %d, built in %v\n",
+		ds.NumTraces(), *curve, entries, height, time.Since(start).Round(time.Millisecond))
+	for _, r := range results {
+		fmt.Printf("  %s: %d map / %d reduce tasks, wall %v\n", r.Job, r.MapTasks, r.ReduceTasks, r.Wall.Round(time.Millisecond))
+	}
+	return nil
+}
+
+func cmdAttack(args []string) error {
+	fs := flag.NewFlagSet("attack", flag.ExitOnError)
+	in := fs.String("in", "data", "input directory")
+	truthPath := fs.String("truth", "", "ground-truth JSON to score the attack against")
+	window := fs.Duration("window", time.Minute, "down-sampling window before clustering")
+	radius := fs.Float64("r", 25, "DJ-Cluster neighborhood radius (meters)")
+	minPts := fs.Int("minpts", 4, "DJ-Cluster MinPts")
+	matchRadius := fs.Float64("match", 50, "POI match radius for scoring (meters)")
+	nodes, racks, slots, chunkMB := clusterFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tk, ds, err := deployAndLoad(*nodes, *racks, *slots, *chunkMB, *in)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("POI inference attack on %d traces / %d users\n", ds.NumTraces(), len(ds.Trails))
+	opts := gepeto.DefaultDJClusterOptions()
+	opts.RadiusMeters = *radius
+	opts.MinPts = *minPts
+	pois, _, err := tk.AttackPOI("input", *window, opts)
+	if err != nil {
+		return err
+	}
+	byUser := map[string][]privacy.POI{}
+	for _, p := range pois {
+		byUser[p.User] = append(byUser[p.User], p)
+	}
+	users := make([]string, 0, len(byUser))
+	for u := range byUser {
+		users = append(users, u)
+	}
+	sort.Strings(users)
+	for _, u := range users {
+		fmt.Printf("user %s:\n", u)
+		for _, p := range byUser[u] {
+			fmt.Printf("  %-8s at %s (%d visits, %d night, %d work-hours)\n",
+				p.Label, p.Center, p.Visits, p.NightVisits, p.WorkHourVisits)
+		}
+	}
+	if *truthPath != "" {
+		truth, err := geolife.LoadTruth(*truthPath)
+		if err != nil {
+			return err
+		}
+		rep := core.EvaluatePOIAttack(pois, truth, *matchRadius)
+		fmt.Printf("evaluation (match radius %.0fm): homes %d/%d, works %d/%d, precision %.2f, recall %.2f\n",
+			rep.MatchRadius, rep.HomeRecovered, rep.Users, rep.WorkRecovered, rep.Users,
+			rep.POIPrecision, rep.POIRecall)
+	}
+	return nil
+}
+
+func cmdSanitize(args []string) error {
+	fs := flag.NewFlagSet("sanitize", flag.ExitOnError)
+	in := fs.String("in", "data", "input directory")
+	out := fs.String("out", "sanitized", "output directory")
+	mech := fs.String("mechanism", "gaussian", "gaussian | cloak")
+	sigma := fs.Float64("sigma", 100, "gaussian noise scale (meters)")
+	cell := fs.Float64("cell", 200, "cloaking grid cell (meters)")
+	seed := fs.Int64("seed", 1, "noise seed")
+	nodes, racks, slots, chunkMB := clusterFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tk, ds, err := deployAndLoad(*nodes, *racks, *slots, *chunkMB, *in)
+	if err != nil {
+		return err
+	}
+	switch *mech {
+	case "gaussian":
+		if _, err := tk.SanitizeGaussian("input", "output", *sigma, *seed); err != nil {
+			return err
+		}
+	case "cloak":
+		if _, err := tk.SanitizeCloaking("input", "output", *cell); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown mechanism %q", *mech)
+	}
+	if err := saveOutput(tk, "output", *out); err != nil {
+		return err
+	}
+	sanitized, err := geolife.ReadRecordsLocal(*out)
+	if err != nil {
+		return err
+	}
+	rep := privacy.MeasureUtility(ds, sanitized)
+	fmt.Printf("%s: %d traces sanitized; mean distortion %.1fm, max %.1fm, retention %.0f%%\n",
+		*mech, sanitized.NumTraces(), rep.MeanDistortionMeters, rep.MaxDistortionMeters, rep.Retention*100)
+	return nil
+}
+
+func cmdVisualize(args []string) error {
+	fs := flag.NewFlagSet("visualize", flag.ExitOnError)
+	in := fs.String("in", "data", "input directory")
+	out := fs.String("out", "map.svg", "output SVG file")
+	width := fs.Int("width", 1000, "canvas width")
+	height := fs.Int("height", 800, "canvas height")
+	title := fs.String("title", "", "optional title")
+	heat := fs.Bool("heatmap", false, "render a density heatmap instead of polylines")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ds, err := geolife.ReadRecordsLocal(*in)
+	if err != nil {
+		return err
+	}
+	var c *viz.Canvas
+	if *heat {
+		h := viz.NewHeatmap(viz.BoundsOf(ds), *width/12, *height/12)
+		h.AddDataset(ds)
+		c = h.RenderSVG(*width, *height)
+	} else {
+		c = viz.RenderDataset(ds, *width, *height)
+	}
+	if *title != "" {
+		c.AddTitle(*title)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := c.WriteSVG(f); err != nil {
+		return err
+	}
+	fmt.Printf("rendered %d trails (%d traces) to %s\n", len(ds.Trails), ds.NumTraces(), *out)
+	return nil
+}
+
+func cmdConvert(args []string) error {
+	fs := flag.NewFlagSet("convert", flag.ExitOnError)
+	in := fs.String("in", "", "input path (.rec directory or GeoLife PLT tree)")
+	out := fs.String("out", "", "output path")
+	from := fs.String("from", "rec", `input format: "rec" or "plt"`)
+	to := fs.String("to", "plt", `output format: "rec" or "plt"`)
+	gap := fs.Duration("sessiongap", 30*time.Minute, "gap starting a new .plt session file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" || *out == "" {
+		return fmt.Errorf("-in and -out are required")
+	}
+	var ds *trace.Dataset
+	var err error
+	switch *from {
+	case "rec":
+		ds, err = geolife.ReadRecordsLocal(*in)
+	case "plt":
+		ds, err = geolife.ReadPLTDir(*in)
+	default:
+		return fmt.Errorf("unknown input format %q", *from)
+	}
+	if err != nil {
+		return err
+	}
+	switch *to {
+	case "rec":
+		err = geolife.WriteRecordsLocal(*out, ds)
+	case "plt":
+		err = geolife.WritePLTDir(*out, ds, *gap)
+	default:
+		return fmt.Errorf("unknown output format %q", *to)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("converted %d traces (%d users) from %s to %s\n",
+		ds.NumTraces(), len(ds.Trails), *from, *to)
+	return nil
+}
+
+func cmdStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	in := fs.String("in", "data", "input directory")
+	gap := fs.Duration("sessiongap", 30*time.Minute, "gap separating recording sessions")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ds, err := geolife.ReadRecordsLocal(*in)
+	if err != nil {
+		return err
+	}
+	bounds := viz.BoundsOf(ds)
+	fmt.Printf("dataset: %d traces, %d users\n", ds.NumTraces(), len(ds.Trails))
+	fmt.Printf("extent: %s to %s\n", bounds.Min, bounds.Max)
+	totalSessions := 0
+	var gapSumSec float64
+	var gapCount int
+	for i := range ds.Trails {
+		tr := &ds.Trails[i]
+		sessions := geolife.SessionsOf(tr, *gap)
+		totalSessions += len(sessions)
+		for _, s := range sessions {
+			for j := 1; j < len(s.Traces); j++ {
+				gapSumSec += s.Traces[j].Time.Sub(s.Traces[j-1].Time).Seconds()
+				gapCount++
+			}
+		}
+		first, last := tr.Span()
+		fmt.Printf("  user %s: %6d traces, %3d sessions, %s .. %s\n",
+			tr.User, len(tr.Traces), len(sessions),
+			first.Format("2006-01-02"), last.Format("2006-01-02"))
+	}
+	if gapCount > 0 {
+		fmt.Printf("sessions: %d total; mean intra-session sampling interval %.1fs\n",
+			totalSessions, gapSumSec/float64(gapCount))
+	}
+	return nil
+}
+
+func cmdSocial(args []string) error {
+	fs := flag.NewFlagSet("social", flag.ExitOnError)
+	in := fs.String("in", "data", "input directory")
+	cell := fs.Float64("cell", 50, "co-location cell size (meters)")
+	window := fs.Int64("window", 600, "co-location window (seconds)")
+	minShared := fs.Int("minshared", 3, "minimum shared windows to report a link")
+	nodes, racks, slots, chunkMB := clusterFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tk, ds, err := deployAndLoad(*nodes, *racks, *slots, *chunkMB, *in)
+	if err != nil {
+		return err
+	}
+	links, results, err := privacy.DiscoverSocialLinksMR(tk.Engine(), []string{"input"}, "social-work",
+		privacy.SocialOptions{CellMeters: *cell, WindowSeconds: *window, MinSharedWindows: *minShared})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("co-location attack over %d traces via %d MapReduce jobs: %d links\n",
+		ds.NumTraces(), len(results), len(links))
+	for _, l := range links {
+		fmt.Printf("  %s <-> %s: %d shared windows\n", l.UserA, l.UserB, l.SharedWindows)
+	}
+	return nil
+}
+
+func cmdMMC(args []string) error {
+	fs := flag.NewFlagSet("mmc", flag.ExitOnError)
+	in := fs.String("in", "data", "input directory (preprocessed traces work best)")
+	window := fs.Duration("window", time.Minute, "down-sampling window before clustering")
+	radius := fs.Float64("attach", 50, "POI attach radius (meters)")
+	nodes, racks, slots, chunkMB := clusterFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tk, _, err := deployAndLoad(*nodes, *racks, *slots, *chunkMB, *in)
+	if err != nil {
+		return err
+	}
+	// POIs per user from the clustering attack; then MMCs in one job.
+	pois, _, err := tk.AttackPOI("input", *window, gepeto.DefaultDJClusterOptions())
+	if err != nil {
+		return err
+	}
+	userPOIs := map[string][]geo.Point{}
+	for _, p := range pois {
+		userPOIs[p.User] = append(userPOIs[p.User], p.Center)
+	}
+	pre, err := tk.Download("input-attack-sampled-dj-work/preprocessed")
+	if err != nil {
+		return err
+	}
+	if err := tk.Upload(pre, "mmc-input"); err != nil {
+		return err
+	}
+	chains, _, err := privacy.BuildMMCsMR(tk.Engine(), []string{"mmc-input"}, "mmc-out", userPOIs, *radius)
+	if err != nil {
+		return err
+	}
+	users := make([]string, 0, len(chains))
+	for u := range chains {
+		users = append(users, u)
+	}
+	sort.Strings(users)
+	for _, u := range users {
+		m := chains[u]
+		pi := m.StationaryDistribution()
+		fmt.Printf("user %s: %d states\n", u, len(m.States))
+		for i, s := range m.States {
+			next, p, _ := m.PredictNext(i)
+			fmt.Printf("  state %d at %s: %.0f%% of time; most likely next: state %d (p=%.2f)\n",
+				i, s, pi[i]*100, next, p)
+		}
+	}
+	return nil
+}

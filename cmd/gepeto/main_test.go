@@ -1,0 +1,185 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// chdir moves into a temp dir for the duration of a test (the CLI
+// works with relative paths).
+func chdir(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.Chdir(old) })
+	return dir
+}
+
+func TestCLIGenerateSampleAttack(t *testing.T) {
+	chdir(t)
+	if err := cmdGenerate([]string{"-users", "2", "-traces", "8000", "-seed", "1", "-out", "data", "-truth", "truth.json"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat("truth.json"); err != nil {
+		t.Fatal("truth.json not written")
+	}
+	if err := cmdSample([]string{"-in", "data", "-out", "sampled", "-window", "1m", "-chunk", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir("sampled")
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("no sampled output: %v", err)
+	}
+	if err := cmdAttack([]string{"-in", "sampled", "-truth", "truth.json", "-chunk", "1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCLIGeneratePresets(t *testing.T) {
+	chdir(t)
+	if err := cmdGenerate([]string{"-preset", "bogus", "-out", "d"}); err == nil {
+		t.Fatal("bogus preset should error")
+	}
+	// The real presets are too large for a test; validated in geolife.
+}
+
+func TestCLIKMeansAndDJClusterAndRTree(t *testing.T) {
+	chdir(t)
+	if err := cmdGenerate([]string{"-users", "2", "-traces", "6000", "-out", "data"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdSample([]string{"-in", "data", "-out", "sampled", "-chunk", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdKMeans([]string{"-in", "sampled", "-k", "3", "-maxiter", "10", "-chunk", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdKMeans([]string{"-in", "sampled", "-distance", "nonsense"}); err == nil {
+		t.Fatal("bad distance should error")
+	}
+	if err := cmdDJCluster([]string{"-in", "sampled", "-chunk", "1", "-top", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdRTree([]string{"-in", "sampled", "-curve", "hilbert", "-chunk", "1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCLISanitize(t *testing.T) {
+	chdir(t)
+	if err := cmdGenerate([]string{"-users", "1", "-traces", "3000", "-out", "data"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdSanitize([]string{"-in", "data", "-out", "masked", "-mechanism", "gaussian", "-sigma", "50", "-chunk", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdSanitize([]string{"-in", "data", "-out", "cloaked", "-mechanism", "cloak", "-cell", "300", "-chunk", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdSanitize([]string{"-in", "data", "-out", "x", "-mechanism", "nope"}); err == nil {
+		t.Fatal("unknown mechanism should error")
+	}
+}
+
+func TestCLIVisualize(t *testing.T) {
+	chdir(t)
+	if err := cmdGenerate([]string{"-users", "2", "-traces", "2000", "-out", "data"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdVisualize([]string{"-in", "data", "-out", "map.svg", "-title", "test"}); err != nil {
+		t.Fatal(err)
+	}
+	body, err := os.ReadFile("map.svg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(body), "<svg") {
+		t.Fatal("not an SVG")
+	}
+}
+
+func TestCLIConvertRoundTrip(t *testing.T) {
+	chdir(t)
+	if err := cmdGenerate([]string{"-users", "2", "-traces", "3000", "-out", "data"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdConvert([]string{"-in", "data", "-out", "plttree", "-from", "rec", "-to", "plt"}); err != nil {
+		t.Fatal(err)
+	}
+	// GeoLife layout: <user>/Trajectory/*.plt
+	matches, _ := filepath.Glob("plttree/*/Trajectory/*.plt")
+	if len(matches) == 0 {
+		t.Fatal("no .plt session files written")
+	}
+	if err := cmdConvert([]string{"-in", "plttree", "-out", "back", "-from", "plt", "-to", "rec"}); err != nil {
+		t.Fatal(err)
+	}
+	entries, _ := os.ReadDir("back")
+	if len(entries) != 2 {
+		t.Fatalf("back-converted users = %d, want 2", len(entries))
+	}
+	if err := cmdConvert([]string{"-in", "data", "-out", "x", "-from", "bogus"}); err == nil {
+		t.Fatal("bad format should error")
+	}
+	if err := cmdConvert([]string{}); err == nil {
+		t.Fatal("missing paths should error")
+	}
+}
+
+func TestCLIErrorsOnMissingInput(t *testing.T) {
+	chdir(t)
+	for name, run := range map[string]func([]string) error{
+		"sample":    cmdSample,
+		"kmeans":    cmdKMeans,
+		"djcluster": cmdDJCluster,
+		"rtree":     cmdRTree,
+		"attack":    cmdAttack,
+		"sanitize":  cmdSanitize,
+		"visualize": cmdVisualize,
+	} {
+		if err := run([]string{"-in", "does-not-exist"}); err == nil {
+			t.Errorf("%s: want error for missing input", name)
+		}
+	}
+}
+
+func TestCLIStatsSocialMMC(t *testing.T) {
+	chdir(t)
+	if err := cmdGenerate([]string{"-users", "2", "-traces", "10000", "-out", "data"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdStats([]string{"-in", "data"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdSocial([]string{"-in", "data", "-chunk", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdMMC([]string{"-in", "data", "-chunk", "1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCLISampleJSONReport(t *testing.T) {
+	chdir(t)
+	if err := cmdGenerate([]string{"-users", "1", "-traces", "2000", "-out", "data"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdSample([]string{"-in", "data", "-out", "s", "-report", "job.json", "-chunk", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	body, err := os.ReadFile("job.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), `"map_input_records"`) {
+		t.Fatalf("report missing counters: %s", body)
+	}
+}

@@ -1,0 +1,76 @@
+// Quickstart: deploy a simulated cluster, generate a GeoLife-like
+// dataset, and run the paper's three MapReduced algorithms end to end —
+// down-sampling (§V), k-means (§VI) and DJ-Cluster (§VII).
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/geolife"
+	"repro/internal/gepeto"
+)
+
+func main() {
+	// 1. Deploy: 7 nodes x 4 slots over 2 racks, 1 MB chunks (the
+	// paper's Parapluie testbed shape, shrunk to laptop scale).
+	tk, err := core.NewToolkit(core.ClusterConfig{
+		Nodes: 7, Racks: 2, SlotsPerNode: 4, ChunkSize: 1 << 20, Seed: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("deployed simulated cluster: %s (bring-up %v)\n", tk.Describe(), tk.DeployTime.Round(time.Microsecond))
+
+	// 2. Generate and upload a dense trajectory corpus: 5 users,
+	// 60k traces at 3-6 s sampling.
+	ds, _, uploadTime, err := tk.GenerateAndUpload(
+		geolife.Config{Users: 5, TotalTraces: 60_000, Seed: 42}, "geolife")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("uploaded %d traces for %d users (%.1f MB) in %v\n",
+		ds.NumTraces(), len(ds.Trails), tk.DatasetSizeMB("geolife"), uploadTime.Round(time.Millisecond))
+
+	// 3. Down-sample at a 1-minute window (map-only job, §V).
+	res, err := tk.Sample("geolife", "sampled", time.Minute, gepeto.SampleUpperLimit)
+	if err != nil {
+		log.Fatal(err)
+	}
+	kept := res.Counters.Value("task", "map_output_records")
+	fmt.Printf("sampling: %d -> %d traces (%.1fx collapse) using %d mappers in %v\n",
+		ds.NumTraces(), kept, float64(ds.NumTraces())/float64(kept), res.MapTasks, res.Wall.Round(time.Millisecond))
+
+	// 4. k-means (§VI): one MapReduce job per iteration.
+	km, err := tk.KMeans("sampled", gepeto.KMeansOptions{
+		K: 8, Distance: geo.MetricSquaredEuclidean, MaxIter: 50, Seed: 7, UseCombiner: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("k-means: converged=%v after %d iterations; centroids:\n", km.Converged, km.Iterations)
+	for i, c := range km.Centroids {
+		fmt.Printf("  %d: %s (%d traces)\n", i, c, km.Sizes[i])
+	}
+
+	// 5. DJ-Cluster (§VII): preprocessing pipeline, MapReduce R-tree,
+	// neighborhood map + merging reduce.
+	dj, err := tk.DJCluster("sampled", gepeto.DefaultDJClusterOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("DJ-Cluster: %d -> %d -> %d traces after preprocessing; %d clusters, %d noise\n",
+		dj.InputTraces, dj.AfterSpeedFilter, dj.AfterDedup, len(dj.Clusters), dj.Noise)
+	for i, c := range dj.Clusters {
+		if i == 5 {
+			fmt.Printf("  ... and %d more clusters\n", len(dj.Clusters)-5)
+			break
+		}
+		fmt.Printf("  %s: user %s, %d traces around %s\n", c.ID, c.User, len(c.Members), c.Centroid)
+	}
+}

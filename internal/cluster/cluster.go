@@ -1,0 +1,187 @@
+// Package cluster models the physical testbed the paper runs on: a
+// Hadoop-style cluster of multi-core commodity nodes grouped into racks
+// (paper §III and §IV, the Grid'5000 "Parapluie" deployment).
+//
+// The model is deliberately simple: a Node has an identity, a rack, and
+// a number of task slots (the paper's tasktrackers "have at their
+// disposal a number of available slots for running tasks"). The DFS
+// uses the topology for rack-aware replica placement; the MapReduce
+// scheduler uses it to keep computation close to data. Nodes can be
+// killed and restarted to exercise the failure-handling paths.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Node is one machine in the cluster.
+type Node struct {
+	// ID is the unique node name, e.g. "parapluie-3".
+	ID string
+	// Rack is the network rack the node belongs to, e.g. "rack-0".
+	Rack string
+	// Slots is the number of simultaneous tasks the node's
+	// tasktracker can execute (cores dedicated to task slots).
+	Slots int
+}
+
+// Cluster is a set of nodes with liveness tracking. All methods are
+// safe for concurrent use.
+type Cluster struct {
+	mu    sync.RWMutex
+	nodes []Node
+	dead  map[string]bool
+}
+
+// New builds a cluster from an explicit node list. Node IDs must be
+// unique and slots positive.
+func New(nodes []Node) (*Cluster, error) {
+	seen := make(map[string]bool, len(nodes))
+	for _, n := range nodes {
+		if n.ID == "" {
+			return nil, fmt.Errorf("cluster: node with empty ID")
+		}
+		if seen[n.ID] {
+			return nil, fmt.Errorf("cluster: duplicate node ID %q", n.ID)
+		}
+		if n.Slots <= 0 {
+			return nil, fmt.Errorf("cluster: node %q has %d slots, want > 0", n.ID, n.Slots)
+		}
+		seen[n.ID] = true
+	}
+	return &Cluster{nodes: append([]Node(nil), nodes...), dead: make(map[string]bool)}, nil
+}
+
+// NewUniform builds a cluster of numNodes identical nodes with
+// slotsPerNode slots each, spread round-robin over numRacks racks —
+// the shape of the paper's Parapluie testbed (e.g. 7 nodes, one rack,
+// 24 cores each; or 31 nodes for the sampling experiment).
+func NewUniform(numNodes, numRacks, slotsPerNode int) (*Cluster, error) {
+	if numNodes <= 0 || numRacks <= 0 || slotsPerNode <= 0 {
+		return nil, fmt.Errorf("cluster: invalid shape %d nodes / %d racks / %d slots", numNodes, numRacks, slotsPerNode)
+	}
+	nodes := make([]Node, numNodes)
+	for i := range nodes {
+		nodes[i] = Node{
+			ID:    fmt.Sprintf("node-%02d", i),
+			Rack:  fmt.Sprintf("rack-%d", i%numRacks),
+			Slots: slotsPerNode,
+		}
+	}
+	return New(nodes)
+}
+
+// Nodes returns a copy of all nodes (alive or dead), in creation order.
+func (c *Cluster) Nodes() []Node {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return append([]Node(nil), c.nodes...)
+}
+
+// Alive returns the currently alive nodes in creation order.
+func (c *Cluster) Alive() []Node {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]Node, 0, len(c.nodes))
+	for _, n := range c.nodes {
+		if !c.dead[n.ID] {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Node returns the node with the given ID and whether it exists.
+func (c *Cluster) Node(id string) (Node, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for _, n := range c.nodes {
+		if n.ID == id {
+			return n, true
+		}
+	}
+	return Node{}, false
+}
+
+// IsAlive reports whether the node exists and is alive.
+func (c *Cluster) IsAlive(id string) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.dead[id] {
+		return false
+	}
+	for _, n := range c.nodes {
+		if n.ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Kill marks a node dead. It returns false if the node does not exist
+// or is already dead. Killing a node does not interrupt tasks already
+// running on it (like a tasktracker that stops heartbeating: in-flight
+// work is lost only from the scheduler's perspective); new work will
+// not be placed there.
+func (c *Cluster) Kill(id string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dead[id] {
+		return false
+	}
+	for _, n := range c.nodes {
+		if n.ID == id {
+			c.dead[id] = true
+			return true
+		}
+	}
+	return false
+}
+
+// Restart marks a dead node alive again. It returns false if the node
+// does not exist or is not dead.
+func (c *Cluster) Restart(id string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.dead[id] {
+		return false
+	}
+	delete(c.dead, id)
+	return true
+}
+
+// Racks returns the sorted list of rack names present in the cluster.
+func (c *Cluster) Racks() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	set := make(map[string]bool)
+	for _, n := range c.nodes {
+		set[n.Rack] = true
+	}
+	out := make([]string, 0, len(set))
+	for r := range set {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RackOf returns the rack of the given node ("" if unknown).
+func (c *Cluster) RackOf(id string) string {
+	n, ok := c.Node(id)
+	if !ok {
+		return ""
+	}
+	return n.Rack
+}
+
+// TotalSlots returns the number of task slots across alive nodes.
+func (c *Cluster) TotalSlots() int {
+	total := 0
+	for _, n := range c.Alive() {
+		total += n.Slots
+	}
+	return total
+}

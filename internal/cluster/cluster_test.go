@@ -1,0 +1,131 @@
+package cluster
+
+import (
+	"testing"
+)
+
+func TestNewUniform(t *testing.T) {
+	c, err := NewUniform(7, 2, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(c.Nodes()); got != 7 {
+		t.Fatalf("nodes = %d", got)
+	}
+	if got := c.TotalSlots(); got != 7*24 {
+		t.Fatalf("TotalSlots = %d", got)
+	}
+	if got := len(c.Racks()); got != 2 {
+		t.Fatalf("racks = %v", c.Racks())
+	}
+}
+
+func TestNewUniformInvalid(t *testing.T) {
+	for _, shape := range [][3]int{{0, 1, 1}, {1, 0, 1}, {1, 1, 0}, {-1, 1, 1}} {
+		if _, err := NewUniform(shape[0], shape[1], shape[2]); err == nil {
+			t.Errorf("shape %v: want error", shape)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New([]Node{{ID: "", Rack: "r", Slots: 1}}); err == nil {
+		t.Error("empty ID should error")
+	}
+	if _, err := New([]Node{{ID: "a", Rack: "r", Slots: 1}, {ID: "a", Rack: "r", Slots: 1}}); err == nil {
+		t.Error("duplicate ID should error")
+	}
+	if _, err := New([]Node{{ID: "a", Rack: "r", Slots: 0}}); err == nil {
+		t.Error("zero slots should error")
+	}
+}
+
+func TestKillRestart(t *testing.T) {
+	c, _ := NewUniform(3, 1, 2)
+	id := c.Nodes()[1].ID
+	if !c.IsAlive(id) {
+		t.Fatal("node should start alive")
+	}
+	if !c.Kill(id) {
+		t.Fatal("Kill should succeed")
+	}
+	if c.Kill(id) {
+		t.Fatal("double Kill should fail")
+	}
+	if c.IsAlive(id) {
+		t.Fatal("killed node should be dead")
+	}
+	if got := len(c.Alive()); got != 2 {
+		t.Fatalf("Alive = %d, want 2", got)
+	}
+	if got := c.TotalSlots(); got != 4 {
+		t.Fatalf("TotalSlots = %d, want 4", got)
+	}
+	if !c.Restart(id) {
+		t.Fatal("Restart should succeed")
+	}
+	if c.Restart(id) {
+		t.Fatal("double Restart should fail")
+	}
+	if !c.IsAlive(id) {
+		t.Fatal("restarted node should be alive")
+	}
+}
+
+func TestKillUnknown(t *testing.T) {
+	c, _ := NewUniform(2, 1, 1)
+	if c.Kill("nonexistent") {
+		t.Fatal("killing unknown node should fail")
+	}
+	if c.IsAlive("nonexistent") {
+		t.Fatal("unknown node should not be alive")
+	}
+	if c.Restart("nonexistent") {
+		t.Fatal("restarting unknown node should fail")
+	}
+}
+
+func TestNodeLookupAndRacks(t *testing.T) {
+	c, _ := New([]Node{
+		{ID: "a", Rack: "r1", Slots: 4},
+		{ID: "b", Rack: "r2", Slots: 4},
+		{ID: "c", Rack: "r1", Slots: 4},
+	})
+	n, ok := c.Node("b")
+	if !ok || n.Rack != "r2" {
+		t.Fatalf("Node(b) = %+v, %v", n, ok)
+	}
+	if _, ok := c.Node("zzz"); ok {
+		t.Fatal("unknown node lookup should fail")
+	}
+	if got := c.RackOf("c"); got != "r1" {
+		t.Fatalf("RackOf(c) = %q", got)
+	}
+	if got := c.RackOf("zzz"); got != "" {
+		t.Fatalf("RackOf(zzz) = %q", got)
+	}
+	racks := c.Racks()
+	if len(racks) != 2 || racks[0] != "r1" || racks[1] != "r2" {
+		t.Fatalf("Racks = %v", racks)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c, _ := NewUniform(10, 2, 4)
+	done := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		go func(i int) {
+			defer func() { done <- struct{}{} }()
+			id := c.Nodes()[i%10].ID
+			for j := 0; j < 100; j++ {
+				c.Kill(id)
+				c.Alive()
+				c.Restart(id)
+				c.TotalSlots()
+			}
+		}(i)
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+}

@@ -1,0 +1,274 @@
+package gepeto
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/geolife"
+	"repro/internal/trace"
+)
+
+func TestPreprocessSequentialFiltersMovement(t *testing.T) {
+	// A trail: 10 stationary traces at P (60s apart), then 10 moving
+	// traces at 20 km/h, then 10 stationary at Q.
+	p := geo.Point{Lat: 39.9, Lon: 116.4}
+	q := geo.Destination(p, 90, 3000)
+	var traces []trace.Trace
+	ts := time.Unix(1_200_000_000, 0).UTC()
+	add := func(pt geo.Point) {
+		traces = append(traces, trace.Trace{User: "u", Point: pt, Time: ts})
+		ts = ts.Add(time.Minute)
+	}
+	for i := 0; i < 10; i++ {
+		add(geo.Destination(p, float64(i*37), 3)) // 3m jitter
+	}
+	for i := 1; i <= 10; i++ {
+		add(geo.Destination(p, 90, float64(i)*300)) // 300m/min = 18 km/h
+	}
+	for i := 0; i < 10; i++ {
+		add(geo.Destination(q, float64(i*53), 3))
+	}
+	ds := trace.FromTraces(traces)
+	afterSpeed, afterDedup := PreprocessSequential(ds, 2.0, 2.0)
+
+	// Roughly the 20 stationary traces survive (boundary traces have
+	// mixed speeds).
+	n := afterSpeed.NumTraces()
+	if n < 16 || n > 22 {
+		t.Fatalf("after speed filter: %d traces, want ~18-20", n)
+	}
+	// Jitter is 3m > 2m dedup radius, so dedup removes nearly nothing.
+	if d := afterDedup.NumTraces(); n-d > 4 {
+		t.Fatalf("dedup removed %d traces, want <= 4", n-d)
+	}
+	// All survivors are near P or Q.
+	for _, tr := range afterDedup.Trails {
+		for _, tc := range tr.Traces {
+			if geo.Haversine(tc.Point, p) > 50 && geo.Haversine(tc.Point, q) > 50 {
+				t.Fatalf("moving trace survived: %v", tc.Point)
+			}
+		}
+	}
+}
+
+func TestPreprocessMRMatchesSequentialTableIV(t *testing.T) {
+	// Run the Fig. 5 pipeline on a 1-min-sampled dataset and compare
+	// stage counts with the sequential reference (Table IV workflow).
+	h := newHarness(t, 3, 20_000, 1<<10) // large chunks: no boundary effects
+	sampled := SampleSequential(h.ds, time.Minute, SampleUpperLimit)
+	if err := geolife.WriteRecords(h.e.FS(), "sampled", sampled); err != nil {
+		t.Fatal(err)
+	}
+	sampled, err := geolife.ReadRecords(h.e.FS(), "sampled")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, errRun := h.e.RunPipeline(
+		SpeedFilterJob("speed", []string{"sampled"}, "stage1", 2.0),
+		DedupJob("dedup", []string{"stage1"}, "stage2", 1.0),
+	)
+	if errRun != nil {
+		t.Fatal(errRun)
+	}
+	gotSpeed := h.tracesOf(t, "stage1")
+	gotDedup := h.tracesOf(t, "stage2")
+	wantSpeed, wantDedup := PreprocessSequential(sampled, 2.0, 1.0)
+
+	if g, w := gotSpeed.NumTraces(), wantSpeed.NumTraces(); g != w {
+		t.Fatalf("speed filter: MR %d vs sequential %d", g, w)
+	}
+	if g, w := gotDedup.NumTraces(), wantDedup.NumTraces(); g != w {
+		t.Fatalf("dedup: MR %d vs sequential %d", g, w)
+	}
+
+	// Table IV shape: the speed filter keeps ~55-62%, dedup almost all.
+	keep := float64(gotSpeed.NumTraces()) / float64(sampled.NumTraces())
+	if keep < 0.40 || keep > 0.80 {
+		t.Errorf("speed filter kept %.0f%%, outside [40%%,80%%] (paper: 55.7%%)", keep*100)
+	}
+	dedupKeep := float64(gotDedup.NumTraces()) / float64(gotSpeed.NumTraces())
+	if dedupKeep < 0.95 {
+		t.Errorf("dedup kept %.1f%%, want >= 95%% (paper: 99.2%%)", dedupKeep*100)
+	}
+}
+
+func TestDJClusterSequentialFindsPOIs(t *testing.T) {
+	// Cluster a single user's preprocessed, sampled trail; clusters
+	// must coincide with the user's true POIs.
+	ds, truth := geolife.GenerateWithTruth(geolife.Config{Users: 1, TotalTraces: 12_000, Seed: 21})
+	sampled := SampleSequential(ds, time.Minute, SampleUpperLimit)
+	_, pre := PreprocessSequential(sampled, 2.0, 2.0)
+
+	res := DJClusterSequential(pre, DefaultDJClusterOptions())
+	if len(res.Clusters) == 0 {
+		t.Fatal("no clusters found")
+	}
+	user := ds.Trails[0].User
+	pois := truth.POIs(user)
+	// Each big cluster must sit within 50 m of some true POI.
+	for _, c := range res.Clusters {
+		if len(c.Members) < 10 {
+			continue
+		}
+		best := 1e12
+		for _, p := range pois {
+			if d := geo.Haversine(c.Centroid, p); d < best {
+				best = d
+			}
+		}
+		if best > 50 {
+			t.Errorf("cluster %s (%d members) centroid %.0fm from nearest POI", c.ID, len(c.Members), best)
+		}
+	}
+	// Home and work must be recovered by some cluster.
+	for _, target := range []geo.Point{truth.Homes[user], truth.Works[user]} {
+		found := false
+		for _, c := range res.Clusters {
+			if geo.Haversine(c.Centroid, target) < 50 {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no cluster within 50m of POI %v", target)
+		}
+	}
+}
+
+func TestDJClusterMRMatchesSequential(t *testing.T) {
+	h := newHarness(t, 2, 14_000, 256)
+	// Sample first so the R-tree and neighborhoods stay small.
+	sampled := SampleSequential(h.ds, time.Minute, SampleUpperLimit)
+	if err := geolife.WriteRecords(h.e.FS(), "sampled", sampled); err != nil {
+		t.Fatal(err)
+	}
+	sampled, err := geolife.ReadRecords(h.e.FS(), "sampled")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opts := DefaultDJClusterOptions()
+	mr, err := DJClusterMR(h.e, []string{"sampled"}, "djwork", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, pre := PreprocessSequential(sampled, opts.MaxSpeedKmh, opts.DupRadiusMeters)
+	seq := DJClusterSequential(pre, opts)
+
+	if len(mr.Clusters) != len(seq.Clusters) {
+		t.Fatalf("cluster counts differ: MR %d vs seq %d", len(mr.Clusters), len(seq.Clusters))
+	}
+	if mr.Noise != seq.Noise {
+		t.Fatalf("noise differs: MR %d vs seq %d", mr.Noise, seq.Noise)
+	}
+	// Compare cluster membership as sets (IDs are order-dependent).
+	seqSets := map[string]bool{}
+	for _, c := range seq.Clusters {
+		seqSets[joinIDs(c.Members)] = true
+	}
+	for _, c := range mr.Clusters {
+		if !seqSets[joinIDs(c.Members)] {
+			t.Fatalf("MR cluster %s (%d members) not found in sequential result", c.ID, len(c.Members))
+		}
+	}
+	// Pipeline stage counts must be consistent.
+	if mr.AfterDedup != int64(pre.NumTraces()) {
+		t.Fatalf("AfterDedup = %d, sequential %d", mr.AfterDedup, pre.NumTraces())
+	}
+}
+
+func joinIDs(ids []string) string {
+	out := ""
+	for _, id := range ids {
+		out += id + ";"
+	}
+	return out
+}
+
+func TestDJClusterMRInvariants(t *testing.T) {
+	h := newHarness(t, 2, 10_000, 256)
+	sampled := SampleSequential(h.ds, time.Minute, SampleUpperLimit)
+	if err := geolife.WriteRecords(h.e.FS(), "sampled", sampled); err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultDJClusterOptions()
+	res, err := DJClusterMR(h.e, []string{"sampled"}, "djwork", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]string{}
+	for _, c := range res.Clusters {
+		// Paper: clusters contain at least MinPts traces...
+		if len(c.Members) < opts.MinPts {
+			t.Errorf("cluster %s has %d members < MinPts %d", c.ID, len(c.Members), opts.MinPts)
+		}
+		// ...and are non-overlapping.
+		for _, m := range c.Members {
+			if prev, dup := seen[m]; dup {
+				t.Fatalf("trace %s in clusters %s and %s", m, prev, c.ID)
+			}
+			seen[m] = c.ID
+		}
+		// Per-user clustering: one user per cluster.
+		for _, m := range c.Members {
+			if UserOfTraceID(m) != c.User {
+				t.Fatalf("cluster %s (user %s) contains trace of %s", c.ID, c.User, UserOfTraceID(m))
+			}
+		}
+	}
+	// Noise count must be consistent: noise traces are those whose own
+	// neighborhood was under-dense; they may still appear inside other
+	// traces' clusters, so only a weak bound holds.
+	if res.Noise < 0 || res.Noise > res.AfterDedup {
+		t.Errorf("noise = %d outside [0, %d]", res.Noise, res.AfterDedup)
+	}
+	if len(res.JobResults) < 5 {
+		t.Errorf("expected >=5 job results (2 preprocess + 2 rtree + 1 cluster), got %d", len(res.JobResults))
+	}
+}
+
+func TestDJClusterOptionsDefaults(t *testing.T) {
+	o := DJClusterOptions{}.withDefaults()
+	if o.RadiusMeters != 25 || o.MinPts != 4 || o.MaxSpeedKmh != 2 || o.DupRadiusMeters != 1 {
+		t.Fatalf("defaults = %+v", o)
+	}
+	if DefaultDJClusterOptions().PerUser != true {
+		t.Fatal("DefaultDJClusterOptions must be per-user")
+	}
+}
+
+func TestDJClusterGlobalModeFindsSharedHotspot(t *testing.T) {
+	// PerUser=false clusters across users: a location visited by two
+	// different users becomes one citywide hotspot cluster.
+	hotspot := geo.Point{Lat: 39.92, Lon: 116.42}
+	var traces []trace.Trace
+	base := time.Unix(1_207_000_000, 0).UTC()
+	for u, user := range []string{"a", "b"} {
+		for i := 0; i < 10; i++ {
+			traces = append(traces, trace.Trace{
+				User:  user,
+				Point: geo.Destination(hotspot, float64(i*37+u*91), 5),
+				Time:  base.Add(time.Duration(u*3600+i*60) * time.Second),
+			})
+		}
+	}
+	ds := trace.FromTraces(traces)
+
+	perUser := DJClusterSequential(ds, DJClusterOptions{PerUser: true}.withDefaults())
+	global := DJClusterSequential(ds, DJClusterOptions{PerUser: false}.withDefaults())
+
+	if len(perUser.Clusters) != 2 {
+		t.Fatalf("per-user clusters = %d, want 2 (one per user)", len(perUser.Clusters))
+	}
+	if len(global.Clusters) != 1 {
+		t.Fatalf("global clusters = %d, want 1 shared hotspot", len(global.Clusters))
+	}
+	if got := len(global.Clusters[0].Members); got != 20 {
+		t.Fatalf("hotspot cluster has %d members, want 20", got)
+	}
+	if global.Clusters[0].User != "" {
+		t.Fatalf("global cluster should have no owner, got %q", global.Clusters[0].User)
+	}
+}

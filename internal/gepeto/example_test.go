@@ -1,0 +1,61 @@
+package gepeto_test
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/gepeto"
+	"repro/internal/trace"
+)
+
+// Example_sampling down-samples a dense trail with both techniques of
+// the paper's §V: the representative closest to the window's upper
+// limit (Fig. 2) or to its middle (Fig. 3).
+func Example_sampling() {
+	base := time.Unix(1_200_000_000, 0).UTC() // window-aligned
+	tr := trace.Trail{User: "alice"}
+	for _, sec := range []int64{5, 20, 55} {
+		tr.Traces = append(tr.Traces, trace.Trace{
+			User:  "alice",
+			Point: geo.Point{Lat: 39.9, Lon: 116.4},
+			Time:  base.Add(time.Duration(sec) * time.Second),
+		})
+	}
+	ds := &trace.Dataset{Trails: []trace.Trail{tr}}
+
+	upper := gepeto.SampleSequential(ds, time.Minute, gepeto.SampleUpperLimit)
+	middle := gepeto.SampleSequential(ds, time.Minute, gepeto.SampleMiddle)
+	fmt.Printf("upper-limit keeps +%ds\n", upper.Trails[0].Traces[0].Time.Unix()-base.Unix())
+	fmt.Printf("middle keeps +%ds\n", middle.Trails[0].Traces[0].Time.Unix()-base.Unix())
+	// Output:
+	// upper-limit keeps +55s
+	// middle keeps +20s
+}
+
+// Example_dJClusterSequential clusters a stationary dwell into a
+// single density-joinable cluster.
+func Example_dJClusterSequential() {
+	home := geo.Point{Lat: 39.9042, Lon: 116.4074}
+	tr := trace.Trail{User: "alice"}
+	ts := time.Unix(1_200_000_000, 0).UTC()
+	for i := 0; i < 8; i++ {
+		tr.Traces = append(tr.Traces, trace.Trace{
+			User:  "alice",
+			Point: geo.Destination(home, float64(i*45), 4), // 4m GPS jitter
+			Time:  ts.Add(time.Duration(i) * time.Minute),
+		})
+	}
+	ds := &trace.Dataset{Trails: []trace.Trail{tr}}
+
+	res := gepeto.DJClusterSequential(ds, gepeto.DefaultDJClusterOptions())
+	if len(res.Clusters) != 1 {
+		log.Fatalf("expected one cluster, got %d", len(res.Clusters))
+	}
+	c := res.Clusters[0]
+	fmt.Printf("cluster of %d traces, centroid within 10m of home: %v\n",
+		len(c.Members), geo.Haversine(c.Centroid, home) < 10)
+	// Output:
+	// cluster of 8 traces, centroid within 10m of home: true
+}

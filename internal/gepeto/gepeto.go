@@ -1,0 +1,73 @@
+// Package gepeto implements the MapReduced GEPETO toolkit — the
+// paper's primary contribution: down-sampling (§V), k-means clustering
+// (§VI), DJ-Cluster (§VII) and MapReduce R-tree construction (§VII-C)
+// over mobility-trace datasets stored in the DFS, executed by the
+// mapreduce engine. Sequential baselines of every algorithm are
+// provided for correctness cross-checks and speed-up benchmarks.
+//
+// Data layout: jobs exchange traces as line-oriented records whose
+// last two tab-separated fields are "user TAB lat,lon,alt,unix" (see
+// internal/geolife.ParseRecordValue). Every trace-emitting job outputs
+// key = user and value = payload, so its part files are directly
+// consumable as input records by the next job in a pipeline.
+package gepeto
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/geo"
+	"repro/internal/geolife"
+	"repro/internal/trace"
+)
+
+// TraceID is a compact unique identifier for a trace within a dataset:
+// "user:unixSeconds". Per-user timestamps are unique in GeoLife-style
+// trails (consecutive traces are at least a second apart), so the pair
+// identifies a trace while remaining meaningful to inference code.
+func TraceID(t trace.Trace) string {
+	return t.User + ":" + strconv.FormatInt(t.Time.Unix(), 10)
+}
+
+// UserOfTraceID extracts the user part of a TraceID.
+func UserOfTraceID(id string) string {
+	u, _, _ := strings.Cut(id, ":")
+	return u
+}
+
+// parseTraceValue decodes a map input line into a trace, tolerating a
+// leading part-file key prefix.
+func parseTraceValue(line string) (trace.Trace, error) {
+	return geolife.ParseRecordValue(line)
+}
+
+// emitTrace writes a trace in the composable record layout
+// (key = user, value = payload).
+func emitTrace(emit func(k, v string), t trace.Trace) {
+	rec := t.Record()
+	user, payload, _ := strings.Cut(rec, "\t")
+	emit(user, payload)
+}
+
+// formatPoint renders "lat,lon" at PLT precision.
+func formatPoint(p geo.Point) string {
+	return fmt.Sprintf("%.6f,%.6f", p.Lat, p.Lon)
+}
+
+// parsePoint parses "lat,lon".
+func parsePoint(s string) (geo.Point, error) {
+	latS, lonS, ok := strings.Cut(s, ",")
+	if !ok {
+		return geo.Point{}, fmt.Errorf("gepeto: bad point %q", s)
+	}
+	lat, err := strconv.ParseFloat(latS, 64)
+	if err != nil {
+		return geo.Point{}, fmt.Errorf("gepeto: bad latitude %q: %v", latS, err)
+	}
+	lon, err := strconv.ParseFloat(lonS, 64)
+	if err != nil {
+		return geo.Point{}, fmt.Errorf("gepeto: bad longitude %q: %v", lonS, err)
+	}
+	return geo.Point{Lat: lat, Lon: lon}, nil
+}

@@ -1,0 +1,96 @@
+package gepeto
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/dfs"
+	"repro/internal/geolife"
+	"repro/internal/mapreduce"
+	"repro/internal/trace"
+)
+
+// testHarness bundles an engine plus an uploaded synthetic dataset.
+type testHarness struct {
+	e     *mapreduce.Engine
+	ds    *trace.Dataset
+	truth *geolife.GroundTruth
+	input string
+}
+
+// newHarness spins up a 6-node cluster with a chunk size small enough
+// to yield several map tasks, generates a dataset and uploads it. The
+// dataset is round-tripped through the record format so in-memory and
+// DFS coordinates match exactly.
+func newHarness(t *testing.T, users, traces int, chunkKB int64) *testHarness {
+	t.Helper()
+	c, err := cluster.NewUniform(6, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := dfs.New(c, dfs.Config{ChunkSize: chunkKB * 1024, Replication: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := mapreduce.NewEngine(c, fs, mapreduce.Options{})
+	ds, truth := geolife.GenerateWithTruth(geolife.Config{Users: users, TotalTraces: traces, Seed: 11})
+	if err := geolife.WriteRecords(fs, "geolife", ds); err != nil {
+		t.Fatal(err)
+	}
+	// Read back so float precision matches the stored records.
+	ds, err = geolife.ReadRecords(fs, "geolife")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &testHarness{e: e, ds: ds, truth: truth, input: "geolife"}
+}
+
+// tracesOf reads a job output directory back into a dataset.
+func (h *testHarness) tracesOf(t *testing.T, dir string) *trace.Dataset {
+	t.Helper()
+	ds, err := geolife.ReadRecords(h.e.FS(), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestTraceIDRoundTrip(t *testing.T) {
+	ds := geolife.Generate(geolife.Config{Users: 2, TotalTraces: 100, Seed: 1})
+	for _, tr := range ds.Trails {
+		for _, tc := range tr.Traces {
+			id := TraceID(tc)
+			if UserOfTraceID(id) != tc.User {
+				t.Fatalf("UserOfTraceID(%q) = %q, want %q", id, UserOfTraceID(id), tc.User)
+			}
+		}
+	}
+}
+
+func TestParsePointErrors(t *testing.T) {
+	for _, s := range []string{"", "1", "x,2", "1,y"} {
+		if _, err := parsePoint(s); err == nil {
+			t.Errorf("parsePoint(%q): want error", s)
+		}
+	}
+	p, err := parsePoint("39.9042,116.4074")
+	if err != nil || p.Lat != 39.9042 || p.Lon != 116.4074 {
+		t.Fatalf("parsePoint = %v, %v", p, err)
+	}
+}
+
+func TestParseRectRoundTrip(t *testing.T) {
+	r := geolife.Beijing
+	back, err := parseRect(marshalRect(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != r {
+		t.Fatalf("round-trip: %+v vs %+v", back, r)
+	}
+	for _, s := range []string{"", "1,2,3", "a,b,c,d"} {
+		if _, err := parseRect(s); err == nil {
+			t.Errorf("parseRect(%q): want error", s)
+		}
+	}
+}

@@ -1,0 +1,394 @@
+package gepeto
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/geo"
+	"repro/internal/geolife"
+	"repro/internal/mapreduce"
+	"repro/internal/rtree"
+	"repro/internal/sfc"
+)
+
+// RTreeBuildOptions configures the MapReduce R-tree construction of
+// §VII-C (Algorithms 6-9, Fig. 6).
+type RTreeBuildOptions struct {
+	// Curve is the space-filling curve used by the partitioning
+	// function: "zorder" (default) or "hilbert".
+	Curve string
+	// Partitions is the number p of spatial partitions, i.e. the
+	// number of small R-trees built concurrently in phase 2 (default:
+	// the cluster's total slots).
+	Partitions int
+	// SamplePerChunk is the number of objects each phase-1 mapper
+	// samples from its chunk (default 200).
+	SamplePerChunk int
+	// FanOut is the R-tree node capacity (default
+	// rtree.DefaultMaxEntries).
+	FanOut int
+	// Seed drives the phase-1 reservoir sampling.
+	Seed int64
+}
+
+func (o RTreeBuildOptions) withDefaults(e *mapreduce.Engine) RTreeBuildOptions {
+	if o.Curve == "" {
+		o.Curve = "zorder"
+	}
+	if o.Partitions <= 0 {
+		o.Partitions = e.Cluster().TotalSlots()
+		if o.Partitions < 1 {
+			o.Partitions = 1
+		}
+	}
+	if o.SamplePerChunk <= 0 {
+		o.SamplePerChunk = 200
+	}
+	if o.FanOut <= 0 {
+		o.FanOut = rtree.DefaultMaxEntries
+	}
+	return o
+}
+
+const (
+	confCurve       = "rtree.curve"
+	confPartitions  = "rtree.partitions"
+	confSampleSize  = "rtree.sample.per.chunk"
+	confFanOut      = "rtree.fanout"
+	confSeed        = "rtree.seed"
+	confBoundsRect  = "rtree.bounds"
+	cachePartitions = "partition-points"
+)
+
+// BuildRTreeMR constructs a global R-tree over all traces in
+// inputPaths using the three-phase MapReduce process of §VII-C:
+//
+//  1. samples from every chunk are mapped onto a space-filling curve
+//     and a single reducer picks p-1 partitioning points delimiting
+//     equally sized, locality-preserving partitions (Algorithms 6-7);
+//  2. mappers route every object to its partition and each of the p
+//     reducers bulk-builds a small R-tree over its partition
+//     (Algorithms 8-9);
+//  3. the small R-trees are merged sequentially by a single node (the
+//     driver) into the final tree indexing the whole dataset.
+//
+// The returned results are the phase-1 and phase-2 job reports.
+func BuildRTreeMR(e *mapreduce.Engine, inputPaths []string, workDir string, opts RTreeBuildOptions) (*rtree.Tree, []*mapreduce.Result, error) {
+	opts = opts.withDefaults(e)
+	var results []*mapreduce.Result
+	bounds := geolife.Beijing // quantisation domain for the curve
+	conf := map[string]string{
+		confCurve:      opts.Curve,
+		confPartitions: strconv.Itoa(opts.Partitions),
+		confSampleSize: strconv.Itoa(opts.SamplePerChunk),
+		confFanOut:     strconv.Itoa(opts.FanOut),
+		confSeed:       strconv.FormatInt(opts.Seed, 10),
+		confBoundsRect: marshalRect(bounds),
+	}
+
+	// Phase 1: sample scalars, pick partitioning points.
+	phase1Out := workDir + "/phase1"
+	r1, err := e.Run(&mapreduce.Job{
+		Name:        "rtree-phase1-sample",
+		InputPaths:  inputPaths,
+		OutputPath:  phase1Out,
+		NewMapper:   func() mapreduce.Mapper { return &sampleMapper{} },
+		NewReducer:  func() mapreduce.Reducer { return &partitionPointsReducer{} },
+		NumReducers: 1,
+		Conf:        conf,
+	})
+	if err != nil {
+		return nil, results, err
+	}
+	results = append(results, r1)
+	kvs, err := e.ReadOutput(phase1Out)
+	if err != nil {
+		return nil, results, err
+	}
+	if len(kvs) != 1 || kvs[0].Key != "bounds" {
+		return nil, results, fmt.Errorf("rtree: phase 1 produced %d records, want 1 bounds record", len(kvs))
+	}
+	partitionPoints := kvs[0].Value
+
+	// Phase 2: partition objects and build small R-trees.
+	phase2Out := workDir + "/phase2"
+	r2, err := e.Run(&mapreduce.Job{
+		Name:        "rtree-phase2-build",
+		InputPaths:  inputPaths,
+		OutputPath:  phase2Out,
+		NewMapper:   func() mapreduce.Mapper { return &partitionMapper{} },
+		NewReducer:  func() mapreduce.Reducer { return &subtreeReducer{} },
+		NumReducers: opts.Partitions,
+		// Partition i goes to reducer i: keys are partition indices.
+		Partitioner: func(key string, n int) int {
+			idx, err := strconv.Atoi(key)
+			if err != nil || idx < 0 {
+				return 0
+			}
+			return idx % n
+		},
+		Conf:  conf,
+		Cache: map[string][]byte{cachePartitions: []byte(partitionPoints)},
+	})
+	if err != nil {
+		return nil, results, err
+	}
+	results = append(results, r2)
+
+	// Phase 3: merge the small R-trees sequentially ("executed by a
+	// single node due to its low computational complexity"). Subtrees
+	// are merged in partition order, which follows the curve, so
+	// adjacent subtrees are spatially close.
+	kvs, err = e.ReadOutput(phase2Out)
+	if err != nil {
+		return nil, results, err
+	}
+	sort.Slice(kvs, func(i, j int) bool {
+		a, _ := strconv.Atoi(kvs[i].Key)
+		b, _ := strconv.Atoi(kvs[j].Key)
+		return a < b
+	})
+	subtrees := make([]*rtree.Tree, 0, len(kvs))
+	for _, kv := range kvs {
+		st, err := parseSubtree(kv.Value, opts.FanOut)
+		if err != nil {
+			return nil, results, err
+		}
+		subtrees = append(subtrees, st)
+	}
+	tree := rtree.Merge(opts.FanOut, subtrees...)
+	return tree, results, nil
+}
+
+// sampleMapper is Algorithm 6: it reservoir-samples a predefined
+// number of objects from its chunk and outputs the corresponding
+// single-dimensional values obtained by applying the space-filling
+// curve.
+type sampleMapper struct {
+	mapreduce.MapperBase
+	curve     sfc.Curve
+	rng       *rand.Rand
+	size      int
+	seen      int
+	reservoir []uint64
+}
+
+func (m *sampleMapper) Setup(ctx *mapreduce.TaskContext) error {
+	var err error
+	m.curve, err = curveFromConf(ctx)
+	if err != nil {
+		return err
+	}
+	m.size, err = strconv.Atoi(ctx.ConfDefault(confSampleSize, "200"))
+	if err != nil || m.size <= 0 {
+		return fmt.Errorf("sampleMapper: bad sample size: %v", err)
+	}
+	seed, _ := strconv.ParseInt(ctx.ConfDefault(confSeed, "0"), 10, 64)
+	// Mix the task ID into the seed so chunks sample independently
+	// yet deterministically.
+	m.rng = rand.New(rand.NewSource(seed ^ int64(hashString(ctx.TaskID))))
+	m.reservoir = make([]uint64, 0, m.size)
+	return nil
+}
+
+func (m *sampleMapper) Map(_ *mapreduce.TaskContext, _, value string, _ mapreduce.Emit) error {
+	t, err := parseTraceValue(value)
+	if err != nil {
+		return err
+	}
+	m.seen++
+	scalar := m.curve.Key(t.Point)
+	if len(m.reservoir) < m.size {
+		m.reservoir = append(m.reservoir, scalar)
+	} else if j := m.rng.Intn(m.seen); j < m.size {
+		m.reservoir[j] = scalar
+	}
+	return nil
+}
+
+func (m *sampleMapper) Cleanup(_ *mapreduce.TaskContext, emit mapreduce.Emit) error {
+	for _, s := range m.reservoir {
+		emit("sample", strconv.FormatUint(s, 10))
+	}
+	return nil
+}
+
+// partitionPointsReducer is Algorithm 7: it collects the sampled
+// scalars from all mappers, orders the set, and determines p-1
+// partitioning points delimiting the boundaries of each partition.
+type partitionPointsReducer struct {
+	mapreduce.ReducerBase
+}
+
+func (r *partitionPointsReducer) Reduce(ctx *mapreduce.TaskContext, _ string, values []string, emit mapreduce.Emit) error {
+	p, err := strconv.Atoi(ctx.ConfDefault(confPartitions, "1"))
+	if err != nil || p < 1 {
+		return fmt.Errorf("partitionPointsReducer: bad partition count: %v", err)
+	}
+	scalars := make([]uint64, 0, len(values))
+	for _, v := range values {
+		s, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			return fmt.Errorf("partitionPointsReducer: bad scalar %q", v)
+		}
+		scalars = append(scalars, s)
+	}
+	sort.Slice(scalars, func(i, j int) bool { return scalars[i] < scalars[j] })
+	points := make([]string, 0, p-1)
+	for i := 1; i < p; i++ {
+		idx := i * len(scalars) / p
+		if idx >= len(scalars) {
+			idx = len(scalars) - 1
+		}
+		points = append(points, strconv.FormatUint(scalars[idx], 10))
+	}
+	emit("bounds", strings.Join(points, ","))
+	return nil
+}
+
+// partitionMapper is Algorithm 8: it loads the partitioning points
+// computed in phase 1 and assigns each object it reads to a partition
+// identifier, the intermediate key, so all datapoints of a partition
+// are collected by the same reducer.
+type partitionMapper struct {
+	mapreduce.MapperBase
+	curve  sfc.Curve
+	points []uint64
+}
+
+func (m *partitionMapper) Setup(ctx *mapreduce.TaskContext) error {
+	var err error
+	m.curve, err = curveFromConf(ctx)
+	if err != nil {
+		return err
+	}
+	blob, ok := ctx.CacheFile(cachePartitions)
+	if !ok {
+		return fmt.Errorf("partitionMapper: partition points not in cache")
+	}
+	s := strings.TrimSpace(string(blob))
+	if s == "" {
+		m.points = nil // single partition
+		return nil
+	}
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.ParseUint(f, 10, 64)
+		if err != nil {
+			return fmt.Errorf("partitionMapper: bad partition point %q", f)
+		}
+		m.points = append(m.points, v)
+	}
+	return nil
+}
+
+func (m *partitionMapper) Map(_ *mapreduce.TaskContext, _, value string, emit mapreduce.Emit) error {
+	t, err := parseTraceValue(value)
+	if err != nil {
+		return err
+	}
+	scalar := m.curve.Key(t.Point)
+	idx := sort.Search(len(m.points), func(i int) bool { return m.points[i] > scalar })
+	emit(strconv.Itoa(idx), TraceID(t)+"|"+formatPoint(t.Point))
+	return nil
+}
+
+// subtreeReducer is Algorithm 9: each reducer constructs the R-tree
+// associated with its partition, emitting it in serialized entry-list
+// form (the tree is reconstructed losslessly by bulk-loading, so only
+// the entries travel).
+type subtreeReducer struct {
+	mapreduce.ReducerBase
+}
+
+func (r *subtreeReducer) Reduce(ctx *mapreduce.TaskContext, key string, values []string, emit mapreduce.Emit) error {
+	fanOut, err := strconv.Atoi(ctx.ConfDefault(confFanOut, strconv.Itoa(rtree.DefaultMaxEntries)))
+	if err != nil || fanOut < 4 {
+		fanOut = rtree.DefaultMaxEntries
+	}
+	entries := make([]rtree.Entry, 0, len(values))
+	for _, v := range values {
+		id, pt, ok := strings.Cut(v, "|")
+		if !ok {
+			return fmt.Errorf("subtreeReducer: bad object %q", v)
+		}
+		p, err := parsePoint(pt)
+		if err != nil {
+			return err
+		}
+		entries = append(entries, rtree.Entry{ID: id, Point: p})
+	}
+	tree := rtree.BulkLoad(entries, fanOut)
+	ctx.Counter("rtree", "subtree_entries").Inc(int64(tree.Len()))
+	// Serialize in DFS order; ';' separates entries on one line.
+	parts := make([]string, 0, tree.Len())
+	for _, e := range tree.All() {
+		parts = append(parts, e.ID+"|"+formatPoint(e.Point))
+	}
+	emit(key, strings.Join(parts, ";"))
+	return nil
+}
+
+// parseSubtree reconstructs a partition R-tree from its serialized
+// entry list.
+func parseSubtree(s string, fanOut int) (*rtree.Tree, error) {
+	if s == "" {
+		return rtree.New(fanOut), nil
+	}
+	fields := strings.Split(s, ";")
+	entries := make([]rtree.Entry, 0, len(fields))
+	for _, f := range fields {
+		id, pt, ok := strings.Cut(f, "|")
+		if !ok {
+			return nil, fmt.Errorf("rtree: bad serialized entry %q", f)
+		}
+		p, err := parsePoint(pt)
+		if err != nil {
+			return nil, err
+		}
+		entries = append(entries, rtree.Entry{ID: id, Point: p})
+	}
+	return rtree.BulkLoad(entries, fanOut), nil
+}
+
+func curveFromConf(ctx *mapreduce.TaskContext) (sfc.Curve, error) {
+	bounds, err := parseRect(ctx.ConfDefault(confBoundsRect, marshalRect(geolife.Beijing)))
+	if err != nil {
+		return nil, err
+	}
+	return sfc.New(ctx.ConfDefault(confCurve, "zorder"), bounds)
+}
+
+func marshalRect(r geo.Rect) string {
+	return fmt.Sprintf("%.6f,%.6f,%.6f,%.6f", r.Min.Lat, r.Min.Lon, r.Max.Lat, r.Max.Lon)
+}
+
+func parseRect(s string) (geo.Rect, error) {
+	f := strings.Split(s, ",")
+	if len(f) != 4 {
+		return geo.Rect{}, fmt.Errorf("gepeto: bad rect %q", s)
+	}
+	vals := make([]float64, 4)
+	for i, x := range f {
+		v, err := strconv.ParseFloat(x, 64)
+		if err != nil {
+			return geo.Rect{}, fmt.Errorf("gepeto: bad rect %q: %v", s, err)
+		}
+		vals[i] = v
+	}
+	return geo.Rect{
+		Min: geo.Point{Lat: vals[0], Lon: vals[1]},
+		Max: geo.Point{Lat: vals[2], Lon: vals[3]},
+	}, nil
+}
+
+func hashString(s string) uint32 {
+	var h uint32 = 2166136261
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}

@@ -1,0 +1,611 @@
+package mapreduce
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/dfs"
+)
+
+// Options configures the engine.
+type Options struct {
+	// TaskOverhead is a simulated per-task startup cost (scheduling,
+	// JVM spawn in real Hadoop). Zero disables it.
+	TaskOverhead time.Duration
+	// FailureHook, if set, is consulted before each task attempt; a
+	// non-nil return fails the attempt, exercising the jobtracker's
+	// retry-on-another-node path. Used by tests for fault injection.
+	FailureHook func(taskID string, attempt int, node string) error
+	// SpeculativeSlack enables speculative execution: when slots are
+	// idle and a task attempt has been running longer than this, a
+	// backup attempt is launched on another node and the first to
+	// finish wins (Hadoop's straggler mitigation). Zero disables it.
+	SpeculativeSlack time.Duration
+	// NodeDelay, if set, returns an artificial execution delay for
+	// tasks on the given node, modelling heterogeneous or straggling
+	// nodes (used by tests to exercise speculation).
+	NodeDelay func(node string) time.Duration
+}
+
+// Engine is the jobtracker: it turns DFS chunks into map tasks,
+// schedules them on tasktracker slots with locality preference, runs
+// the shuffle, and drives the reducers.
+type Engine struct {
+	cluster *cluster.Cluster
+	fs      *dfs.FileSystem
+	opts    Options
+}
+
+// NewEngine creates an engine over the cluster and file system.
+func NewEngine(c *cluster.Cluster, fs *dfs.FileSystem, opts Options) *Engine {
+	return &Engine{cluster: c, fs: fs, opts: opts}
+}
+
+// FS returns the engine's file system (for writing inputs and reading
+// job outputs).
+func (e *Engine) FS() *dfs.FileSystem { return e.fs }
+
+// Cluster returns the engine's cluster.
+func (e *Engine) Cluster() *cluster.Cluster { return e.cluster }
+
+// mapOutput is one map task's partitioned intermediate output.
+type mapOutput struct {
+	parts [][]KV // indexed by reducer partition
+}
+
+// Run executes one job to completion and returns its result.
+func (e *Engine) Run(job *Job) (*Result, error) {
+	start := time.Now()
+	if err := validate(job); err != nil {
+		return nil, err
+	}
+	numReducers := job.NumReducers
+	if numReducers <= 0 {
+		numReducers = 1
+	}
+	partition := job.Partitioner
+	if partition == nil {
+		partition = HashPartition
+	}
+	maxAttempts := job.MaxAttempts
+	if maxAttempts <= 0 {
+		maxAttempts = 3
+	}
+	if existing := e.fs.List(job.OutputPath); len(existing) > 0 {
+		return nil, fmt.Errorf("mapreduce: output path %q already exists", job.OutputPath)
+	}
+
+	splits, err := splitsFor(e.fs, job.InputPaths)
+	if err != nil {
+		return nil, fmt.Errorf("mapreduce: job %s: %v", job.Name, err)
+	}
+
+	res := &Result{
+		Job:      job.Name,
+		Counters: NewCounters(),
+		MapTasks: len(splits),
+	}
+	mapOnly := job.NewReducer == nil
+
+	// ---- Map phase ----
+	mapStart := time.Now()
+	outputs := make([]*mapOutput, len(splits))
+	reports := make([]TaskReport, len(splits))
+	err = e.schedule(splits, maxAttempts, res.Counters, func(i int, node string, attempt int) (func(), error) {
+		taskID := fmt.Sprintf("map-%04d", i)
+		if e.opts.FailureHook != nil {
+			if ferr := e.opts.FailureHook(taskID, attempt, node); ferr != nil {
+				return nil, ferr
+			}
+		}
+		if e.opts.TaskOverhead > 0 {
+			time.Sleep(e.opts.TaskOverhead)
+		}
+		ctx := &TaskContext{
+			JobName: job.Name, TaskID: taskID, Attempt: attempt, Node: node,
+			conf: job.Conf, cache: job.Cache, counters: res.Counters,
+		}
+		nParts := numReducers
+		if mapOnly {
+			nParts = 1
+		}
+		out := &mapOutput{parts: make([][]KV, nParts)}
+		emit := func(k, v string) {
+			p := 0
+			if !mapOnly {
+				p = partition(k, numReducers)
+			}
+			out.parts[p] = append(out.parts[p], KV{k, v})
+		}
+		m := job.NewMapper()
+		if err := m.Setup(ctx); err != nil {
+			return nil, fmt.Errorf("%s setup: %v", taskID, err)
+		}
+		var records int64
+		err := readSplitLines(e.fs, splits[i], func(off int64, line string) error {
+			records++
+			return m.Map(ctx, offsetKey(off), line, emit)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", taskID, err)
+		}
+		if err := m.Cleanup(ctx, emit); err != nil {
+			return nil, fmt.Errorf("%s cleanup: %v", taskID, err)
+		}
+		var outRecords int64
+		for _, p := range out.parts {
+			outRecords += int64(len(p))
+		}
+
+		// Map-side combine.
+		var combineIn, combineOut int64
+		if job.NewCombiner != nil && !mapOnly {
+			for p := range out.parts {
+				combined, err := e.runReduce(ctx, job.NewCombiner(), out.parts[p], nil)
+				if err != nil {
+					return nil, fmt.Errorf("%s combiner: %v", taskID, err)
+				}
+				combineIn += int64(len(out.parts[p]))
+				combineOut += int64(len(combined))
+				out.parts[p] = combined
+			}
+		}
+		// Only the winning attempt commits its output and counters
+		// (speculative losers are discarded).
+		commit := func() {
+			ctx.Counter(CounterGroupTask, CounterMapInputRecords).Inc(records)
+			ctx.Counter(CounterGroupTask, CounterMapOutputRecords).Inc(outRecords)
+			if job.NewCombiner != nil && !mapOnly {
+				ctx.Counter(CounterGroupTask, CounterCombineInput).Inc(combineIn)
+				ctx.Counter(CounterGroupTask, CounterCombineOutput).Inc(combineOut)
+			}
+			outputs[i] = out
+			reports[i].Records = records
+		}
+		return commit, nil
+	}, reports)
+	if err != nil {
+		return nil, fmt.Errorf("mapreduce: job %s: %v", job.Name, err)
+	}
+	res.MapWall = time.Since(mapStart)
+
+	if mapOnly {
+		// Each map task's output becomes a part-m file.
+		for i, out := range outputs {
+			name := fmt.Sprintf("%s/part-m-%05d", job.OutputPath, i)
+			if err := e.writePartFile(name, out.parts[0]); err != nil {
+				return nil, err
+			}
+			res.OutputFiles = append(res.OutputFiles, name)
+		}
+		res.Tasks = reports
+		res.Wall = time.Since(start)
+		return res, nil
+	}
+
+	// ---- Shuffle: the only communication step (§III). ----
+	shuffleStart := time.Now()
+	res.ReduceTasks = numReducers
+	reduceInputs := make([][]KV, numReducers)
+	var shuffleBytes int64
+	for _, out := range outputs {
+		for p := range out.parts {
+			for _, kv := range out.parts[p] {
+				shuffleBytes += int64(len(kv.Key) + len(kv.Value))
+			}
+			reduceInputs[p] = append(reduceInputs[p], out.parts[p]...)
+		}
+	}
+	res.Counters.Get(CounterGroupShuffle, CounterShuffleBytes).Inc(shuffleBytes)
+	res.ShuffleWall = time.Since(shuffleStart)
+
+	// ---- Reduce phase ----
+	reduceStart := time.Now()
+	reduceReports := make([]TaskReport, numReducers)
+	reduceSplits := make([]InputSplit, numReducers) // no locality: reducers read from all mappers
+	partFiles := make([][]KV, numReducers)
+	err = e.schedule(reduceSplits, maxAttempts, res.Counters, func(r int, node string, attempt int) (func(), error) {
+		taskID := fmt.Sprintf("reduce-%04d", r)
+		if e.opts.FailureHook != nil {
+			if ferr := e.opts.FailureHook(taskID, attempt, node); ferr != nil {
+				return nil, ferr
+			}
+		}
+		if e.opts.TaskOverhead > 0 {
+			time.Sleep(e.opts.TaskOverhead)
+		}
+		ctx := &TaskContext{
+			JobName: job.Name, TaskID: taskID, Attempt: attempt, Node: node,
+			conf: job.Conf, cache: job.Cache, counters: res.Counters,
+		}
+		var groups int64
+		out, err := e.runReduce(ctx, job.NewReducer(), reduceInputs[r], &groups)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", taskID, err)
+		}
+		commit := func() {
+			ctx.Counter(CounterGroupTask, CounterReduceInputRecords).Inc(int64(len(reduceInputs[r])))
+			ctx.Counter(CounterGroupTask, CounterReduceOutput).Inc(int64(len(out)))
+			ctx.Counter(CounterGroupTask, CounterReduceInputGroups).Inc(groups)
+			partFiles[r] = out
+			reduceReports[r].Records = int64(len(reduceInputs[r]))
+		}
+		return commit, nil
+	}, reduceReports)
+	if err != nil {
+		return nil, fmt.Errorf("mapreduce: job %s: %v", job.Name, err)
+	}
+	res.ReduceWall = time.Since(reduceStart)
+
+	for r, kvs := range partFiles {
+		name := fmt.Sprintf("%s/part-r-%05d", job.OutputPath, r)
+		if err := e.writePartFile(name, kvs); err != nil {
+			return nil, err
+		}
+		res.OutputFiles = append(res.OutputFiles, name)
+	}
+	res.Tasks = append(reports, reduceReports...)
+	res.Wall = time.Since(start)
+	return res, nil
+}
+
+// runReduce sorts records by key, groups equal keys, and feeds each
+// group to the reducer (used for both real reducers and combiners).
+// If groupCount is non-nil it receives the number of distinct keys.
+// Counters are the caller's responsibility (only winning attempts
+// commit them).
+func (e *Engine) runReduce(ctx *TaskContext, red Reducer, input []KV, groupCount *int64) ([]KV, error) {
+	// Copy before sorting: with speculative execution two attempts of
+	// the same reduce task may process this slice concurrently.
+	input = append([]KV(nil), input...)
+	sort.SliceStable(input, func(i, j int) bool { return input[i].Key < input[j].Key })
+	var out []KV
+	emit := func(k, v string) { out = append(out, KV{k, v}) }
+	if err := red.Setup(ctx); err != nil {
+		return nil, fmt.Errorf("setup: %v", err)
+	}
+	i := 0
+	var groups int64
+	for i < len(input) {
+		j := i
+		for j < len(input) && input[j].Key == input[i].Key {
+			j++
+		}
+		values := make([]string, 0, j-i)
+		for _, kv := range input[i:j] {
+			values = append(values, kv.Value)
+		}
+		if err := red.Reduce(ctx, input[i].Key, values, emit); err != nil {
+			return nil, err
+		}
+		groups++
+		i = j
+	}
+	if err := red.Cleanup(ctx, emit); err != nil {
+		return nil, fmt.Errorf("cleanup: %v", err)
+	}
+	if groupCount != nil {
+		*groupCount = groups
+	}
+	return out, nil
+}
+
+// writePartFile stores records as "key\tvalue" lines in DFS.
+func (e *Engine) writePartFile(path string, kvs []KV) error {
+	var sb strings.Builder
+	for _, kv := range kvs {
+		sb.WriteString(kv.Key)
+		sb.WriteByte('\t')
+		sb.WriteString(kv.Value)
+		sb.WriteByte('\n')
+	}
+	return e.fs.Create(path, []byte(sb.String()), "")
+}
+
+// ReadOutput reads back all part files of a completed job's output
+// directory as KV records, in part-file order.
+func (e *Engine) ReadOutput(outputPath string) ([]KV, error) {
+	files := e.fs.List(outputPath)
+	if len(files) == 0 {
+		return nil, fmt.Errorf("mapreduce: no output files under %q", outputPath)
+	}
+	var out []KV
+	for _, f := range files {
+		data, err := e.fs.ReadAll(f)
+		if err != nil {
+			return nil, err
+		}
+		for _, line := range strings.Split(string(data), "\n") {
+			if line == "" {
+				continue
+			}
+			k, v, _ := strings.Cut(line, "\t")
+			out = append(out, KV{k, v})
+		}
+	}
+	return out, nil
+}
+
+// RunPipeline runs jobs in sequence, failing fast; the caller wires
+// each job's OutputPath into the next job's InputPaths (as DJ-Cluster's
+// preprocessing does: "the output of the first job constitutes the
+// input of the second one").
+func (e *Engine) RunPipeline(jobs ...*Job) ([]*Result, error) {
+	results := make([]*Result, 0, len(jobs))
+	for _, j := range jobs {
+		r, err := e.Run(j)
+		if err != nil {
+			return results, err
+		}
+		results = append(results, r)
+	}
+	return results, nil
+}
+
+func validate(job *Job) error {
+	if job.Name == "" {
+		return fmt.Errorf("mapreduce: job needs a name")
+	}
+	if job.NewMapper == nil {
+		return fmt.Errorf("mapreduce: job %s: NewMapper is required", job.Name)
+	}
+	if len(job.InputPaths) == 0 {
+		return fmt.Errorf("mapreduce: job %s: no input paths", job.Name)
+	}
+	if job.OutputPath == "" {
+		return fmt.Errorf("mapreduce: job %s: no output path", job.Name)
+	}
+	if job.NewCombiner != nil && job.NewReducer == nil {
+		return fmt.Errorf("mapreduce: job %s: combiner without reducer", job.Name)
+	}
+	return nil
+}
+
+// schedule runs one task per split across the cluster's slots. Tasks
+// with preferred hosts are placed data-local when possible, then
+// rack-local, then anywhere — the jobtracker's placement policy from
+// §III ("keep the computation as close as possible to the data; if the
+// work cannot be hosted on the actual node in which the data resides,
+// priority is given to neighboring nodes, i.e. belonging to the same
+// network rack"). Failed attempts are retried, excluding the node that
+// failed, up to maxAttempts; reports[i] is filled for each task.
+func (e *Engine) schedule(splits []InputSplit, maxAttempts int, counters *Counters, run func(i int, node string, attempt int) (func(), error), reports []TaskReport) error {
+	if len(splits) == 0 {
+		return nil
+	}
+	nodes := e.cluster.Alive()
+	if len(nodes) == 0 {
+		return fmt.Errorf("no alive nodes")
+	}
+
+	type pendingTask struct {
+		idx      int
+		attempt  int
+		excluded map[string]bool
+		backup   bool // speculative duplicate of a running attempt
+	}
+	// runState tracks in-flight attempts per task for speculation.
+	type runState struct {
+		start   time.Time
+		nodes   map[string]bool
+		active  int
+		backups int
+	}
+	var (
+		mu        sync.Mutex
+		cond      = sync.NewCond(&mu)
+		pending   []*pendingTask
+		running   = make(map[int]*runState)
+		done      = make([]bool, len(splits))
+		firstErr  error
+		remaining = len(splits)
+	)
+	for i := range splits {
+		pending = append(pending, &pendingTask{idx: i})
+	}
+
+	// pickBackupLocked selects the longest-running unduplicated task
+	// eligible for a speculative backup on this node.
+	pickBackupLocked := func(nodeID string) *pendingTask {
+		if e.opts.SpeculativeSlack <= 0 {
+			return nil
+		}
+		bestIdx := -1
+		var bestStart time.Time
+		for idx, rs := range running {
+			if done[idx] || rs.backups > 0 || rs.nodes[nodeID] {
+				continue
+			}
+			if time.Since(rs.start) < e.opts.SpeculativeSlack {
+				continue
+			}
+			if bestIdx < 0 || rs.start.Before(bestStart) {
+				bestIdx, bestStart = idx, rs.start
+			}
+		}
+		if bestIdx < 0 {
+			return nil
+		}
+		running[bestIdx].backups++
+		counters.Get(CounterGroupScheduler, CounterSpeculativeLaunched).Inc(1)
+		return &pendingTask{idx: bestIdx, backup: true}
+	}
+
+	// pickLocked selects the best pending task for a node:
+	// data-local > rack-local > any non-excluded.
+	rackOf := make(map[string]string, len(nodes))
+	for _, n := range nodes {
+		rackOf[n.ID] = n.Rack
+	}
+	pickLocked := func(nodeID string) (*pendingTask, string, int) {
+		bestIdx, bestClass := -1, 3
+		for i, pt := range pending {
+			if pt.excluded[nodeID] {
+				continue
+			}
+			class := 2 // off-rack
+			sp := splits[pt.idx]
+			for _, h := range sp.Hosts {
+				if h == nodeID {
+					class = 0
+					break
+				}
+				if rackOf[h] == rackOf[nodeID] {
+					class = 1
+				}
+			}
+			if len(sp.Hosts) == 0 {
+				class = 0 // no locality constraint (reduce tasks)
+			}
+			if class < bestClass {
+				bestClass, bestIdx = class, i
+			}
+			if bestClass == 0 {
+				break
+			}
+		}
+		if bestIdx < 0 {
+			return nil, "", 0
+		}
+		pt := pending[bestIdx]
+		pending = append(pending[:bestIdx], pending[bestIdx+1:]...)
+		locality := [3]string{"data-local", "rack-local", "off-rack"}[bestClass]
+		if len(splits[pt.idx].Hosts) == 0 {
+			locality = ""
+		}
+		return pt, locality, bestClass
+	}
+
+	localityCounters := [3]string{CounterDataLocal, CounterRackLocal, CounterOffRack}
+	var wg sync.WaitGroup
+	worker := func(nodeID string) {
+		defer wg.Done()
+		for {
+			mu.Lock()
+			var pt *pendingTask
+			var locality string
+			var class int
+			for {
+				if firstErr != nil || remaining == 0 {
+					mu.Unlock()
+					return
+				}
+				if len(pending) > 0 {
+					pt, locality, class = pickLocked(nodeID)
+					if pt != nil {
+						break
+					}
+				}
+				// No regular work for this node: consider launching a
+				// speculative backup of a straggling attempt.
+				if bt := pickBackupLocked(nodeID); bt != nil {
+					pt, locality = bt, ""
+					break
+				}
+				// Tasks may be requeued by failures or become eligible
+				// for speculation; wait for a state change or timeout.
+				if e.opts.SpeculativeSlack > 0 {
+					// cond.Wait would miss time-based eligibility; poll.
+					mu.Unlock()
+					time.Sleep(e.opts.SpeculativeSlack / 4)
+					mu.Lock()
+					continue
+				}
+				cond.Wait()
+			}
+			rs := running[pt.idx]
+			if rs == nil {
+				rs = &runState{start: time.Now(), nodes: make(map[string]bool)}
+				running[pt.idx] = rs
+			}
+			rs.active++
+			rs.nodes[nodeID] = true
+			mu.Unlock()
+
+			if e.opts.NodeDelay != nil {
+				if d := e.opts.NodeDelay(nodeID); d > 0 {
+					time.Sleep(d)
+				}
+			}
+			taskStart := time.Now()
+			commit, err := run(pt.idx, nodeID, pt.attempt)
+
+			mu.Lock()
+			rs.active--
+			switch {
+			case done[pt.idx]:
+				// A parallel attempt already won; discard this result.
+				counters.Get(CounterGroupScheduler, CounterSpeculativeWasted).Inc(1)
+			case err == nil:
+				done[pt.idx] = true
+				delete(running, pt.idx)
+				commit()
+				reports[pt.idx].ID = taskID(splits[pt.idx], pt.idx)
+				reports[pt.idx].Node = nodeID
+				reports[pt.idx].Attempts = pt.attempt + 1
+				reports[pt.idx].Locality = locality
+				reports[pt.idx].Duration = time.Since(taskStart)
+				if locality != "" {
+					counters.Get(CounterGroupScheduler, localityCounters[class]).Inc(1)
+				}
+				remaining--
+			case rs.active > 0:
+				// Another attempt of this task is still running; let it
+				// decide the task's fate.
+			case pt.attempt+1 >= maxAttempts:
+				if firstErr == nil {
+					firstErr = fmt.Errorf("task failed after %d attempts: %v", pt.attempt+1, err)
+				}
+			default:
+				// Retry on another node, like the jobtracker does.
+				delete(running, pt.idx)
+				if pt.excluded == nil {
+					pt.excluded = make(map[string]bool)
+				}
+				if len(pt.excluded) < len(nodes)-1 {
+					pt.excluded[nodeID] = true
+				}
+				pt.attempt++
+				pt.backup = false
+				pending = append(pending, pt)
+			}
+			cond.Broadcast()
+			mu.Unlock()
+		}
+	}
+
+	for _, n := range nodes {
+		for s := 0; s < n.Slots; s++ {
+			wg.Add(1)
+			go worker(n.ID)
+		}
+	}
+	// Return as soon as every task has a winning attempt (or the job
+	// failed) rather than joining all workers: a speculative loser may
+	// still be executing, and — like Hadoop killing the slower attempt
+	// — we abandon it. Losers never commit, so letting them drain in
+	// the background is safe; they exit at their next loop iteration.
+	mu.Lock()
+	for remaining > 0 && firstErr == nil {
+		cond.Wait()
+	}
+	err := firstErr
+	mu.Unlock()
+	if e.opts.SpeculativeSlack == 0 {
+		// Without speculation there are no abandoned losers; joining
+		// the workers keeps goroutine accounting exact.
+		wg.Wait()
+	}
+	return err
+}
+
+func taskID(sp InputSplit, idx int) string {
+	if sp.Path == "" {
+		return fmt.Sprintf("reduce-%04d", idx)
+	}
+	return fmt.Sprintf("map-%04d", idx)
+}

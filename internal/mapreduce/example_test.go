@@ -1,0 +1,70 @@
+package mapreduce_test
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/dfs"
+	"repro/internal/mapreduce"
+)
+
+// Example runs the canonical word count on a 4-node simulated cluster:
+// the mapper tokenizes lines into (word, 1) pairs and the reducer sums
+// each word's counts.
+func Example() {
+	c, err := cluster.NewUniform(4, 2, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fs, err := dfs.New(c, dfs.Config{ChunkSize: 64, Replication: 3, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	engine := mapreduce.NewEngine(c, fs, mapreduce.Options{})
+
+	input := "the quick brown fox\njumps over the lazy dog\nthe end\n"
+	if err := fs.Create("in/text", []byte(input), ""); err != nil {
+		log.Fatal(err)
+	}
+
+	_, err = engine.Run(&mapreduce.Job{
+		Name:       "wordcount",
+		InputPaths: []string{"in/text"},
+		OutputPath: "out",
+		NewMapper: func() mapreduce.Mapper {
+			return mapreduce.MapFunc(func(_ *mapreduce.TaskContext, _, line string, emit mapreduce.Emit) error {
+				for _, w := range strings.Fields(line) {
+					emit(w, "1")
+				}
+				return nil
+			})
+		},
+		NewReducer: func() mapreduce.Reducer {
+			return mapreduce.ReduceFunc(func(_ *mapreduce.TaskContext, word string, counts []string, emit mapreduce.Emit) error {
+				emit(word, strconv.Itoa(len(counts)))
+				return nil
+			})
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	kvs, err := engine.ReadOutput("out")
+	if err != nil {
+		log.Fatal(err)
+	}
+	sort.Slice(kvs, func(i, j int) bool { return kvs[i].Key < kvs[j].Key })
+	for _, kv := range kvs {
+		if kv.Key == "the" || kv.Key == "fox" {
+			fmt.Printf("%s=%s\n", kv.Key, kv.Value)
+		}
+	}
+	// Output:
+	// fox=1
+	// the=3
+}

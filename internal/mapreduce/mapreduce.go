@@ -1,0 +1,383 @@
+// Package mapreduce implements the MapReduce programming model over
+// the simulated cluster and DFS, mirroring the Hadoop architecture the
+// paper builds on (§III): a jobtracker (the Engine) schedules map
+// tasks close to their data on tasktracker slots, mappers filter their
+// input chunk into intermediate key-value pairs, a sort-based shuffle
+// groups values by key — the only communication step — and reducers
+// aggregate each group into the final output.
+//
+// Applications supply a Mapper and optionally a Reducer and Combiner
+// (mirroring the three classes a Hadoop developer defines: Mapper,
+// Reducer, Driver — the Driver role is played by a Job description
+// passed to Engine.Run). Jobs can be chained into pipelines, as the
+// DJ-Cluster preprocessing phase does (§VII-A).
+package mapreduce
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"time"
+)
+
+// KV is one intermediate or output record. MapReduce represents all
+// data as key-value pairs (§III).
+type KV struct {
+	Key   string
+	Value string
+}
+
+// Emit is the callback mappers, combiners and reducers use to output
+// records (Hadoop's context.write / emitIntermediate).
+type Emit func(key, value string)
+
+// Mapper processes one input split record-by-record. A fresh instance
+// is created per map task (via Job.NewMapper), so implementations may
+// keep per-task state across Map calls and flush it in Cleanup — the
+// sampling mapper does exactly that with its current time window.
+type Mapper interface {
+	// Setup runs once before the first record (Hadoop setup()); the
+	// k-means and DJ-Cluster mappers load centroids / the R-tree from
+	// the distributed cache here.
+	Setup(ctx *TaskContext) error
+	// Map processes one record. For line-oriented input the key is
+	// the byte offset of the line within the file and the value is
+	// the line text (Hadoop TextInputFormat).
+	Map(ctx *TaskContext, key, value string, emit Emit) error
+	// Cleanup runs after the last record (Hadoop cleanup()).
+	Cleanup(ctx *TaskContext, emit Emit) error
+}
+
+// Reducer aggregates all values sharing a key. A fresh instance is
+// created per reduce task. The same interface serves for combiners,
+// which pre-aggregate map output on the map side to cut shuffle volume
+// (§VI, Related work: the combiner optimisation for k-means).
+type Reducer interface {
+	Setup(ctx *TaskContext) error
+	Reduce(ctx *TaskContext, key string, values []string, emit Emit) error
+	Cleanup(ctx *TaskContext, emit Emit) error
+}
+
+// MapperBase is a convenience embedding providing no-op Setup/Cleanup.
+type MapperBase struct{}
+
+// Setup implements Mapper.
+func (MapperBase) Setup(*TaskContext) error { return nil }
+
+// Cleanup implements Mapper.
+func (MapperBase) Cleanup(*TaskContext, Emit) error { return nil }
+
+// ReducerBase is a convenience embedding providing no-op Setup/Cleanup.
+type ReducerBase struct{}
+
+// Setup implements Reducer.
+func (ReducerBase) Setup(*TaskContext) error { return nil }
+
+// Cleanup implements Reducer.
+func (ReducerBase) Cleanup(*TaskContext, Emit) error { return nil }
+
+// MapFunc adapts a plain function to the Mapper interface.
+type MapFunc func(ctx *TaskContext, key, value string, emit Emit) error
+
+// Setup implements Mapper.
+func (MapFunc) Setup(*TaskContext) error { return nil }
+
+// Map implements Mapper.
+func (f MapFunc) Map(ctx *TaskContext, key, value string, emit Emit) error {
+	return f(ctx, key, value, emit)
+}
+
+// Cleanup implements Mapper.
+func (MapFunc) Cleanup(*TaskContext, Emit) error { return nil }
+
+// ReduceFunc adapts a plain function to the Reducer interface.
+type ReduceFunc func(ctx *TaskContext, key string, values []string, emit Emit) error
+
+// Setup implements Reducer.
+func (ReduceFunc) Setup(*TaskContext) error { return nil }
+
+// Reduce implements Reducer.
+func (f ReduceFunc) Reduce(ctx *TaskContext, key string, values []string, emit Emit) error {
+	return f(ctx, key, values, emit)
+}
+
+// Cleanup implements Reducer.
+func (ReduceFunc) Cleanup(*TaskContext, Emit) error { return nil }
+
+// Job describes one MapReduce job — the information a Hadoop Driver
+// class supplies to the framework.
+type Job struct {
+	// Name labels the job in results and task IDs.
+	Name string
+	// InputPaths are DFS files or directories to read.
+	InputPaths []string
+	// OutputPath is the DFS directory for part files. It must not
+	// already contain files (Hadoop refuses to overwrite output).
+	OutputPath string
+	// NewMapper creates a Mapper per map task. Required.
+	NewMapper func() Mapper
+	// NewReducer creates a Reducer per reduce task. If nil the job is
+	// map-only (like the sampling jobs, §V) and mappers write their
+	// output directly as part-m files.
+	NewReducer func() Reducer
+	// NewCombiner optionally creates a map-side combiner.
+	NewCombiner func() Reducer
+	// NumReducers is the number of reduce tasks (default 1).
+	NumReducers int
+	// Partitioner routes keys to reducers; defaults to hash
+	// partitioning (Hadoop's HashPartitioner).
+	Partitioner func(key string, numReducers int) int
+	// Conf carries job configuration strings read by tasks (Hadoop's
+	// Configuration), e.g. the sampling window size.
+	Conf map[string]string
+	// Cache is the distributed cache: read-only named blobs shipped
+	// to every task, e.g. the centroid file or the serialized R-tree.
+	Cache map[string][]byte
+	// MaxAttempts is how many times a failed task is retried on
+	// another node before the job fails (default 3).
+	MaxAttempts int
+}
+
+// HashPartition is the default partitioner: FNV-1a hash of the key
+// modulo the reducer count.
+func HashPartition(key string, numReducers int) int {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() % uint32(numReducers))
+}
+
+// TaskContext is passed to every Mapper/Reducer method, carrying task
+// identity, job configuration, the distributed cache, and counters.
+type TaskContext struct {
+	// JobName is the owning job's name.
+	JobName string
+	// TaskID identifies the task, e.g. "map-0003" or "reduce-0000".
+	TaskID string
+	// Attempt is the 0-based attempt number of this execution.
+	Attempt int
+	// Node is the cluster node executing the task.
+	Node string
+
+	conf     map[string]string
+	cache    map[string][]byte
+	counters *Counters
+}
+
+// Conf returns the job configuration value for key ("" if unset).
+func (c *TaskContext) Conf(key string) string { return c.conf[key] }
+
+// ConfDefault returns the configuration value or def if unset.
+func (c *TaskContext) ConfDefault(key, def string) string {
+	if v, ok := c.conf[key]; ok {
+		return v
+	}
+	return def
+}
+
+// CacheFile returns a named blob from the distributed cache.
+func (c *TaskContext) CacheFile(name string) ([]byte, bool) {
+	b, ok := c.cache[name]
+	return b, ok
+}
+
+// Counter returns the named job counter, creating it on first use.
+func (c *TaskContext) Counter(group, name string) *Counter {
+	return c.counters.Get(group, name)
+}
+
+// Counter is a monotonically increasing job-level metric, safe for
+// concurrent use.
+type Counter struct {
+	mu sync.Mutex
+	v  int64
+}
+
+// Inc adds delta to the counter.
+func (c *Counter) Inc(delta int64) {
+	c.mu.Lock()
+	c.v += delta
+	c.mu.Unlock()
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.v
+}
+
+// Counters is a two-level registry of job counters (group → name),
+// mirroring Hadoop's counter groups.
+type Counters struct {
+	mu     sync.Mutex
+	groups map[string]map[string]*Counter
+}
+
+// NewCounters returns an empty counter registry.
+func NewCounters() *Counters {
+	return &Counters{groups: make(map[string]map[string]*Counter)}
+}
+
+// Get returns the counter for group/name, creating it if needed.
+func (cs *Counters) Get(group, name string) *Counter {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	g, ok := cs.groups[group]
+	if !ok {
+		g = make(map[string]*Counter)
+		cs.groups[group] = g
+	}
+	c, ok := g[name]
+	if !ok {
+		c = &Counter{}
+		g[name] = c
+	}
+	return c
+}
+
+// Value returns the current value of group/name (0 if never touched).
+func (cs *Counters) Value(group, name string) int64 {
+	cs.mu.Lock()
+	g, ok := cs.groups[group]
+	if !ok {
+		cs.mu.Unlock()
+		return 0
+	}
+	c, ok := g[name]
+	cs.mu.Unlock()
+	if !ok {
+		return 0
+	}
+	return c.Value()
+}
+
+// Snapshot returns all counters as a nested map, for reporting.
+func (cs *Counters) Snapshot() map[string]map[string]int64 {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	out := make(map[string]map[string]int64, len(cs.groups))
+	for g, names := range cs.groups {
+		m := make(map[string]int64, len(names))
+		for n, c := range names {
+			m[n] = c.Value()
+		}
+		out[g] = m
+	}
+	return out
+}
+
+// String renders counters sorted by group and name, one per line.
+func (cs *Counters) String() string {
+	snap := cs.Snapshot()
+	groups := make([]string, 0, len(snap))
+	for g := range snap {
+		groups = append(groups, g)
+	}
+	sort.Strings(groups)
+	var sb []byte
+	for _, g := range groups {
+		names := make([]string, 0, len(snap[g]))
+		for n := range snap[g] {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			sb = append(sb, fmt.Sprintf("%s.%s=%d\n", g, n, snap[g][n])...)
+		}
+	}
+	return string(sb)
+}
+
+// Well-known counter names used by the engine.
+const (
+	// CounterGroupTask groups record counters.
+	CounterGroupTask = "task"
+	// CounterGroupScheduler groups locality counters.
+	CounterGroupScheduler = "scheduler"
+	// CounterGroupShuffle groups shuffle metrics.
+	CounterGroupShuffle = "shuffle"
+
+	CounterMapInputRecords    = "map_input_records"
+	CounterMapOutputRecords   = "map_output_records"
+	CounterCombineInput       = "combine_input_records"
+	CounterCombineOutput      = "combine_output_records"
+	CounterReduceInputGroups  = "reduce_input_groups"
+	CounterReduceInputRecords = "reduce_input_records"
+	CounterReduceOutput       = "reduce_output_records"
+
+	CounterDataLocal = "data_local_tasks"
+	CounterRackLocal = "rack_local_tasks"
+	CounterOffRack   = "off_rack_tasks"
+
+	CounterSpeculativeLaunched = "speculative_launched"
+	CounterSpeculativeWasted   = "speculative_wasted"
+
+	CounterShuffleBytes = "shuffle_bytes"
+)
+
+// TaskReport describes one completed task for diagnostics and tests.
+type TaskReport struct {
+	// ID is the task identifier ("map-0007", "reduce-0000").
+	ID string
+	// Node is where the successful attempt ran.
+	Node string
+	// Attempts is the number of attempts used (1 = first try).
+	Attempts int
+	// Locality is "data-local", "rack-local" or "off-rack" for map
+	// tasks; "" for reduce tasks.
+	Locality string
+	// Records is the number of input records processed.
+	Records int64
+	// Duration is the wall time of the successful attempt.
+	Duration time.Duration
+}
+
+// Result summarises one job execution.
+type Result struct {
+	// Job is the job name.
+	Job string
+	// OutputFiles lists the DFS part files written.
+	OutputFiles []string
+	// Counters holds all job counters.
+	Counters *Counters
+	// MapTasks and ReduceTasks are the task counts.
+	MapTasks, ReduceTasks int
+	// MapWall, ShuffleWall and ReduceWall are per-phase wall times.
+	MapWall, ShuffleWall, ReduceWall time.Duration
+	// Wall is the total job wall time.
+	Wall time.Duration
+	// Tasks are per-task reports, map tasks first.
+	Tasks []TaskReport
+}
+
+// Report is the JSON-friendly form of a Result, mirroring Hadoop's job
+// history records.
+type Report struct {
+	Job         string                      `json:"job"`
+	MapTasks    int                         `json:"map_tasks"`
+	ReduceTasks int                         `json:"reduce_tasks"`
+	WallMillis  int64                       `json:"wall_ms"`
+	PhaseMillis map[string]int64            `json:"phase_ms"`
+	Counters    map[string]map[string]int64 `json:"counters"`
+	OutputFiles []string                    `json:"output_files"`
+	Tasks       []TaskReport                `json:"tasks,omitempty"`
+}
+
+// Report converts the result for serialization (encoding/json).
+func (r *Result) Report() Report {
+	return Report{
+		Job:         r.Job,
+		MapTasks:    r.MapTasks,
+		ReduceTasks: r.ReduceTasks,
+		WallMillis:  r.Wall.Milliseconds(),
+		PhaseMillis: map[string]int64{
+			"map":     r.MapWall.Milliseconds(),
+			"shuffle": r.ShuffleWall.Milliseconds(),
+			"reduce":  r.ReduceWall.Milliseconds(),
+		},
+		Counters:    r.Counters.Snapshot(),
+		OutputFiles: r.OutputFiles,
+		Tasks:       r.Tasks,
+	}
+}

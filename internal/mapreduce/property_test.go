@@ -1,0 +1,215 @@
+package mapreduce
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cluster"
+	"repro/internal/dfs"
+)
+
+// seqWordCount is the single-machine reference for the MR wordcount.
+func seqWordCount(text string) map[string]int {
+	out := map[string]int{}
+	for _, line := range strings.Split(text, "\n") {
+		for _, w := range strings.Fields(line) {
+			out[w]++
+		}
+	}
+	return out
+}
+
+// randText builds line-oriented text from a bounded alphabet so keys
+// collide across chunks (exercising the shuffle).
+func randText(rng *rand.Rand) string {
+	words := []string{"alpha", "beta", "gamma", "delta", "x", "yy", "zzz"}
+	var sb strings.Builder
+	lines := 1 + rng.Intn(60)
+	for i := 0; i < lines; i++ {
+		n := rng.Intn(8)
+		for j := 0; j < n; j++ {
+			sb.WriteString(words[rng.Intn(len(words))])
+			sb.WriteByte(' ')
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// TestPropertyMapReduceEqualsSequential drives random inputs, random
+// chunk sizes and random reducer counts through the engine and checks
+// the result against the sequential reference — the core correctness
+// property of the whole MapReduce substrate.
+func TestPropertyMapReduceEqualsSequential(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 25}
+	f := func(seed int64, chunkRaw uint8, reducersRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		text := randText(rng)
+		chunk := int64(chunkRaw)%200 + 5
+		reducers := int(reducersRaw)%5 + 1
+
+		c, err := cluster.NewUniform(4, 2, 2)
+		if err != nil {
+			return false
+		}
+		fs, err := dfs.New(c, dfs.Config{ChunkSize: chunk, Replication: 3, Seed: seed})
+		if err != nil {
+			return false
+		}
+		e := NewEngine(c, fs, Options{})
+		if err := fs.Create("in/f", []byte(text), ""); err != nil {
+			return false
+		}
+		_, err = e.Run(&Job{
+			Name:        "prop-wordcount",
+			InputPaths:  []string{"in/f"},
+			OutputPath:  "out",
+			NewMapper:   func() Mapper { return wordMapper{} },
+			NewReducer:  func() Reducer { return sumReducer{} },
+			NewCombiner: func() Reducer { return sumReducer{} },
+			NumReducers: reducers,
+		})
+		if err != nil {
+			t.Logf("seed=%d chunk=%d reducers=%d: %v", seed, chunk, reducers, err)
+			return false
+		}
+		kvs, err := e.ReadOutput("out")
+		if err != nil {
+			return false
+		}
+		got := map[string]int{}
+		for _, kv := range kvs {
+			n, err := strconv.Atoi(kv.Value)
+			if err != nil {
+				return false
+			}
+			got[kv.Key] = n
+		}
+		want := seqWordCount(text)
+		if len(got) != len(want) {
+			t.Logf("seed=%d chunk=%d reducers=%d: %d keys, want %d", seed, chunk, reducers, len(got), len(want))
+			return false
+		}
+		for k, v := range want {
+			if got[k] != v {
+				t.Logf("seed=%d: key %q = %d, want %d", seed, k, got[k], v)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentJobsOnOneEngine runs several jobs in parallel on the
+// same engine/DFS — the multi-tenant behaviour a shared Hadoop cluster
+// provides.
+func TestConcurrentJobsOnOneEngine(t *testing.T) {
+	e := newTestEngine(t, 64)
+	const jobs = 6
+	for i := 0; i < jobs; i++ {
+		writeInput(t, e, fmt.Sprintf("in%d/f", i), strings.Repeat(fmt.Sprintf("word%d filler\n", i), 30))
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, jobs)
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, err := e.Run(&Job{
+				Name:       fmt.Sprintf("job-%d", i),
+				InputPaths: []string{fmt.Sprintf("in%d/f", i)},
+				OutputPath: fmt.Sprintf("out%d", i),
+				NewMapper:  func() Mapper { return wordMapper{} },
+				NewReducer: func() Reducer { return sumReducer{} },
+			})
+			errs[i] = err
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+		kvs, err := e.ReadOutput(fmt.Sprintf("out%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := map[string]string{}
+		for _, kv := range kvs {
+			got[kv.Key] = kv.Value
+		}
+		if got[fmt.Sprintf("word%d", i)] != "30" || got["filler"] != "30" {
+			t.Fatalf("job %d wrong output: %v", i, got)
+		}
+	}
+}
+
+// TestPropertySamplingPipelineComposition checks that running the
+// engine's pipeline twice (filter then identity) preserves record
+// counts — the part-file format must be losslessly re-consumable.
+func TestPropertySamplingPipelineComposition(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 10}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		text := randText(rng)
+		e := newTestEngineQuick(seed)
+		if e == nil {
+			return false
+		}
+		if err := e.FS().Create("in/f", []byte(text), ""); err != nil {
+			return false
+		}
+		identity := func() Mapper {
+			return MapFunc(func(_ *TaskContext, _, v string, emit Emit) error {
+				k, val, ok := strings.Cut(v, "\t")
+				if !ok {
+					// Raw input line: tokenize.
+					for _, w := range strings.Fields(v) {
+						emit(w, "1")
+					}
+					return nil
+				}
+				emit(k, val)
+				return nil
+			})
+		}
+		if _, err := e.RunPipeline(
+			&Job{Name: "p1", InputPaths: []string{"in/f"}, OutputPath: "s1", NewMapper: identity},
+			&Job{Name: "p2", InputPaths: []string{"s1"}, OutputPath: "s2", NewMapper: identity},
+		); err != nil {
+			return false
+		}
+		k1, err := e.ReadOutput("s1")
+		if err != nil {
+			return false
+		}
+		k2, err := e.ReadOutput("s2")
+		if err != nil {
+			return false
+		}
+		return len(k1) == len(k2)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func newTestEngineQuick(seed int64) *Engine {
+	c, err := cluster.NewUniform(4, 2, 2)
+	if err != nil {
+		return nil
+	}
+	fs, err := dfs.New(c, dfs.Config{ChunkSize: 100, Replication: 3, Seed: seed})
+	if err != nil {
+		return nil
+	}
+	return NewEngine(c, fs, Options{})
+}

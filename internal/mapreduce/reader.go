@@ -1,0 +1,122 @@
+package mapreduce
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+
+	"repro/internal/dfs"
+)
+
+// maxLineOverrun bounds how far past a split's end the record reader
+// will look for the terminating newline of its final record.
+const maxLineOverrun = 1 << 20 // 1 MiB
+
+// InputSplit is the unit of work of one map task: one DFS chunk plus
+// the replica hosts used for locality scheduling.
+type InputSplit struct {
+	Path   string
+	Offset int64
+	Length int64
+	Hosts  []string
+}
+
+// splitsFor expands the job's input paths into one split per DFS
+// chunk, so the scheduler "launches as many map tasks as possible,
+// each chunk being processed by a different map task" (§III).
+func splitsFor(fs *dfs.FileSystem, inputPaths []string) ([]InputSplit, error) {
+	var files []string
+	for _, p := range inputPaths {
+		if fs.Exists(p) {
+			files = append(files, p)
+			continue
+		}
+		listed := fs.List(p)
+		if len(listed) == 0 {
+			return nil, fmt.Errorf("mapreduce: input %q matches no files", p)
+		}
+		files = append(files, listed...)
+	}
+	var splits []InputSplit
+	for _, f := range files {
+		chunks, err := fs.Chunks(f)
+		if err != nil {
+			return nil, err
+		}
+		for _, c := range chunks {
+			splits = append(splits, InputSplit{
+				Path:   c.Path,
+				Offset: c.Offset,
+				Length: c.Length,
+				Hosts:  c.Hosts,
+			})
+		}
+	}
+	return splits, nil
+}
+
+// readSplitLines reads the line records belonging to a split with
+// Hadoop TextInputFormat semantics: a record belongs to the split in
+// which it starts. A split whose offset is not 0 skips the (possibly
+// partial) line in progress at its start — the previous split reads
+// across the boundary to finish it — and every split reads past its
+// end to complete its final record. The callback receives the byte
+// offset of each line (the record key) and the line text without the
+// trailing newline.
+func readSplitLines(fs *dfs.FileSystem, sp InputSplit, fn func(offset int64, line string) error) error {
+	// Start one byte early (as Hadoop's LineRecordReader does) so that
+	// a record beginning exactly at the split boundary is not skipped:
+	// the "first line" discarded below is then the line containing the
+	// boundary's preceding byte, which ends either before or at the
+	// boundary.
+	readStart := sp.Offset
+	if sp.Offset > 0 {
+		readStart = sp.Offset - 1
+	}
+	buf, err := fs.ReadRange(sp.Path, readStart, (sp.Offset-readStart)+sp.Length+maxLineOverrun)
+	if err != nil {
+		return err
+	}
+	pos := int64(0) // position within buf; file offset is readStart+pos
+	if sp.Offset > 0 {
+		// Skip the line in progress at the split start.
+		nl := bytes.IndexByte(buf, '\n')
+		if nl < 0 {
+			return nil // the whole split is the interior of one huge line
+		}
+		pos = int64(nl) + 1
+	}
+	end := sp.Offset + sp.Length
+	for readStart+pos < end {
+		if pos >= int64(len(buf)) {
+			break // end of file
+		}
+		rest := buf[pos:]
+		nl := bytes.IndexByte(rest, '\n')
+		var line []byte
+		var advance int64
+		if nl < 0 {
+			line = rest // final line of the file without trailing newline
+			advance = int64(len(rest))
+		} else {
+			line = rest[:nl]
+			advance = int64(nl) + 1
+		}
+		// Trim a carriage return for CRLF input.
+		if n := len(line); n > 0 && line[n-1] == '\r' {
+			line = line[:n-1]
+		}
+		if err := fn(readStart+pos, string(line)); err != nil {
+			return err
+		}
+		if advance == 0 {
+			break
+		}
+		pos += advance
+	}
+	return nil
+}
+
+// offsetKey renders a record's byte offset as the map input key, as
+// Hadoop's TextInputFormat does.
+func offsetKey(off int64) string { return strconv.FormatInt(off, 10) }

@@ -1,0 +1,59 @@
+package privacy_test
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/privacy"
+	"repro/internal/trace"
+)
+
+// Example_mobilityMarkovChain builds an MMC from a commuting pattern
+// and predicts the next place — the §VIII mobility-model extension.
+func Example_mobilityMarkovChain() {
+	home := geo.Point{Lat: 39.90, Lon: 116.40}
+	work := geo.Point{Lat: 39.95, Lon: 116.45}
+	tr := &trace.Trail{User: "alice"}
+	ts := time.Unix(1_200_000_000, 0).UTC()
+	// Two weeks of home -> work -> home days.
+	for day := 0; day < 14; day++ {
+		for _, p := range []geo.Point{home, work, home} {
+			tr.Traces = append(tr.Traces, trace.Trace{User: "alice", Point: p, Time: ts})
+			ts = ts.Add(8 * time.Hour)
+		}
+	}
+	m, err := privacy.BuildMMC(tr, []geo.Point{home, work}, 50)
+	if err != nil {
+		log.Fatal(err)
+	}
+	next, p, err := m.PredictNext(0) // currently at home
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("from state 0 (home): next=%d p=%.2f\n", next, p)
+	// Output:
+	// from state 0 (home): next=1 p=1.00
+}
+
+// Example_gaussianMask shows the simplest geo-sanitization mechanism:
+// zero-mean noise on every coordinate, with the utility cost measured.
+func Example_gaussianMask() {
+	tr := trace.Trail{User: "alice"}
+	for i := 0; i < 100; i++ {
+		tr.Traces = append(tr.Traces, trace.Trace{
+			User:  "alice",
+			Point: geo.Point{Lat: 39.9, Lon: 116.4},
+			Time:  time.Unix(int64(1_200_000_000+i*60), 0),
+		})
+	}
+	ds := &trace.Dataset{Trails: []trace.Trail{tr}}
+
+	masked := privacy.GaussianMask{SigmaMeters: 100, Seed: 7}.Sanitize(ds)
+	rep := privacy.MeasureUtility(ds, masked)
+	fmt.Printf("retention=%.0f%% distortion in (10m, 300m): %v\n",
+		rep.Retention*100, rep.MeanDistortionMeters > 10 && rep.MeanDistortionMeters < 300)
+	// Output:
+	// retention=100% distortion in (10m, 300m): true
+}

@@ -1,0 +1,120 @@
+package privacy
+
+import (
+	"math"
+
+	"repro/internal/geo"
+	"repro/internal/trace"
+)
+
+// UtilityReport quantifies how much analytic value a sanitized dataset
+// retains relative to the original — one side of the privacy/utility
+// trade-off GEPETO is built to evaluate.
+type UtilityReport struct {
+	// MeanDistortionMeters is the mean displacement of each surviving
+	// trace from its original coordinate (0 for suppression-only
+	// mechanisms).
+	MeanDistortionMeters float64
+	// MaxDistortionMeters is the worst-case displacement.
+	MaxDistortionMeters float64
+	// Retention is the fraction of traces surviving sanitization.
+	Retention float64
+}
+
+// MeasureUtility compares a sanitized dataset against the original.
+// Traces are matched per user by timestamp; sanitizers that re-
+// pseudonymise (mix zones) should be measured via Retention only,
+// passing the original user mapping where available.
+func MeasureUtility(original, sanitized *trace.Dataset) UtilityReport {
+	// Index sanitized traces by (user, unix).
+	type key struct {
+		user string
+		ts   int64
+	}
+	idx := make(map[key]geo.Point, sanitized.NumTraces())
+	for _, tr := range sanitized.Trails {
+		for _, t := range tr.Traces {
+			idx[key{t.User, t.Time.Unix()}] = t.Point
+		}
+	}
+	var sum, worst float64
+	matched := 0
+	for _, tr := range original.Trails {
+		for _, t := range tr.Traces {
+			p, ok := idx[key{t.User, t.Time.Unix()}]
+			if !ok {
+				continue
+			}
+			matched++
+			d := geo.Haversine(t.Point, p)
+			sum += d
+			if d > worst {
+				worst = d
+			}
+		}
+	}
+	rep := UtilityReport{}
+	if matched > 0 {
+		rep.MeanDistortionMeters = sum / float64(matched)
+		rep.MaxDistortionMeters = worst
+	}
+	if n := original.NumTraces(); n > 0 {
+		rep.Retention = float64(sanitized.NumTraces()) / float64(n)
+	}
+	return rep
+}
+
+// PrivacyReport quantifies the residual privacy risk of a dataset
+// after sanitization, measured by re-running the POI inference attack.
+type PrivacyReport struct {
+	// HomeRecoveryRate is the fraction of users whose home the attack
+	// still identifies — the headline privacy-breach number.
+	HomeRecoveryRate float64
+	// WorkRecoveryRate is the equivalent for work places.
+	WorkRecoveryRate float64
+	// POIRecall is the fraction of all true POIs still discovered.
+	POIRecall float64
+}
+
+// PrivacyFromAttack converts a POI attack report into the privacy
+// metrics (lower = more private).
+func PrivacyFromAttack(rep POIAttackReport) PrivacyReport {
+	out := PrivacyReport{POIRecall: rep.POIRecall}
+	if rep.Users > 0 {
+		out.HomeRecoveryRate = float64(rep.HomeRecovered) / float64(rep.Users)
+		out.WorkRecoveryRate = float64(rep.WorkRecovered) / float64(rep.Users)
+	}
+	return out
+}
+
+// AnonymitySetSize computes, for each anonymous MMC, how many known
+// MMCs are within factor x of the best-match distance — the effective
+// anonymity set of the linking attack. Larger sets mean the attack is
+// less certain. Returns the mean set size.
+func AnonymitySetSize(known []*MMC, anonymous []*MMC, slack float64) float64 {
+	if len(anonymous) == 0 || len(known) == 0 {
+		return 0
+	}
+	if slack < 1 {
+		slack = 1
+	}
+	var total float64
+	for _, anon := range anonymous {
+		best := math.Inf(1)
+		dists := make([]float64, len(known))
+		for i, k := range known {
+			dists[i] = anon.Distance(k)
+			if dists[i] < best {
+				best = dists[i]
+			}
+		}
+		count := 0
+		for _, d := range dists {
+			if d <= best*slack+1e-12 {
+				count++
+			}
+		}
+		total += float64(count)
+	}
+	return total / float64(len(anonymous))
+}

@@ -1,0 +1,209 @@
+package privacy
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/geo"
+	"repro/internal/trace"
+)
+
+// MMC is a Mobility Markov Chain (paper §VIII): a compact
+// representation of an individual's mobility behavior whose states are
+// the individual's POIs and whose transitions capture movement
+// patterns between them. It can be used to predict future locations
+// and to perform de-anonymization attacks.
+type MMC struct {
+	// User is the individual modelled ("" if unknown/anonymous).
+	User string
+	// States are the POI locations, in construction order.
+	States []geo.Point
+	// Trans[i][j] is the probability of moving from state i to j.
+	Trans [][]float64
+	// Visits[i] counts the trace-level visits to state i.
+	Visits []int
+}
+
+// BuildMMC constructs an MMC from a trail and the user's POIs
+// (typically the centroids extracted by DJ-Cluster). Each trace is
+// mapped to its nearest POI within attachRadius (others are ignored);
+// consecutive visits to different states form the transitions.
+func BuildMMC(tr *trace.Trail, pois []geo.Point, attachRadius float64) (*MMC, error) {
+	if len(pois) == 0 {
+		return nil, fmt.Errorf("privacy: BuildMMC needs at least one POI")
+	}
+	m := &MMC{
+		User:   tr.User,
+		States: append([]geo.Point(nil), pois...),
+		Visits: make([]int, len(pois)),
+	}
+	counts := make([][]float64, len(pois))
+	for i := range counts {
+		counts[i] = make([]float64, len(pois))
+	}
+	prev := -1
+	for _, t := range tr.Traces {
+		state := -1
+		best := attachRadius
+		for i, p := range m.States {
+			if d := geo.Haversine(t.Point, p); d <= best {
+				best, state = d, i
+			}
+		}
+		if state < 0 {
+			continue // in transit between POIs
+		}
+		m.Visits[state]++
+		if prev >= 0 && prev != state {
+			counts[prev][state]++
+		}
+		prev = state
+	}
+	// Prune unvisited candidate states and normalise transition rows
+	// (shared with the MapReduce builder).
+	return assembleMMC(tr.User, m.States, m.Visits, counts), nil
+}
+
+// PredictNext returns the most probable next state given the current
+// state index, with its probability.
+func (m *MMC) PredictNext(state int) (int, float64, error) {
+	if state < 0 || state >= len(m.States) {
+		return 0, 0, fmt.Errorf("privacy: state %d out of range [0,%d)", state, len(m.States))
+	}
+	best, bestP := state, -1.0
+	for j, p := range m.Trans[state] {
+		if p > bestP {
+			best, bestP = j, p
+		}
+	}
+	return best, bestP, nil
+}
+
+// StationaryDistribution estimates the long-run fraction of time spent
+// in each state by damped power iteration (the small damping factor
+// guarantees convergence on periodic or disconnected chains).
+func (m *MMC) StationaryDistribution() []float64 {
+	n := len(m.States)
+	if n == 0 {
+		return nil
+	}
+	const damping = 0.05
+	pi := make([]float64, n)
+	for i := range pi {
+		pi[i] = 1 / float64(n)
+	}
+	next := make([]float64, n)
+	for iter := 0; iter < 200; iter++ {
+		for j := range next {
+			next[j] = damping / float64(n)
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				next[j] += (1 - damping) * pi[i] * m.Trans[i][j]
+			}
+		}
+		var delta float64
+		for i := range pi {
+			delta += math.Abs(next[i] - pi[i])
+			pi[i] = next[i]
+		}
+		if delta < 1e-10 {
+			break
+		}
+	}
+	return pi
+}
+
+// Distance measures the dissimilarity of two MMCs: states of a and b
+// are greedily matched by spatial proximity; unmatched mass and
+// mismatched stationary probabilities accumulate cost, plus a
+// penalty proportional to the spatial distance of matched states.
+// Identical mobility behavior yields distance ~0; unrelated users
+// yield large distances. Used by the de-anonymization attack.
+func (m *MMC) Distance(o *MMC) float64 {
+	const matchRadius = 100.0 // meters: states closer than this can be identified
+	pa, pb := m.StationaryDistribution(), o.StationaryDistribution()
+
+	type pair struct {
+		i, j int
+		d    float64
+	}
+	var pairs []pair
+	for i := range m.States {
+		for j := range o.States {
+			if d := geo.Haversine(m.States[i], o.States[j]); d <= matchRadius {
+				pairs = append(pairs, pair{i, j, d})
+			}
+		}
+	}
+	sort.Slice(pairs, func(x, y int) bool { return pairs[x].d < pairs[y].d })
+	usedA := make([]bool, len(m.States))
+	usedB := make([]bool, len(o.States))
+	cost := 0.0
+	for _, p := range pairs {
+		if usedA[p.i] || usedB[p.j] {
+			continue
+		}
+		usedA[p.i] = true
+		usedB[p.j] = true
+		// Matched states: pay for stationary-probability mismatch and
+		// (scaled) spatial offset.
+		cost += math.Abs(pa[p.i]-pb[p.j]) + p.d/matchRadius*0.1
+	}
+	// Unmatched stationary mass counts fully.
+	for i, used := range usedA {
+		if !used {
+			cost += pa[i]
+		}
+	}
+	for j, used := range usedB {
+		if !used {
+			cost += pb[j]
+		}
+	}
+	return cost
+}
+
+// LinkingResult is the outcome of a de-anonymization attack linking
+// pseudonymised trails to known users.
+type LinkingResult struct {
+	// Matches maps each anonymous trail's pseudonym to the linked
+	// known user.
+	Matches map[string]string
+	// Correct counts matches whose pseudonym's true user (provided to
+	// Evaluate) was recovered.
+	Correct int
+	// Total is the number of anonymous trails attacked.
+	Total int
+}
+
+// Accuracy returns the fraction of correctly linked trails.
+func (r *LinkingResult) Accuracy() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return float64(r.Correct) / float64(r.Total)
+}
+
+// LinkByMMC performs the de-anonymization attack of §VIII: each
+// anonymous MMC (built from a pseudonymised trail) is linked to the
+// known MMC at minimal distance. truth maps pseudonym → true user for
+// scoring ("" entries are skipped in scoring but still matched).
+func LinkByMMC(known []*MMC, anonymous []*MMC, truth map[string]string) *LinkingResult {
+	res := &LinkingResult{Matches: make(map[string]string)}
+	for _, anon := range anonymous {
+		bestUser, bestDist := "", math.Inf(1)
+		for _, k := range known {
+			if d := anon.Distance(k); d < bestDist {
+				bestDist, bestUser = d, k.User
+			}
+		}
+		res.Matches[anon.User] = bestUser
+		res.Total++
+		if want, ok := truth[anon.User]; ok && want != "" && want == bestUser {
+			res.Correct++
+		}
+	}
+	return res
+}

@@ -1,0 +1,88 @@
+package privacy
+
+import (
+	"fmt"
+
+	"repro/internal/geo"
+	"repro/internal/trace"
+)
+
+// PredictionReport scores an MMC's next-location prediction (§VIII:
+// an MMC "can be used to predict his future locations"; the paper
+// cites Song et al.'s findings that human mobility is highly
+// predictable).
+type PredictionReport struct {
+	// Transitions is the number of next-place events evaluated.
+	Transitions int
+	// Correct is how many the model predicted exactly.
+	Correct int
+	// BaselineCorrect is how many a most-frequent-next-place-overall
+	// baseline (predict the globally most visited state) would get.
+	BaselineCorrect int
+}
+
+// Accuracy returns the model's hit rate.
+func (r PredictionReport) Accuracy() float64 {
+	if r.Transitions == 0 {
+		return 0
+	}
+	return float64(r.Correct) / float64(r.Transitions)
+}
+
+// BaselineAccuracy returns the naive baseline's hit rate.
+func (r PredictionReport) BaselineAccuracy() float64 {
+	if r.Transitions == 0 {
+		return 0
+	}
+	return float64(r.BaselineCorrect) / float64(r.Transitions)
+}
+
+// EvaluatePrediction trains nothing — it replays a held-out trail
+// against an already-built MMC: every transition between distinct
+// states in the trail is a prediction event, scored against the
+// model's most probable successor. attachRadius maps trail traces to
+// model states like BuildMMC does.
+func EvaluatePrediction(m *MMC, heldOut *trace.Trail, attachRadius float64) (PredictionReport, error) {
+	if len(m.States) == 0 {
+		return PredictionReport{}, fmt.Errorf("privacy: model has no states")
+	}
+	// Globally most visited state, the baseline prediction.
+	mostVisited := 0
+	for i, v := range m.Visits {
+		if v > m.Visits[mostVisited] {
+			mostVisited = i
+		}
+	}
+	attach := func(p geo.Point) int {
+		state, best := -1, attachRadius
+		for i, s := range m.States {
+			if d := geo.Haversine(p, s); d <= best {
+				best, state = d, i
+			}
+		}
+		return state
+	}
+	var rep PredictionReport
+	prev := -1
+	for _, t := range heldOut.Traces {
+		state := attach(t.Point)
+		if state < 0 {
+			continue
+		}
+		if prev >= 0 && state != prev {
+			rep.Transitions++
+			predicted, _, err := m.PredictNext(prev)
+			if err != nil {
+				return rep, err
+			}
+			if predicted == state {
+				rep.Correct++
+			}
+			if mostVisited == state {
+				rep.BaselineCorrect++
+			}
+		}
+		prev = state
+	}
+	return rep, nil
+}

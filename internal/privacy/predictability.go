@@ -1,0 +1,165 @@
+package privacy
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geo"
+	"repro/internal/trace"
+)
+
+// PredictabilityReport carries the entropy measures of Song et al.,
+// "Limits of predictability in human mobility" (Science 2010), which
+// §II cites for "our movements are easily predictable by nature". The
+// entropies are in bits per symbol over the user's POI-visit sequence.
+type PredictabilityReport struct {
+	// States is the number of distinct visited states (N).
+	States int
+	// SequenceLength is the length of the analysed visit sequence.
+	SequenceLength int
+	// RandomEntropy is S_rand = log2(N): a user visiting every state
+	// uniformly at random.
+	RandomEntropy float64
+	// UncorrelatedEntropy is S_unc = -sum p_i log2 p_i: accounts for
+	// visit frequencies but not order.
+	UncorrelatedEntropy float64
+	// RealEntropy is the Lempel-Ziv estimate of the true entropy
+	// rate, accounting for temporal order.
+	RealEntropy float64
+	// MaxPredictability is Pi_max: the Fano-bound probability that an
+	// ideal predictor names the next state correctly.
+	MaxPredictability float64
+}
+
+// StateSequence reduces a trail to its sequence of POI visits:
+// consecutive traces attached to the same state collapse to one
+// symbol, exactly the sequence an MMC models.
+func StateSequence(tr *trace.Trail, pois []geo.Point, attachRadius float64) []int {
+	var seq []int
+	prev := -1
+	for _, t := range tr.Traces {
+		state, best := -1, attachRadius
+		for i, p := range pois {
+			if d := geo.Haversine(t.Point, p); d <= best {
+				best, state = d, i
+			}
+		}
+		if state < 0 || state == prev {
+			continue
+		}
+		seq = append(seq, state)
+		prev = state
+	}
+	return seq
+}
+
+// MeasurePredictability computes the Song et al. entropy measures over
+// a state sequence.
+func MeasurePredictability(seq []int) (PredictabilityReport, error) {
+	if len(seq) < 4 {
+		return PredictabilityReport{}, fmt.Errorf("privacy: sequence of %d symbols is too short", len(seq))
+	}
+	counts := map[int]int{}
+	for _, s := range seq {
+		counts[s]++
+	}
+	n := len(counts)
+	rep := PredictabilityReport{States: n, SequenceLength: len(seq)}
+	rep.RandomEntropy = math.Log2(float64(n))
+	for _, c := range counts {
+		p := float64(c) / float64(len(seq))
+		rep.UncorrelatedEntropy -= p * math.Log2(p)
+	}
+	rep.RealEntropy = lempelZivEntropy(seq)
+	if n > 1 {
+		rep.MaxPredictability = solveFano(rep.RealEntropy, n)
+	} else {
+		rep.MaxPredictability = 1
+	}
+	return rep, nil
+}
+
+// lempelZivEntropy estimates the entropy rate in bits/symbol with the
+// Lempel-Ziv estimator used by Song et al.:
+//
+//	S_est = ( (1/n) * sum_i Lambda_i )^-1 * log2(n)
+//
+// where Lambda_i is the length of the shortest substring starting at i
+// that does not appear anywhere in seq[0:i].
+func lempelZivEntropy(seq []int) float64 {
+	n := len(seq)
+	var sum float64
+	for i := 0; i < n; i++ {
+		// Find the shortest prefix of seq[i:] absent from seq[:i].
+		lambda := 1
+		for l := 1; i+l <= n; l++ {
+			if !containsSub(seq[:i], seq[i:i+l]) {
+				lambda = l
+				break
+			}
+			lambda = l + 1
+		}
+		sum += float64(lambda)
+	}
+	if sum == 0 {
+		return 0
+	}
+	return float64(n) / sum * math.Log2(float64(n))
+}
+
+// containsSub reports whether hay contains needle as a contiguous
+// subsequence.
+func containsSub(hay, needle []int) bool {
+	if len(needle) == 0 {
+		return true
+	}
+	for i := 0; i+len(needle) <= len(hay); i++ {
+		match := true
+		for j := range needle {
+			if hay[i+j] != needle[j] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return true
+		}
+	}
+	return false
+}
+
+// solveFano inverts Fano's inequality
+//
+//	S = H(Pi) + (1 - Pi) log2(N - 1)
+//
+// for the maximum predictability Pi_max given entropy rate S and N
+// states, by bisection on Pi in (1/N, 1).
+func solveFano(entropy float64, n int) float64 {
+	if entropy <= 0 {
+		return 1
+	}
+	h := func(p float64) float64 {
+		if p <= 0 || p >= 1 {
+			return 0
+		}
+		return -p*math.Log2(p) - (1-p)*math.Log2(1-p)
+	}
+	f := func(pi float64) float64 {
+		return h(pi) + (1-pi)*math.Log2(float64(n-1)) - entropy
+	}
+	lo, hi := 1/float64(n)+1e-9, 1-1e-9
+	if f(lo) < 0 {
+		// Entropy exceeds what N states can produce: no predictability
+		// beyond chance.
+		return 1 / float64(n)
+	}
+	for iter := 0; iter < 100; iter++ {
+		mid := (lo + hi) / 2
+		if f(mid) > 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}

@@ -1,0 +1,115 @@
+package privacy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/gepeto"
+)
+
+func TestMeasurePredictabilityPeriodic(t *testing.T) {
+	// A perfectly periodic sequence is maximally predictable.
+	seq := make([]int, 200)
+	for i := range seq {
+		seq[i] = i % 3
+	}
+	rep, err := MeasurePredictability(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.States != 3 {
+		t.Fatalf("states = %d", rep.States)
+	}
+	if math.Abs(rep.RandomEntropy-math.Log2(3)) > 1e-9 {
+		t.Fatalf("S_rand = %v", rep.RandomEntropy)
+	}
+	// Uniform frequencies: S_unc == S_rand.
+	if math.Abs(rep.UncorrelatedEntropy-rep.RandomEntropy) > 0.01 {
+		t.Fatalf("S_unc = %v, want ~%v", rep.UncorrelatedEntropy, rep.RandomEntropy)
+	}
+	// Order makes the sequence nearly deterministic.
+	if rep.RealEntropy >= rep.UncorrelatedEntropy/2 {
+		t.Fatalf("S_real = %v, want far below S_unc = %v", rep.RealEntropy, rep.UncorrelatedEntropy)
+	}
+	if rep.MaxPredictability < 0.9 {
+		t.Fatalf("Pi_max = %v, want > 0.9 for a periodic sequence", rep.MaxPredictability)
+	}
+}
+
+func TestMeasurePredictabilityRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	seq := make([]int, 500)
+	prev := -1
+	for i := range seq {
+		// Random walk over 6 states without immediate repeats (visit
+		// sequences never repeat a state back-to-back).
+		s := rng.Intn(6)
+		for s == prev {
+			s = rng.Intn(6)
+		}
+		seq[i] = s
+		prev = s
+	}
+	rep, err := MeasurePredictability(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A random sequence has high entropy and low predictability.
+	if rep.RealEntropy < 1.0 {
+		t.Fatalf("S_real = %v, want high for random walk", rep.RealEntropy)
+	}
+	if rep.MaxPredictability > 0.75 {
+		t.Fatalf("Pi_max = %v, want modest for random walk", rep.MaxPredictability)
+	}
+	// Entropy ordering: S_real <= S_unc <= S_rand (Song et al.).
+	if rep.RealEntropy > rep.UncorrelatedEntropy+0.3 || rep.UncorrelatedEntropy > rep.RandomEntropy+1e-9 {
+		t.Fatalf("entropy ordering violated: real=%v unc=%v rand=%v",
+			rep.RealEntropy, rep.UncorrelatedEntropy, rep.RandomEntropy)
+	}
+}
+
+func TestMeasurePredictabilityTooShort(t *testing.T) {
+	if _, err := MeasurePredictability([]int{1, 2}); err == nil {
+		t.Fatal("want error for short sequence")
+	}
+}
+
+func TestGeneratedMobilityIsHighlyPredictable(t *testing.T) {
+	// The §II claim, measured: commute-dominated mobility has
+	// Pi_max well above chance — in line with Song et al.'s ~93%.
+	raw, truth := genTruth(t, 3, 36_000, 91)
+	_, ds := gepeto.PreprocessSequential(raw, 2.0, 1.0)
+	for i := range ds.Trails {
+		tr := &ds.Trails[i]
+		seq := StateSequence(tr, truth.POIs(tr.User), 50)
+		rep, err := MeasurePredictability(seq)
+		if err != nil {
+			t.Fatalf("user %s: %v", tr.User, err)
+		}
+		chance := 1 / float64(rep.States)
+		if rep.MaxPredictability < 0.6 {
+			t.Errorf("user %s: Pi_max = %.2f, want >= 0.6", tr.User, rep.MaxPredictability)
+		}
+		if rep.MaxPredictability <= chance+0.1 {
+			t.Errorf("user %s: Pi_max %.2f barely above chance %.2f", tr.User, rep.MaxPredictability, chance)
+		}
+		t.Logf("user %s: N=%d len=%d S_rand=%.2f S_unc=%.2f S_real=%.2f Pi_max=%.2f",
+			tr.User, rep.States, rep.SequenceLength, rep.RandomEntropy,
+			rep.UncorrelatedEntropy, rep.RealEntropy, rep.MaxPredictability)
+	}
+}
+
+func TestStateSequenceCollapsesDwells(t *testing.T) {
+	ds, truth := genTruth(t, 1, 8_000, 93)
+	tr := &ds.Trails[0]
+	seq := StateSequence(tr, truth.POIs(tr.User), 50)
+	if len(seq) < 10 {
+		t.Fatalf("sequence too short: %d", len(seq))
+	}
+	for i := 1; i < len(seq); i++ {
+		if seq[i] == seq[i-1] {
+			t.Fatal("consecutive duplicate states not collapsed")
+		}
+	}
+}

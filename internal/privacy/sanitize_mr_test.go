@@ -1,0 +1,127 @@
+package privacy
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/dfs"
+	"repro/internal/geo"
+	"repro/internal/geolife"
+	"repro/internal/mapreduce"
+	"repro/internal/trace"
+)
+
+func mrHarness(t *testing.T, traces int) (*mapreduce.Engine, *trace.Dataset) {
+	t.Helper()
+	c, err := cluster.NewUniform(4, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := dfs.New(c, dfs.Config{ChunkSize: 64 << 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := mapreduce.NewEngine(c, fs, mapreduce.Options{})
+	ds := geolife.Generate(geolife.Config{Users: 2, TotalTraces: traces, Seed: 61})
+	if err := geolife.WriteRecords(fs, "in", ds); err != nil {
+		t.Fatal(err)
+	}
+	ds, err = geolife.ReadRecords(fs, "in")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, ds
+}
+
+func TestGaussianMaskJob(t *testing.T) {
+	e, ds := mrHarness(t, 4000)
+	res, err := e.Run(GaussianMaskJob("mask", []string{"in"}, "out", 100, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ReduceTasks != 0 {
+		t.Fatal("mask must be map-only")
+	}
+	out, err := geolife.ReadRecords(e.FS(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumTraces() != ds.NumTraces() {
+		t.Fatalf("trace count changed: %d vs %d", out.NumTraces(), ds.NumTraces())
+	}
+	rep := MeasureUtility(ds, out)
+	// Half-normal with sigma 100 -> mean displacement ~80 m.
+	if rep.MeanDistortionMeters < 40 || rep.MeanDistortionMeters > 160 {
+		t.Fatalf("mean distortion %.1f, want ~80", rep.MeanDistortionMeters)
+	}
+	if rep.Retention != 1 {
+		t.Fatalf("retention %v", rep.Retention)
+	}
+}
+
+func TestGaussianMaskJobDeterministicPerSeed(t *testing.T) {
+	e1, _ := mrHarness(t, 1000)
+	e2, _ := mrHarness(t, 1000)
+	if _, err := e1.Run(GaussianMaskJob("mask", []string{"in"}, "out", 50, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e2.Run(GaussianMaskJob("mask", []string{"in"}, "out", 50, 3)); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := geolife.ReadRecords(e1.FS(), "out")
+	b, _ := geolife.ReadRecords(e2.FS(), "out")
+	ta, tb := a.AllTraces(), b.AllTraces()
+	for i := range ta {
+		if ta[i] != tb[i] {
+			t.Fatalf("trace %d differs across identical runs", i)
+		}
+	}
+}
+
+func TestCloakingJob(t *testing.T) {
+	e, ds := mrHarness(t, 3000)
+	if _, err := e.Run(CloakingJob("cloak", []string{"in"}, "out", 400)); err != nil {
+		t.Fatal(err)
+	}
+	out, err := geolife.ReadRecords(e.FS(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumTraces() != ds.NumTraces() {
+		t.Fatal("cloaking must not drop traces")
+	}
+	uniq := map[geo.Point]bool{}
+	for _, tr := range out.Trails {
+		for _, tc := range tr.Traces {
+			uniq[tc.Point] = true
+		}
+	}
+	if len(uniq) > 80 {
+		t.Fatalf("%d unique cloaked positions, want few", len(uniq))
+	}
+	// MR cloaking must agree with the sequential sanitizer up to the
+	// record format's 1e-6-degree rounding.
+	seq := SpatialCloaking{CellMeters: 400}.Sanitize(ds)
+	sa, oa := seq.AllTraces(), out.AllTraces()
+	for i := range sa {
+		if d := geo.Haversine(sa[i].Point, oa[i].Point); d > 0.2 {
+			t.Fatalf("trace %d: MR and sequential cloaking disagree by %.2fm", i, d)
+		}
+	}
+}
+
+func TestMaskJobBadConf(t *testing.T) {
+	e, _ := mrHarness(t, 100)
+	job := GaussianMaskJob("mask", []string{"in"}, "out", 100, 1)
+	job.Conf[confMaskSigma] = "not-a-number"
+	job.MaxAttempts = 1
+	if _, err := e.Run(job); err == nil {
+		t.Fatal("bad sigma should fail the job")
+	}
+	job2 := CloakingJob("cloak", []string{"in"}, "out2", 100)
+	job2.Conf[confCloakCell] = "-5"
+	job2.MaxAttempts = 1
+	if _, err := e.Run(job2); err == nil {
+		t.Fatal("negative cell should fail the job")
+	}
+}

@@ -1,0 +1,173 @@
+package privacy
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/dfs"
+	"repro/internal/geo"
+	"repro/internal/geolife"
+	"repro/internal/gepeto"
+	"repro/internal/mapreduce"
+	"repro/internal/trace"
+)
+
+// friendsDataset builds three users: "a" and "b" meet repeatedly at a
+// café (co-located dwells), "c" never meets anyone.
+func friendsDataset() *trace.Dataset {
+	cafe := geo.Point{Lat: 39.91, Lon: 116.41}
+	far := geo.Point{Lat: 40.05, Lon: 116.20}
+	var traces []trace.Trace
+	base := time.Date(2008, 4, 7, 18, 0, 0, 0, time.UTC)
+	// 5 evenings of a 20-minute café meeting, samples every minute.
+	for day := 0; day < 5; day++ {
+		start := base.AddDate(0, 0, day)
+		for m := 0; m < 20; m++ {
+			ts := start.Add(time.Duration(m) * time.Minute)
+			traces = append(traces,
+				trace.Trace{User: "a", Point: geo.Destination(cafe, float64(m*37), 4), Time: ts},
+				trace.Trace{User: "b", Point: geo.Destination(cafe, float64(m*53), 4), Time: ts.Add(10 * time.Second)},
+				trace.Trace{User: "c", Point: geo.Destination(far, float64(m*29), 4), Time: ts},
+			)
+		}
+	}
+	return trace.FromTraces(traces)
+}
+
+func TestSocialLinksSequential(t *testing.T) {
+	ds := friendsDataset()
+	links := DiscoverSocialLinksSequential(ds, SocialOptions{})
+	if len(links) != 1 {
+		t.Fatalf("links = %+v, want exactly a-b", links)
+	}
+	l := links[0]
+	if l.UserA != "a" || l.UserB != "b" {
+		t.Fatalf("wrong pair: %+v", l)
+	}
+	// 5 meetings x 20 min spanning 10-min windows -> at least 10
+	// shared buckets.
+	if l.SharedWindows < 10 {
+		t.Fatalf("shared windows = %d, want >= 10", l.SharedWindows)
+	}
+}
+
+func TestSocialLinksThreshold(t *testing.T) {
+	ds := friendsDataset()
+	// An absurd threshold suppresses everything.
+	links := DiscoverSocialLinksSequential(ds, SocialOptions{MinSharedWindows: 10_000})
+	if len(links) != 0 {
+		t.Fatalf("links = %+v, want none", links)
+	}
+}
+
+func TestSocialLinksMRMatchesSequential(t *testing.T) {
+	c, _ := cluster.NewUniform(4, 2, 2)
+	fs, _ := dfs.New(c, dfs.Config{ChunkSize: 8 << 10, Seed: 1})
+	e := mapreduce.NewEngine(c, fs, mapreduce.Options{})
+	ds := friendsDataset()
+	if err := geolife.WriteRecords(fs, "in", ds); err != nil {
+		t.Fatal(err)
+	}
+	// Re-read so coordinates match record precision for both paths.
+	ds, err := geolife.ReadRecords(fs, "in")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := SocialOptions{}
+	mr, results, err := DiscoverSocialLinksMR(e, []string{"in"}, "social-work", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("expected 2 chained jobs, got %d", len(results))
+	}
+	seq := DiscoverSocialLinksSequential(ds, opts)
+	if len(mr) != len(seq) {
+		t.Fatalf("MR %d links vs sequential %d", len(mr), len(seq))
+	}
+	for i := range mr {
+		if mr[i] != seq[i] {
+			t.Fatalf("link %d: MR %+v vs seq %+v", i, mr[i], seq[i])
+		}
+	}
+}
+
+func TestSocialLinksNoFalsePositivesOnIndependentUsers(t *testing.T) {
+	// Independently generated users practically never co-locate.
+	ds := geolife.Generate(geolife.Config{Users: 5, TotalTraces: 25_000, Seed: 71})
+	links := DiscoverSocialLinksSequential(ds, SocialOptions{})
+	if len(links) != 0 {
+		t.Fatalf("unexpected links between independent users: %+v", links)
+	}
+}
+
+func TestHomeWorkPairsAndLinking(t *testing.T) {
+	// Extract quasi-identifiers from two halves of each user's data
+	// and link the pseudonymised half back (Golle & Partridge, §II).
+	ds, _ := genTruth(t, 4, 40_000, 73)
+	half1 := &trace.Dataset{}
+	half2 := &trace.Dataset{}
+	for _, tr := range ds.Trails {
+		h := len(tr.Traces) / 2
+		half1.Trails = append(half1.Trails, trace.Trail{User: tr.User, Traces: tr.Traces[:h]})
+		anonTrail := trace.Trail{User: "anon-" + tr.User}
+		for _, tc := range tr.Traces[h:] {
+			tc.User = anonTrail.User
+			anonTrail.Traces = append(anonTrail.Traces, tc)
+		}
+		half2.Trails = append(half2.Trails, anonTrail)
+	}
+	known := HomeWorkPairs(attackPipeline(t, half1))
+	anon := HomeWorkPairs(attackPipeline(t, half2))
+	if len(known) < 3 || len(anon) < 3 {
+		t.Fatalf("quasi-identifiers: known=%d anon=%d, want >=3 each", len(known), len(anon))
+	}
+	truthMap := map[string]string{}
+	for _, hw := range anon {
+		truthMap[hw.User] = hw.User[len("anon-"):]
+	}
+	res := LinkByHomeWork(known, anon, 100, truthMap)
+	if res.Accuracy() < 0.75 {
+		t.Fatalf("home/work linking accuracy %.2f < 0.75 (matches %v)", res.Accuracy(), res.Matches)
+	}
+}
+
+func TestHomeWorkPairsSkipsIncomplete(t *testing.T) {
+	pois := []POI{
+		{User: "u1", Label: LabelHome, Center: geo.Point{Lat: 1, Lon: 1}},
+		{User: "u1", Label: LabelWork, Center: geo.Point{Lat: 2, Lon: 2}},
+		{User: "u2", Label: LabelHome, Center: geo.Point{Lat: 3, Lon: 3}}, // no work
+		{User: "u3", Label: LabelLeisure, Center: geo.Point{Lat: 4, Lon: 4}},
+	}
+	pairs := HomeWorkPairs(pois)
+	if len(pairs) != 1 || pairs[0].User != "u1" {
+		t.Fatalf("pairs = %+v", pairs)
+	}
+}
+
+func TestLinkByHomeWorkNoMatchOutsideRadius(t *testing.T) {
+	known := []HomeWorkPair{{User: "k", Home: geo.Point{Lat: 39.9, Lon: 116.4}, Work: geo.Point{Lat: 39.95, Lon: 116.45}}}
+	anon := []HomeWorkPair{{User: "a", Home: geo.Point{Lat: 40.5, Lon: 117.0}, Work: geo.Point{Lat: 40.6, Lon: 117.1}}}
+	res := LinkByHomeWork(known, anon, 100, map[string]string{"a": "k"})
+	if res.Matches["a"] != "" || res.Correct != 0 {
+		t.Fatalf("far pair should not match: %+v", res)
+	}
+}
+
+var _ = gepeto.DefaultDJClusterOptions // keep import used if helpers change
+
+func TestSortLinksOrdering(t *testing.T) {
+	links := []SocialLink{
+		{UserA: "b", UserB: "c", SharedWindows: 2},
+		{UserA: "a", UserB: "c", SharedWindows: 5},
+		{UserA: "a", UserB: "b", SharedWindows: 2},
+	}
+	sortLinks(links)
+	if links[0].SharedWindows != 5 {
+		t.Fatal("links not sorted by count desc")
+	}
+	if links[1].UserA != "a" || links[2].UserA != "b" {
+		t.Fatalf("tie-break by user failed: %+v", links)
+	}
+}

@@ -1,0 +1,389 @@
+package rtree
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/geo"
+)
+
+var beijing = geo.Rect{
+	Min: geo.Point{Lat: 39.4, Lon: 115.9},
+	Max: geo.Point{Lat: 40.5, Lon: 117.1},
+}
+
+func randEntries(n int, seed int64) []Entry {
+	rng := rand.New(rand.NewSource(seed))
+	es := make([]Entry, n)
+	for i := range es {
+		es[i] = Entry{
+			ID: fmt.Sprintf("e%05d", i),
+			Point: geo.Point{
+				Lat: beijing.Min.Lat + rng.Float64()*(beijing.Max.Lat-beijing.Min.Lat),
+				Lon: beijing.Min.Lon + rng.Float64()*(beijing.Max.Lon-beijing.Min.Lon),
+			},
+		}
+	}
+	return es
+}
+
+// bruteSearch is the reference implementation for Search.
+func bruteSearch(es []Entry, r geo.Rect) map[string]bool {
+	out := make(map[string]bool)
+	for _, e := range es {
+		if r.Contains(e.Point) {
+			out[e.ID] = true
+		}
+	}
+	return out
+}
+
+func idsOf(es []Entry) map[string]bool {
+	out := make(map[string]bool, len(es))
+	for _, e := range es {
+		out[e.ID] = true
+	}
+	return out
+}
+
+func sameIDs(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestInsertAndSearchMatchesBruteForce(t *testing.T) {
+	es := randEntries(500, 1)
+	tr := New(8)
+	for _, e := range es {
+		tr.Insert(e)
+	}
+	if tr.Len() != 500 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 50; i++ {
+		lat := beijing.Min.Lat + rng.Float64()
+		lon := beijing.Min.Lon + rng.Float64()
+		q := geo.Rect{
+			Min: geo.Point{Lat: lat, Lon: lon},
+			Max: geo.Point{Lat: lat + rng.Float64()*0.3, Lon: lon + rng.Float64()*0.3},
+		}
+		got := idsOf(tr.Search(q))
+		want := bruteSearch(es, q)
+		if !sameIDs(got, want) {
+			t.Fatalf("query %d: got %d ids, want %d", i, len(got), len(want))
+		}
+	}
+}
+
+func TestBulkLoadMatchesBruteForce(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 16, 17, 100, 2000} {
+		es := randEntries(n, int64(n))
+		tr := BulkLoad(es, 16)
+		if tr.Len() != n {
+			t.Fatalf("n=%d: Len = %d", n, tr.Len())
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		q := geo.Rect{
+			Min: geo.Point{Lat: 39.7, Lon: 116.2},
+			Max: geo.Point{Lat: 40.1, Lon: 116.8},
+		}
+		if !sameIDs(idsOf(tr.Search(q)), bruteSearch(es, q)) {
+			t.Fatalf("n=%d: search mismatch", n)
+		}
+	}
+}
+
+func TestBulkLoadDoesNotMutateInput(t *testing.T) {
+	es := randEntries(100, 5)
+	orig := append([]Entry(nil), es...)
+	BulkLoad(es, 8)
+	for i := range es {
+		if es[i] != orig[i] {
+			t.Fatal("BulkLoad reordered the caller's slice")
+		}
+	}
+}
+
+func TestInsertEqualsBulkLoadContents(t *testing.T) {
+	es := randEntries(300, 3)
+	ins := New(8)
+	for _, e := range es {
+		ins.Insert(e)
+	}
+	bl := BulkLoad(es, 8)
+	if !sameIDs(idsOf(ins.All()), idsOf(bl.All())) {
+		t.Fatal("Insert and BulkLoad trees hold different entries")
+	}
+}
+
+func TestNearestMatchesBruteForce(t *testing.T) {
+	es := randEntries(800, 4)
+	tr := BulkLoad(es, 16)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 30; i++ {
+		p := geo.Point{
+			Lat: beijing.Min.Lat + rng.Float64()*(beijing.Max.Lat-beijing.Min.Lat),
+			Lon: beijing.Min.Lon + rng.Float64()*(beijing.Max.Lon-beijing.Min.Lon),
+		}
+		k := 1 + rng.Intn(20)
+		got := tr.Nearest(p, k)
+		// Brute force.
+		sorted := append([]Entry(nil), es...)
+		sort.Slice(sorted, func(a, b int) bool {
+			da, db := geo.SquaredEuclidean(p, sorted[a].Point), geo.SquaredEuclidean(p, sorted[b].Point)
+			if da != db {
+				return da < db
+			}
+			return sorted[a].ID < sorted[b].ID
+		})
+		want := sorted[:k]
+		if len(got) != k {
+			t.Fatalf("Nearest returned %d, want %d", len(got), k)
+		}
+		for j := range want {
+			if got[j].ID != want[j].ID {
+				t.Fatalf("query %d k=%d: position %d: got %s, want %s", i, k, j, got[j].ID, want[j].ID)
+			}
+		}
+	}
+}
+
+func TestNearestEdgeCases(t *testing.T) {
+	tr := New(8)
+	if got := tr.Nearest(geo.Point{}, 5); got != nil {
+		t.Fatal("empty tree should return nil")
+	}
+	tr.Insert(Entry{ID: "a", Point: geo.Point{Lat: 39.9, Lon: 116.4}})
+	if got := tr.Nearest(geo.Point{Lat: 39.9, Lon: 116.4}, 0); got != nil {
+		t.Fatal("k=0 should return nil")
+	}
+	if got := tr.Nearest(geo.Point{Lat: 1, Lon: 2}, 10); len(got) != 1 {
+		t.Fatalf("k larger than tree: got %d", len(got))
+	}
+}
+
+func TestWithin(t *testing.T) {
+	center := geo.Point{Lat: 39.9042, Lon: 116.4074}
+	var es []Entry
+	// 10 points inside 100m, 10 points well outside.
+	for i := 0; i < 10; i++ {
+		es = append(es, Entry{
+			ID:    fmt.Sprintf("in%d", i),
+			Point: geo.Destination(center, float64(i)*36, 50),
+		})
+	}
+	for i := 0; i < 10; i++ {
+		es = append(es, Entry{
+			ID:    fmt.Sprintf("out%d", i),
+			Point: geo.Destination(center, float64(i)*36, 500),
+		})
+	}
+	tr := BulkLoad(es, 8)
+	got := tr.Within(center, 100)
+	if len(got) != 10 {
+		t.Fatalf("Within returned %d entries, want 10", len(got))
+	}
+	for _, e := range got {
+		if !strings.HasPrefix(e.ID, "in") {
+			t.Fatalf("unexpected entry %s", e.ID)
+		}
+	}
+}
+
+func TestWithinBoundary(t *testing.T) {
+	center := geo.Point{Lat: 39.9, Lon: 116.4}
+	justIn := geo.Destination(center, 90, 99.9)
+	justOut := geo.Destination(center, 90, 100.5)
+	tr := BulkLoad([]Entry{{ID: "in", Point: justIn}, {ID: "out", Point: justOut}}, 8)
+	got := tr.Within(center, 100)
+	if len(got) != 1 || got[0].ID != "in" {
+		t.Fatalf("Within = %v", got)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	all := randEntries(900, 6)
+	// Split into 3 spatial partitions by longitude (like SFC partitioning).
+	sorted := append([]Entry(nil), all...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Point.Lon < sorted[j].Point.Lon })
+	var parts []*Tree
+	for i := 0; i < 3; i++ {
+		parts = append(parts, BulkLoad(sorted[i*300:(i+1)*300], 16))
+	}
+	merged := Merge(16, parts...)
+	if merged.Len() != 900 {
+		t.Fatalf("merged Len = %d", merged.Len())
+	}
+	if err := merged.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Merged tree must answer queries identically to a direct build.
+	q := geo.Rect{Min: geo.Point{Lat: 39.6, Lon: 116.0}, Max: geo.Point{Lat: 40.2, Lon: 116.9}}
+	if !sameIDs(idsOf(merged.Search(q)), bruteSearch(all, q)) {
+		t.Fatal("merged tree search mismatch")
+	}
+}
+
+func TestMergeUnevenHeights(t *testing.T) {
+	big := BulkLoad(randEntries(2000, 7), 8) // tall tree
+	small := BulkLoad(randEntries(5, 8), 8)  // height 1
+	med := BulkLoad(randEntries(100, 9), 8)  // mid height
+	empty := New(8)                          // empty, must be skipped
+	merged := Merge(8, big, small, med, empty, nil)
+	if merged.Len() != 2105 {
+		t.Fatalf("merged Len = %d, want 2105", merged.Len())
+	}
+	if err := merged.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeEmpty(t *testing.T) {
+	m := Merge(8)
+	if m.Len() != 0 {
+		t.Fatal("empty merge should be empty")
+	}
+	m2 := Merge(8, New(8), New(8))
+	if m2.Len() != 0 {
+		t.Fatal("merge of empties should be empty")
+	}
+}
+
+func TestSerializationRoundTrip(t *testing.T) {
+	es := randEntries(500, 10)
+	tr := BulkLoad(es, 16)
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != tr.Len() {
+		t.Fatalf("Len: got %d, want %d", back.Len(), tr.Len())
+	}
+	if !sameIDs(idsOf(back.All()), idsOf(tr.All())) {
+		t.Fatal("entries differ after round-trip")
+	}
+	if err := back.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadFromErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"nottree\t8\t1\n",
+		"rtree\tx\t1\n",
+		"rtree\t8\ty\n",
+		"rtree\t8\t2\na\t39.9\t116.4\n",   // count mismatch
+		"rtree\t8\t1\na\t39.9\n",          // short line
+		"rtree\t8\t1\na\tbadlat\t116.4\n", // bad lat
+		"rtree\t8\t1\na\t39.9\tbadlon\n",  // bad lon
+	}
+	for _, s := range bad {
+		if _, err := ReadFrom(strings.NewReader(s)); err == nil {
+			t.Errorf("ReadFrom(%q): want error", s)
+		}
+	}
+}
+
+func TestHeightGrowth(t *testing.T) {
+	tr := New(4)
+	if tr.Height() != 1 {
+		t.Fatalf("empty height = %d", tr.Height())
+	}
+	for _, e := range randEntries(100, 11) {
+		tr.Insert(e)
+	}
+	if tr.Height() < 3 {
+		t.Fatalf("height after 100 inserts with M=4: %d, want >= 3", tr.Height())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDuplicatePoints(t *testing.T) {
+	// Many entries at the same location (stationary dwell) must all be
+	// stored and returned.
+	p := geo.Point{Lat: 39.9, Lon: 116.4}
+	tr := New(4)
+	for i := 0; i < 50; i++ {
+		tr.Insert(Entry{ID: fmt.Sprintf("d%d", i), Point: p})
+	}
+	if got := len(tr.Search(geo.RectFromPoint(p))); got != 50 {
+		t.Fatalf("Search found %d duplicates, want 50", got)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoundsTracksEntries(t *testing.T) {
+	tr := New(8)
+	if tr.Bounds() != (geo.Rect{}) {
+		t.Fatal("empty tree bounds should be zero")
+	}
+	a := geo.Point{Lat: 39.5, Lon: 116.0}
+	b := geo.Point{Lat: 40.0, Lon: 116.9}
+	tr.Insert(Entry{ID: "a", Point: a})
+	tr.Insert(Entry{ID: "b", Point: b})
+	w := geo.Rect{Min: a, Max: b}
+	if tr.Bounds() != w {
+		t.Fatalf("Bounds = %+v, want %+v", tr.Bounds(), w)
+	}
+}
+
+func BenchmarkBulkLoad10k(b *testing.B) {
+	es := randEntries(10_000, 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BulkLoad(es, 16)
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	es := randEntries(b.N, 21)
+	tr := New(16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(es[i])
+	}
+}
+
+func BenchmarkWithin(b *testing.B) {
+	tr := BulkLoad(randEntries(100_000, 22), 16)
+	center := geo.Point{Lat: 39.9, Lon: 116.4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Within(center, 200)
+	}
+}
+
+func BenchmarkNearest10(b *testing.B) {
+	tr := BulkLoad(randEntries(100_000, 23), 16)
+	center := geo.Point{Lat: 39.9, Lon: 116.4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Nearest(center, 10)
+	}
+}

@@ -1,0 +1,196 @@
+// Package sfc implements space-filling curves that map two-dimensional
+// spatial coordinates to one-dimensional scalar values while preserving
+// data locality.
+//
+// The paper's MapReduce R-tree construction (§VII-C) relies on such
+// curves for its partitioning function: points that are close in the
+// spatial domain should be assigned to the same partition, so the
+// partitioner maps 2-D points to an ordered sequence of 1-D values and
+// cuts that sequence into equally sized ranges. Two curves are
+// implemented and tested, as in the paper: the Z-order (Morton) curve
+// and the Hilbert curve.
+package sfc
+
+import (
+	"fmt"
+
+	"repro/internal/geo"
+)
+
+// Order is the number of bits of resolution per dimension used when
+// quantising coordinates onto the curve grid. 16 bits per dimension
+// gives a 65536×65536 grid — about 0.6 m resolution over a metropolitan
+// bounding box, far finer than GPS accuracy — while keeping curve keys
+// in a uint32-sized range per dimension (uint64 combined).
+const Order = 16
+
+// Curve maps 2-D points to 1-D scalar keys, preserving locality.
+type Curve interface {
+	// Key returns the 1-D scalar value of p. Points outside the
+	// curve's bounding rectangle are clamped to its edges.
+	Key(p geo.Point) uint64
+	// Name returns the curve's canonical name ("zorder" or "hilbert").
+	Name() string
+}
+
+// New constructs the named curve ("zorder" or "hilbert") over the given
+// bounding rectangle.
+func New(name string, bounds geo.Rect) (Curve, error) {
+	switch name {
+	case "zorder", "z-order", "morton":
+		return NewZOrder(bounds), nil
+	case "hilbert":
+		return NewHilbert(bounds), nil
+	}
+	return nil, fmt.Errorf("sfc: unknown curve %q", name)
+}
+
+// grid quantises points within a bounding rectangle onto an
+// Order-bit-per-dimension integer grid.
+type grid struct {
+	bounds geo.Rect
+	// scale per degree for each axis
+	latScale, lonScale float64
+}
+
+func newGrid(bounds geo.Rect) grid {
+	g := grid{bounds: bounds}
+	maxCell := float64(uint64(1)<<Order - 1)
+	if dLat := bounds.Max.Lat - bounds.Min.Lat; dLat > 0 {
+		g.latScale = maxCell / dLat
+	}
+	if dLon := bounds.Max.Lon - bounds.Min.Lon; dLon > 0 {
+		g.lonScale = maxCell / dLon
+	}
+	return g
+}
+
+// cell returns the integer grid cell of p, clamping out-of-bounds
+// coordinates to the grid edges.
+func (g grid) cell(p geo.Point) (x, y uint32) {
+	maxCell := uint64(1)<<Order - 1
+	fx := (p.Lon - g.bounds.Min.Lon) * g.lonScale
+	fy := (p.Lat - g.bounds.Min.Lat) * g.latScale
+	x = uint32(clampF(fx, 0, float64(maxCell)))
+	y = uint32(clampF(fy, 0, float64(maxCell)))
+	return x, y
+}
+
+func clampF(v, lo, hi float64) float64 {
+	switch {
+	case v < lo:
+		return lo
+	case v > hi:
+		return hi
+	}
+	return v
+}
+
+// ZOrder is the Z-order (Morton) curve: the key interleaves the bits of
+// the quantised x and y coordinates.
+type ZOrder struct{ g grid }
+
+// NewZOrder returns a Z-order curve over the bounding rectangle.
+func NewZOrder(bounds geo.Rect) *ZOrder { return &ZOrder{g: newGrid(bounds)} }
+
+// Name implements Curve.
+func (*ZOrder) Name() string { return "zorder" }
+
+// Key implements Curve: it interleaves the bits of the grid cell
+// coordinates (x in even positions, y in odd).
+func (z *ZOrder) Key(p geo.Point) uint64 {
+	x, y := z.g.cell(p)
+	return interleave(x) | interleave(y)<<1
+}
+
+// interleave spreads the low Order bits of v so that bit i of v lands
+// at bit 2i of the result (the classic Morton "part1by1" bit trick).
+func interleave(v uint32) uint64 {
+	x := uint64(v)
+	x = (x | x<<16) & 0x0000FFFF0000FFFF
+	x = (x | x<<8) & 0x00FF00FF00FF00FF
+	x = (x | x<<4) & 0x0F0F0F0F0F0F0F0F
+	x = (x | x<<2) & 0x3333333333333333
+	x = (x | x<<1) & 0x5555555555555555
+	return x
+}
+
+// deinterleave is the inverse of interleave: it compacts the even bits
+// of x into a uint32.
+func deinterleave(x uint64) uint32 {
+	x &= 0x5555555555555555
+	x = (x | x>>1) & 0x3333333333333333
+	x = (x | x>>2) & 0x0F0F0F0F0F0F0F0F
+	x = (x | x>>4) & 0x00FF00FF00FF00FF
+	x = (x | x>>8) & 0x0000FFFF0000FFFF
+	x = (x | x>>16) & 0x00000000FFFFFFFF
+	return uint32(x)
+}
+
+// DecodeCell returns the grid cell encoded in a Z-order key. Exposed
+// for testing and for diagnostics.
+func (*ZOrder) DecodeCell(key uint64) (x, y uint32) {
+	return deinterleave(key), deinterleave(key >> 1)
+}
+
+// Hilbert is the Hilbert curve, which has strictly better locality
+// than Z-order: successive keys are always adjacent grid cells.
+type Hilbert struct{ g grid }
+
+// NewHilbert returns a Hilbert curve over the bounding rectangle.
+func NewHilbert(bounds geo.Rect) *Hilbert { return &Hilbert{g: newGrid(bounds)} }
+
+// Name implements Curve.
+func (*Hilbert) Name() string { return "hilbert" }
+
+// Key implements Curve using the iterative xy→d conversion for a
+// 2^Order × 2^Order Hilbert curve.
+func (h *Hilbert) Key(p geo.Point) uint64 {
+	x32, y32 := h.g.cell(p)
+	x, y := uint64(x32), uint64(y32)
+	var rx, ry, d uint64
+	for s := uint64(1) << (Order - 1); s > 0; s /= 2 {
+		if x&s > 0 {
+			rx = 1
+		} else {
+			rx = 0
+		}
+		if y&s > 0 {
+			ry = 1
+		} else {
+			ry = 0
+		}
+		d += s * s * ((3 * rx) ^ ry)
+		x, y = hilbertRot(s, x, y, rx, ry)
+	}
+	return d
+}
+
+// DecodeCell returns the grid cell at Hilbert distance d (the inverse
+// of Key up to quantisation). Exposed for testing.
+func (*Hilbert) DecodeCell(d uint64) (x, y uint32) {
+	var rx, ry uint64
+	var xx, yy uint64
+	t := d
+	for s := uint64(1); s < uint64(1)<<Order; s *= 2 {
+		rx = 1 & (t / 2)
+		ry = 1 & (t ^ rx)
+		xx, yy = hilbertRot(s, xx, yy, rx, ry)
+		xx += s * rx
+		yy += s * ry
+		t /= 4
+	}
+	return uint32(xx), uint32(yy)
+}
+
+// hilbertRot rotates/flips a quadrant appropriately.
+func hilbertRot(s, x, y, rx, ry uint64) (uint64, uint64) {
+	if ry == 0 {
+		if rx == 1 {
+			x = s - 1 - x
+			y = s - 1 - y
+		}
+		x, y = y, x
+	}
+	return x, y
+}

@@ -1,0 +1,224 @@
+package sfc
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geo"
+)
+
+// beijing is a metropolitan bounding box like the GeoLife extent.
+var beijing = geo.Rect{
+	Min: geo.Point{Lat: 39.4, Lon: 115.9},
+	Max: geo.Point{Lat: 40.5, Lon: 117.1},
+}
+
+func TestNewByName(t *testing.T) {
+	for _, name := range []string{"zorder", "z-order", "morton", "hilbert"} {
+		c, err := New(name, beijing)
+		if err != nil || c == nil {
+			t.Fatalf("New(%q) = %v, %v", name, c, err)
+		}
+	}
+	if _, err := New("peano", beijing); err == nil {
+		t.Fatal("unknown curve should error")
+	}
+}
+
+func TestInterleaveRoundTrip(t *testing.T) {
+	f := func(v uint32) bool {
+		v &= 1<<Order - 1
+		return deinterleave(interleave(v)) == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZOrderDecodeRoundTrip(t *testing.T) {
+	z := NewZOrder(beijing)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		p := randPoint(rng)
+		key := z.Key(p)
+		x, y := z.DecodeCell(key)
+		wx, wy := z.g.cell(p)
+		if x != wx || y != wy {
+			t.Fatalf("decode mismatch at %v: got (%d,%d), want (%d,%d)", p, x, y, wx, wy)
+		}
+	}
+}
+
+func TestHilbertDecodeRoundTrip(t *testing.T) {
+	h := NewHilbert(beijing)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 1000; i++ {
+		p := randPoint(rng)
+		key := h.Key(p)
+		x, y := h.DecodeCell(key)
+		wx, wy := h.g.cell(p)
+		if x != wx || y != wy {
+			t.Fatalf("decode mismatch at %v: got (%d,%d), want (%d,%d)", p, x, y, wx, wy)
+		}
+	}
+}
+
+func TestHilbertAdjacency(t *testing.T) {
+	// Defining property of the Hilbert curve: consecutive curve
+	// positions are adjacent grid cells (Manhattan distance 1).
+	h := NewHilbert(beijing)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		d := rng.Uint64() % (1<<(2*Order) - 1)
+		x1, y1 := h.DecodeCell(d)
+		x2, y2 := h.DecodeCell(d + 1)
+		dist := absDiff(x1, x2) + absDiff(y1, y2)
+		if dist != 1 {
+			t.Fatalf("cells at d=%d and d+1 are %d apart: (%d,%d) vs (%d,%d)", d, dist, x1, y1, x2, y2)
+		}
+	}
+}
+
+func TestKeysClampOutOfBounds(t *testing.T) {
+	for _, c := range []Curve{NewZOrder(beijing), NewHilbert(beijing)} {
+		outside := []geo.Point{
+			{Lat: 0, Lon: 0},
+			{Lat: 89, Lon: 179},
+			{Lat: beijing.Min.Lat - 10, Lon: beijing.Min.Lon - 10},
+		}
+		for _, p := range outside {
+			key := c.Key(p) // must not panic; must be a valid key
+			if key >= uint64(1)<<(2*Order) {
+				t.Fatalf("%s: key %d out of range for point %v", c.Name(), key, p)
+			}
+		}
+	}
+}
+
+func TestKeyMonotonicAlongAxis(t *testing.T) {
+	// Moving east along a single grid row must give non-decreasing cell
+	// x; keys won't be monotone (curves fold), but cells must be.
+	z := NewZOrder(beijing)
+	prevX := uint32(0)
+	for lon := beijing.Min.Lon; lon <= beijing.Max.Lon; lon += 0.01 {
+		x, _ := z.g.cell(geo.Point{Lat: 39.9, Lon: lon})
+		if x < prevX {
+			t.Fatalf("cell x decreased: %d -> %d at lon %v", prevX, x, lon)
+		}
+		prevX = x
+	}
+}
+
+// localityRatio measures average key distance of spatially-near pairs
+// divided by that of random pairs; lower means better locality.
+func localityRatio(c Curve, rng *rand.Rand) float64 {
+	const n = 2000
+	var nearSum, farSum float64
+	for i := 0; i < n; i++ {
+		p := randPoint(rng)
+		// A point ~50m away.
+		q := geo.Destination(p, rng.Float64()*360, 50)
+		r := randPoint(rng)
+		nearSum += math.Abs(float64(c.Key(p)) - float64(c.Key(q)))
+		farSum += math.Abs(float64(c.Key(p)) - float64(c.Key(r)))
+	}
+	return nearSum / farSum
+}
+
+func TestCurvesPreserveLocality(t *testing.T) {
+	// Points 50m apart must be far closer in key space than random
+	// pairs — this is the property the partitioning function needs.
+	for _, c := range []Curve{NewZOrder(beijing), NewHilbert(beijing)} {
+		ratio := localityRatio(c, rand.New(rand.NewSource(42)))
+		if ratio > 0.05 {
+			t.Errorf("%s: locality ratio %v, want < 0.05", c.Name(), ratio)
+		}
+	}
+}
+
+func TestHilbertLocalityNotWorseThanZOrder(t *testing.T) {
+	zr := localityRatio(NewZOrder(beijing), rand.New(rand.NewSource(7)))
+	hr := localityRatio(NewHilbert(beijing), rand.New(rand.NewSource(7)))
+	if hr > zr*1.5 {
+		t.Errorf("hilbert ratio %v much worse than zorder %v", hr, zr)
+	}
+}
+
+func TestEqualPartitionsBalance(t *testing.T) {
+	// Emulate the paper's partitioning: sort keys, cut into p ranges,
+	// verify partitions are roughly balanced for clustered data.
+	h := NewHilbert(beijing)
+	rng := rand.New(rand.NewSource(9))
+	const n, parts = 10000, 8
+	keys := make([]uint64, n)
+	// Clustered data: 5 hotspots.
+	centers := make([]geo.Point, 5)
+	for i := range centers {
+		centers[i] = randPoint(rng)
+	}
+	for i := range keys {
+		c := centers[rng.Intn(len(centers))]
+		p := geo.Destination(c, rng.Float64()*360, rng.Float64()*500)
+		keys[i] = h.Key(p)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	// Cut at every n/parts-th key.
+	bounds := make([]uint64, parts-1)
+	for i := range bounds {
+		bounds[i] = keys[(i+1)*n/parts]
+	}
+	counts := make([]int, parts)
+	for _, k := range keys {
+		idx := sort.Search(len(bounds), func(i int) bool { return bounds[i] > k })
+		counts[idx]++
+	}
+	for i, c := range counts {
+		if c < n/parts/2 || c > n/parts*2 {
+			t.Errorf("partition %d has %d points, want ~%d", i, c, n/parts)
+		}
+	}
+}
+
+func TestDegenerateBounds(t *testing.T) {
+	// A zero-area bounding rect must not divide by zero; all keys equal.
+	pt := geo.Point{Lat: 39.9, Lon: 116.4}
+	c := NewHilbert(geo.RectFromPoint(pt))
+	k1 := c.Key(pt)
+	k2 := c.Key(geo.Point{Lat: 40, Lon: 117})
+	if k1 != k2 {
+		t.Fatalf("degenerate bounds: keys differ: %d vs %d", k1, k2)
+	}
+}
+
+func randPoint(rng *rand.Rand) geo.Point {
+	return geo.Point{
+		Lat: beijing.Min.Lat + rng.Float64()*(beijing.Max.Lat-beijing.Min.Lat),
+		Lon: beijing.Min.Lon + rng.Float64()*(beijing.Max.Lon-beijing.Min.Lon),
+	}
+}
+
+func absDiff(a, b uint32) uint32 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+func BenchmarkZOrderKey(b *testing.B) {
+	z := NewZOrder(beijing)
+	p := geo.Point{Lat: 39.99, Lon: 116.32}
+	for i := 0; i < b.N; i++ {
+		_ = z.Key(p)
+	}
+}
+
+func BenchmarkHilbertKey(b *testing.B) {
+	h := NewHilbert(beijing)
+	p := geo.Point{Lat: 39.99, Lon: 116.32}
+	for i := 0; i < b.N; i++ {
+		_ = h.Key(p)
+	}
+}

@@ -1,0 +1,127 @@
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/geo"
+	"repro/internal/trace"
+)
+
+// Heatmap aggregates trace density onto a grid for rendering — the
+// "visualize a geolocated dataset" view that works at millions of
+// traces, where drawing individual polylines would be unreadable.
+type Heatmap struct {
+	bounds       geo.Rect
+	cols, rows   int
+	counts       []int
+	max          int
+	totalSamples int
+}
+
+// NewHeatmap creates an empty heatmap over the bounding rectangle with
+// the given grid resolution (defaults 64x48 when non-positive).
+func NewHeatmap(bounds geo.Rect, cols, rows int) *Heatmap {
+	if cols <= 0 {
+		cols = 64
+	}
+	if rows <= 0 {
+		rows = 48
+	}
+	return &Heatmap{bounds: bounds, cols: cols, rows: rows, counts: make([]int, cols*rows)}
+}
+
+// Add accumulates one observation at p (silently ignored outside the
+// bounds).
+func (h *Heatmap) Add(p geo.Point) {
+	if !h.bounds.Contains(p) {
+		return
+	}
+	fx := (p.Lon - h.bounds.Min.Lon) / (h.bounds.Max.Lon - h.bounds.Min.Lon)
+	fy := (p.Lat - h.bounds.Min.Lat) / (h.bounds.Max.Lat - h.bounds.Min.Lat)
+	col := int(fx * float64(h.cols))
+	row := int(fy * float64(h.rows))
+	if col >= h.cols {
+		col = h.cols - 1
+	}
+	if row >= h.rows {
+		row = h.rows - 1
+	}
+	idx := row*h.cols + col
+	h.counts[idx]++
+	if h.counts[idx] > h.max {
+		h.max = h.counts[idx]
+	}
+	h.totalSamples++
+}
+
+// AddDataset accumulates every trace of the dataset.
+func (h *Heatmap) AddDataset(ds *trace.Dataset) {
+	for _, tr := range ds.Trails {
+		for _, t := range tr.Traces {
+			h.Add(t.Point)
+		}
+	}
+}
+
+// OccupiedCells returns how many grid cells hold at least one sample.
+func (h *Heatmap) OccupiedCells() int {
+	n := 0
+	for _, c := range h.counts {
+		if c > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// MaxCount returns the densest cell's sample count.
+func (h *Heatmap) MaxCount() int { return h.max }
+
+// RenderSVG draws the heatmap as colored cells on a new canvas. The
+// color ramps from pale yellow to dark red on a log scale (trace
+// density is heavy-tailed: dwells dominate).
+func (h *Heatmap) RenderSVG(width, height int) *Canvas {
+	c := NewCanvas(h.bounds, width, height)
+	if h.max == 0 {
+		return c
+	}
+	cellW := float64(c.width) / float64(h.cols)
+	cellH := float64(c.height) / float64(h.rows)
+	var sb strings.Builder
+	sb.WriteString("<g>")
+	logMax := math.Log1p(float64(h.max))
+	for row := 0; row < h.rows; row++ {
+		for col := 0; col < h.cols; col++ {
+			n := h.counts[row*h.cols+col]
+			if n == 0 {
+				continue
+			}
+			// Intensity in [0,1] on a log scale.
+			v := math.Log1p(float64(n)) / logMax
+			r, g, b := heatColor(v)
+			// Row 0 is the south edge: flip vertically for SVG.
+			y := float64(c.height) - float64(row+1)*cellH
+			fmt.Fprintf(&sb, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="rgb(%d,%d,%d)" fill-opacity="0.85"/>`,
+				float64(col)*cellW, y, cellW+0.5, cellH+0.5, r, g, b)
+		}
+	}
+	sb.WriteString("</g>")
+	c.layers = append(c.layers, sb.String())
+	return c
+}
+
+// heatColor maps intensity v in [0,1] to a yellow→orange→red ramp.
+func heatColor(v float64) (r, g, b int) {
+	switch {
+	case v < 0:
+		v = 0
+	case v > 1:
+		v = 1
+	}
+	r = 255
+	g = int(230 * (1 - v*v))
+	b = int(80 * (1 - v))
+	return r, g, b
+}

@@ -1,0 +1,214 @@
+// Package viz implements GEPETO's visualization role: rendering
+// geolocated datasets, trails, clusters and POIs as standalone SVG
+// documents ("GEPETO ... can be used to visualize ... a particular
+// geolocated dataset" and "visualize the resulting data", §I/§VIII).
+// The renderer is deliberately dependency-free: it emits plain SVG so
+// results can be inspected in any browser.
+package viz
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"repro/internal/geo"
+	"repro/internal/trace"
+)
+
+// palette cycles through visually distinct colors for users/clusters.
+var palette = []string{
+	"#1f77b4", "#ff7f0e", "#2ca02c", "#d62728", "#9467bd",
+	"#8c564b", "#e377c2", "#7f7f7f", "#bcbd22", "#17becf",
+}
+
+// Canvas accumulates SVG layers over a fixed geographic viewport.
+type Canvas struct {
+	bounds        geo.Rect
+	width, height int
+	layers        []string
+}
+
+// NewCanvas creates a canvas projecting the bounding rectangle onto a
+// width×height pixel viewport (equirectangular projection, adequate at
+// metropolitan extents). Bounds are padded 5% so edge points stay
+// visible.
+func NewCanvas(bounds geo.Rect, width, height int) *Canvas {
+	if width <= 0 {
+		width = 800
+	}
+	if height <= 0 {
+		height = 600
+	}
+	padLat := (bounds.Max.Lat - bounds.Min.Lat) * 0.05
+	padLon := (bounds.Max.Lon - bounds.Min.Lon) * 0.05
+	if padLat == 0 {
+		padLat = 0.001
+	}
+	if padLon == 0 {
+		padLon = 0.001
+	}
+	bounds.Min.Lat -= padLat
+	bounds.Max.Lat += padLat
+	bounds.Min.Lon -= padLon
+	bounds.Max.Lon += padLon
+	return &Canvas{bounds: bounds, width: width, height: height}
+}
+
+// BoundsOf computes the bounding rectangle of a dataset ((0,0)-rect
+// for an empty one).
+func BoundsOf(ds *trace.Dataset) geo.Rect {
+	first := true
+	var r geo.Rect
+	for _, tr := range ds.Trails {
+		for _, t := range tr.Traces {
+			if first {
+				r = geo.RectFromPoint(t.Point)
+				first = false
+				continue
+			}
+			r = r.Union(geo.RectFromPoint(t.Point))
+		}
+	}
+	return r
+}
+
+// xy projects a point into pixel coordinates (y grows downward).
+func (c *Canvas) xy(p geo.Point) (float64, float64) {
+	x := (p.Lon - c.bounds.Min.Lon) / (c.bounds.Max.Lon - c.bounds.Min.Lon) * float64(c.width)
+	y := (1 - (p.Lat-c.bounds.Min.Lat)/(c.bounds.Max.Lat-c.bounds.Min.Lat)) * float64(c.height)
+	return x, y
+}
+
+// color returns the palette color for an index.
+func color(i int) string { return palette[((i%len(palette))+len(palette))%len(palette)] }
+
+// AddTrail draws a trail as a polyline plus small point markers; the
+// color index usually enumerates users.
+func (c *Canvas) AddTrail(tr *trace.Trail, colorIdx int) {
+	if len(tr.Traces) == 0 {
+		return
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<g fill="none" stroke="%s" stroke-width="1" opacity="0.6">`, color(colorIdx))
+	sb.WriteString(`<polyline points="`)
+	for _, t := range tr.Traces {
+		x, y := c.xy(t.Point)
+		fmt.Fprintf(&sb, "%.1f,%.1f ", x, y)
+	}
+	sb.WriteString(`"/></g>`)
+	c.layers = append(c.layers, sb.String())
+}
+
+// AddPoints draws a scatter of positions.
+func (c *Canvas) AddPoints(points []geo.Point, colorIdx int, radius float64) {
+	if len(points) == 0 {
+		return
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<g fill="%s" opacity="0.5">`, color(colorIdx))
+	for _, p := range points {
+		x, y := c.xy(p)
+		fmt.Fprintf(&sb, `<circle cx="%.1f" cy="%.1f" r="%.1f"/>`, x, y, radius)
+	}
+	sb.WriteString("</g>")
+	c.layers = append(c.layers, sb.String())
+}
+
+// AddMarker draws a labeled marker (e.g. an extracted POI).
+func (c *Canvas) AddMarker(p geo.Point, label string, colorIdx int) {
+	x, y := c.xy(p)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<g><circle cx="%.1f" cy="%.1f" r="6" fill="%s" stroke="black" stroke-width="1.5"/>`,
+		x, y, color(colorIdx))
+	if label != "" {
+		fmt.Fprintf(&sb, `<text x="%.1f" y="%.1f" font-size="11" font-family="sans-serif">%s</text>`,
+			x+8, y+4, escape(label))
+	}
+	sb.WriteString("</g>")
+	c.layers = append(c.layers, sb.String())
+}
+
+// AddCircle draws an outline circle of the given radius in meters
+// (e.g. a DJ-Cluster neighborhood or a mix zone).
+func (c *Canvas) AddCircle(center geo.Point, radiusMeters float64, colorIdx int) {
+	x, y := c.xy(center)
+	// Convert meters to pixels via the latitude scale.
+	latSpan := c.bounds.Max.Lat - c.bounds.Min.Lat
+	metersPerPixel := latSpan * math.Pi / 180 * geo.EarthRadiusMeters / float64(c.height)
+	r := radiusMeters / metersPerPixel
+	c.layers = append(c.layers, fmt.Sprintf(
+		`<circle cx="%.1f" cy="%.1f" r="%.1f" fill="none" stroke="%s" stroke-width="1" stroke-dasharray="4 2"/>`,
+		x, y, r, color(colorIdx)))
+}
+
+// AddTitle draws a title line at the top of the canvas.
+func (c *Canvas) AddTitle(title string) {
+	c.layers = append(c.layers, fmt.Sprintf(
+		`<text x="10" y="20" font-size="16" font-family="sans-serif" font-weight="bold">%s</text>`,
+		escape(title)))
+}
+
+// WriteSVG emits the complete SVG document.
+func (c *Canvas) WriteSVG(w io.Writer) error {
+	if _, err := fmt.Fprintf(w,
+		`<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+
+			`<rect width="%d" height="%d" fill="#fafafa"/>`,
+		c.width, c.height, c.width, c.height, c.width, c.height); err != nil {
+		return err
+	}
+	for _, l := range c.layers {
+		if _, err := io.WriteString(w, l); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "</svg>")
+	return err
+}
+
+// SVG returns the document as a string.
+func (c *Canvas) SVG() string {
+	var sb strings.Builder
+	_ = c.WriteSVG(&sb)
+	return sb.String()
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// RenderDataset draws every trail of a dataset in per-user colors —
+// the basic "visualize a geolocated dataset" view.
+func RenderDataset(ds *trace.Dataset, width, height int) *Canvas {
+	c := NewCanvas(BoundsOf(ds), width, height)
+	for i := range ds.Trails {
+		c.AddTrail(&ds.Trails[i], i)
+	}
+	return c
+}
+
+// ClusterView is the minimal cluster shape the renderer needs (the
+// gepeto package's Cluster satisfies it structurally via RenderClusters'
+// arguments, avoiding an import cycle).
+type ClusterView struct {
+	Centroid geo.Point
+	Label    string
+	Size     int
+}
+
+// RenderClusters draws a dataset's trails faintly plus each cluster as
+// a sized marker — the standard "inspect a clustering result" view.
+func RenderClusters(ds *trace.Dataset, clusters []ClusterView, width, height int) *Canvas {
+	c := RenderDataset(ds, width, height)
+	for i, cl := range clusters {
+		c.AddMarker(cl.Centroid, cl.Label, i+1)
+		// Marker halo scales with cluster size (sqrt for area feel).
+		radius := 20 * math.Sqrt(float64(cl.Size))
+		if radius > 400 {
+			radius = 400
+		}
+		c.AddCircle(cl.Centroid, radius, i+1)
+	}
+	return c
+}
