@@ -15,6 +15,7 @@ import (
 	"repro/internal/geo"
 	"repro/internal/geolife"
 	"repro/internal/gepeto"
+	"repro/internal/obs"
 	"repro/internal/privacy"
 	"repro/internal/rtree"
 	"repro/internal/trace"
@@ -433,4 +434,42 @@ func BenchmarkMMCPrediction(b *testing.B) {
 		acc = sum / float64(n)
 	}
 	b.ReportMetric(acc*100, "accuracy-%")
+}
+
+// BenchmarkEngine measures the observability layer's overhead on a
+// representative job: the same down-sampling run with no event sinks
+// attached versus the full tracker + metrics pipeline a live status
+// server would drive. The instrumented run must stay within a few
+// percent of the bare one — events are constructed only behind a
+// bus.Active() check.
+func BenchmarkEngine(b *testing.B) {
+	for _, v := range []struct {
+		name string
+		bus  func() *obs.Bus
+	}{
+		{"no-sink", func() *obs.Bus { return nil }},
+		{"with-sink", func() *obs.Bus {
+			return obs.NewBus(obs.NewTracker(), obs.NewMetricsSink(obs.NewRegistry()))
+		}},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			ds, _ := corpus(b)
+			tk, err := core.NewToolkit(core.ClusterConfig{
+				Nodes: 7, Racks: 2, SlotsPerNode: 4, ChunkSize: 2 << 20, Seed: 1,
+				Obs: v.bus(),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := geolife.WriteRecordsConcat(tk.FS(), "data", ds, 2); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := tk.Sample("data", uniq("out"), time.Minute, gepeto.SampleUpperLimit); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }

@@ -31,6 +31,7 @@ import (
 	"repro/internal/geolife"
 	"repro/internal/gepeto"
 	"repro/internal/mapreduce"
+	"repro/internal/obs"
 	"repro/internal/privacy"
 	"repro/internal/trace"
 	"repro/internal/viz"
@@ -68,6 +69,8 @@ func main() {
 		err = cmdSocial(args)
 	case "mmc":
 		err = cmdMMC(args)
+	case "history":
+		err = cmdHistory(args)
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -97,35 +100,107 @@ commands:
   stats      summarise a dataset (users, sessions, density, extent)
   social     co-location social-link discovery (two chained MR jobs)
   mmc        build Mobility Markov Chains per user and evaluate prediction
+  history    list stored job runs and render per-node attempt timelines
+
+cluster commands also accept -status ADDR (live jobtracker status +
+/metrics + pprof over HTTP) and -historydir DIR (job-history mirror,
+read back by "gepeto history").
 
 run "gepeto <command> -h" for flags`)
 }
 
-// clusterFlags adds the shared simulated-deployment flags.
+// defaultHistoryDir is where cluster commands mirror job history and
+// where `gepeto history` looks by default.
+const defaultHistoryDir = ".gepeto/history"
+
+// clusterFlags adds the shared simulated-deployment flags plus the
+// observability flags (-status, -historydir).
 func clusterFlags(fs *flag.FlagSet) (nodes, racks, slots *int, chunkMB *int64) {
 	nodes = fs.Int("nodes", 7, "worker nodes in the simulated cluster")
 	racks = fs.Int("racks", 2, "racks the nodes spread over")
 	slots = fs.Int("slots", 4, "task slots per node")
 	chunkMB = fs.Int64("chunk", 64, "DFS chunk size in MB (paper uses 64 and 32)")
+	fs.StringVar(&obsCfg.status, "status", "",
+		`serve live jobtracker status, /metrics and pprof on this address (e.g. ":8042"; ":0" picks a port)`)
+	fs.StringVar(&obsCfg.historyDir, "historydir", defaultHistoryDir,
+		`local directory mirroring job history for "gepeto history" ("" disables the mirror)`)
 	return
 }
 
+// obsCfg carries the parsed observability flags into deployAndLoad
+// (package-level because clusterFlags' return signature predates it).
+var obsCfg struct {
+	status     string
+	historyDir string
+}
+
 // deployAndLoad builds a toolkit and uploads the local dataset dir.
-func deployAndLoad(nodes, racks, slots int, chunkMB int64, inDir string) (*core.Toolkit, *trace.Dataset, error) {
-	tk, err := core.NewToolkit(core.ClusterConfig{
+// When -status is set it also starts the live status server; the
+// returned closer shuts it down (it is always safe to call).
+func deployAndLoad(nodes, racks, slots int, chunkMB int64, inDir string) (*core.Toolkit, *trace.Dataset, func(), error) {
+	cfg := core.ClusterConfig{
 		Nodes: nodes, Racks: racks, SlotsPerNode: slots, ChunkSize: chunkMB << 20,
-	})
+		HistoryDir: obsCfg.historyDir,
+	}
+	var tracker *obs.Tracker
+	var reg *obs.Registry
+	if obsCfg.status != "" {
+		tracker = obs.NewTracker()
+		reg = obs.NewRegistry()
+		cfg.Obs = obs.NewBus(tracker, obs.NewMetricsSink(reg))
+	}
+	tk, err := core.NewToolkit(cfg)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
+	}
+	closer := func() {}
+	if obsCfg.status != "" {
+		srv, err := obs.NewStatusServer(obsCfg.status, tracker, reg, tk.History())
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		srv.Extra = dfsGauges(tk)
+		fmt.Fprintf(os.Stderr, "status server listening on %s\n", srv.URL())
+		closer = func() { _ = srv.Close() }
 	}
 	ds, err := geolife.ReadRecordsLocal(inDir)
 	if err != nil {
-		return nil, nil, err
+		closer()
+		return nil, nil, nil, err
 	}
 	if err := tk.Upload(ds, "input"); err != nil {
-		return nil, nil, err
+		closer()
+		return nil, nil, nil, err
 	}
-	return tk, ds, nil
+	return tk, ds, closer, nil
+}
+
+// dfsGauges appends the file system's storage and I/O state to each
+// /metrics scrape (gauges are read on demand, not event-driven).
+func dfsGauges(tk *core.Toolkit) func() string {
+	return func() string {
+		s := tk.FS().Stats()
+		io := tk.FS().IOStats()
+		return fmt.Sprintf(`# HELP dfs_files Files stored in the simulated DFS.
+# TYPE dfs_files gauge
+dfs_files %d
+# HELP dfs_blocks Block replicas stored across datanodes.
+# TYPE dfs_blocks gauge
+dfs_blocks %d
+# HELP dfs_logical_bytes Logical data size excluding replication.
+# TYPE dfs_logical_bytes gauge
+dfs_logical_bytes %d
+# HELP dfs_bytes_read_total Chunk bytes served to readers.
+# TYPE dfs_bytes_read_total counter
+dfs_bytes_read_total %d
+# HELP dfs_bytes_written_total Logical bytes accepted by Create.
+# TYPE dfs_bytes_written_total counter
+dfs_bytes_written_total %d
+# HELP dfs_chunks_read_total Chunk reads served.
+# TYPE dfs_chunks_read_total counter
+dfs_chunks_read_total %d
+`, s.Files, s.Blocks, s.Bytes, io.BytesRead, io.BytesWritten, io.ChunksRead)
+	}
 }
 
 // saveOutput downloads a DFS directory and writes it locally.
@@ -188,10 +263,11 @@ func cmdSample(args []string) error {
 	if err != nil {
 		return err
 	}
-	tk, ds, err := deployAndLoad(*nodes, *racks, *slots, *chunkMB, *in)
+	tk, ds, closeObs, err := deployAndLoad(*nodes, *racks, *slots, *chunkMB, *in)
 	if err != nil {
 		return err
 	}
+	defer closeObs()
 	res, err := tk.Sample("input", "output", *window, tech)
 	if err != nil {
 		return err
@@ -235,10 +311,11 @@ func cmdKMeans(args []string) error {
 	if err != nil {
 		return err
 	}
-	tk, ds, err := deployAndLoad(*nodes, *racks, *slots, *chunkMB, *in)
+	tk, ds, closeObs, err := deployAndLoad(*nodes, *racks, *slots, *chunkMB, *in)
 	if err != nil {
 		return err
 	}
+	defer closeObs()
 	fmt.Printf("k-means on %d traces (%s)\n", ds.NumTraces(), tk.Describe())
 	res, err := tk.KMeans("input", gepeto.KMeansOptions{
 		K: *k, Distance: metric, ConvergenceDelta: *delta,
@@ -275,10 +352,11 @@ func cmdDJCluster(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	tk, ds, err := deployAndLoad(*nodes, *racks, *slots, *chunkMB, *in)
+	tk, ds, closeObs, err := deployAndLoad(*nodes, *racks, *slots, *chunkMB, *in)
 	if err != nil {
 		return err
 	}
+	defer closeObs()
 	fmt.Printf("DJ-Cluster on %d traces (%s)\n", ds.NumTraces(), tk.Describe())
 	res, err := tk.DJCluster("input", gepeto.DJClusterOptions{
 		RadiusMeters: *radius, MinPts: *minPts, MaxSpeedKmh: *maxSpeed,
@@ -311,10 +389,11 @@ func cmdRTree(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	tk, ds, err := deployAndLoad(*nodes, *racks, *slots, *chunkMB, *in)
+	tk, ds, closeObs, err := deployAndLoad(*nodes, *racks, *slots, *chunkMB, *in)
 	if err != nil {
 		return err
 	}
+	defer closeObs()
 	start := time.Now()
 	entries, height, results, err := tk.BuildRTree("input", gepeto.RTreeBuildOptions{
 		Curve: *curve, Partitions: *partitions, SamplePerChunk: *sample,
@@ -342,10 +421,11 @@ func cmdAttack(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	tk, ds, err := deployAndLoad(*nodes, *racks, *slots, *chunkMB, *in)
+	tk, ds, closeObs, err := deployAndLoad(*nodes, *racks, *slots, *chunkMB, *in)
 	if err != nil {
 		return err
 	}
+	defer closeObs()
 	fmt.Printf("POI inference attack on %d traces / %d users\n", ds.NumTraces(), len(ds.Trails))
 	opts := gepeto.DefaultDJClusterOptions()
 	opts.RadiusMeters = *radius
@@ -395,10 +475,11 @@ func cmdSanitize(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	tk, ds, err := deployAndLoad(*nodes, *racks, *slots, *chunkMB, *in)
+	tk, ds, closeObs, err := deployAndLoad(*nodes, *racks, *slots, *chunkMB, *in)
 	if err != nil {
 		return err
 	}
+	defer closeObs()
 	switch *mech {
 	case "gaussian":
 		if _, err := tk.SanitizeGaussian("input", "output", *sigma, *seed); err != nil {
@@ -553,10 +634,11 @@ func cmdSocial(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	tk, ds, err := deployAndLoad(*nodes, *racks, *slots, *chunkMB, *in)
+	tk, ds, closeObs, err := deployAndLoad(*nodes, *racks, *slots, *chunkMB, *in)
 	if err != nil {
 		return err
 	}
+	defer closeObs()
 	links, results, err := privacy.DiscoverSocialLinksMR(tk.Engine(), []string{"input"}, "social-work",
 		privacy.SocialOptions{CellMeters: *cell, WindowSeconds: *window, MinSharedWindows: *minShared})
 	if err != nil {
@@ -579,10 +661,11 @@ func cmdMMC(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	tk, _, err := deployAndLoad(*nodes, *racks, *slots, *chunkMB, *in)
+	tk, _, closeObs, err := deployAndLoad(*nodes, *racks, *slots, *chunkMB, *in)
 	if err != nil {
 		return err
 	}
+	defer closeObs()
 	// POIs per user from the clustering attack; then MMCs in one job.
 	pois, _, err := tk.AttackPOI("input", *window, gepeto.DefaultDJClusterOptions())
 	if err != nil {
@@ -617,6 +700,52 @@ func cmdMMC(args []string) error {
 			fmt.Printf("  state %d at %s: %.0f%% of time; most likely next: state %d (p=%.2f)\n",
 				i, s, pi[i]*100, next, p)
 		}
+	}
+	return nil
+}
+
+func cmdHistory(args []string) error {
+	fs := flag.NewFlagSet("history", flag.ExitOnError)
+	dir := fs.String("dir", defaultHistoryDir, "history directory (as mirrored by -historydir)")
+	width := fs.Int("width", 72, "timeline width in columns")
+	asJSON := fs.Bool("json", false, "dump matching records as JSON instead of rendering")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	hist := obs.NewHistory(obs.NewDirFS(*dir))
+	if fs.NArg() == 0 {
+		recs, err := hist.List()
+		if err != nil {
+			return err
+		}
+		if len(recs) == 0 {
+			fmt.Printf("no job history under %s (run a cluster command with -historydir)\n", *dir)
+			return nil
+		}
+		fmt.Printf("%-4s %-28s %-22s %10s %5s %8s %9s\n",
+			"seq", "job", "submitted", "wall", "maps", "reduces", "attempts")
+		for _, r := range recs {
+			fmt.Printf("%-4d %-28s %-22s %10s %5d %8d %9d\n",
+				r.Seq, r.Job, r.Start().Format("2006-01-02T15:04:05"),
+				time.Duration(r.WallMs)*time.Millisecond,
+				r.MapTasks, r.ReduceTasks, len(r.Attempts))
+		}
+		return nil
+	}
+	for _, key := range fs.Args() {
+		rec, ok := hist.Find(key)
+		if !ok {
+			return fmt.Errorf("no history record matches %q in %s", key, *dir)
+		}
+		if *asJSON {
+			data, err := json.MarshalIndent(rec, "", "  ")
+			if err != nil {
+				return err
+			}
+			fmt.Println(string(data))
+			continue
+		}
+		fmt.Print(obs.RenderTimeline(rec, *width))
 	}
 	return nil
 }

@@ -183,3 +183,40 @@ func TestCLISampleJSONReport(t *testing.T) {
 		t.Fatalf("report missing counters: %s", body)
 	}
 }
+
+func TestCLIHistoryRoundTrip(t *testing.T) {
+	chdir(t)
+	// An empty store is not an error — just a hint.
+	if err := cmdHistory(nil); err != nil {
+		t.Fatalf("history over empty dir: %v", err)
+	}
+	if err := cmdGenerate([]string{"-users", "2", "-traces", "6000", "-out", "data"}); err != nil {
+		t.Fatal(err)
+	}
+	// Cluster commands mirror job history to -historydir by default.
+	if err := cmdSample([]string{"-in", "data", "-out", "sampled", "-chunk", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	files, err := filepath.Glob(filepath.Join(defaultHistoryDir, "_history", "*.json"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no mirrored history records: %v %v", files, err)
+	}
+	if !strings.Contains(files[0], "sampling") {
+		t.Errorf("history file %q does not name the job", files[0])
+	}
+	if err := cmdHistory(nil); err != nil {
+		t.Fatalf("history list: %v", err)
+	}
+	for _, args := range [][]string{
+		{"sampling"},          // by job name
+		{"1"},                 // by sequence number
+		{"-json", "sampling"}, // JSON dump
+	} {
+		if err := cmdHistory(args); err != nil {
+			t.Fatalf("history %v: %v", args, err)
+		}
+	}
+	if err := cmdHistory([]string{"no-such-job"}); err == nil {
+		t.Fatal("history of unknown job should error")
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"repro/internal/geolife"
 	"repro/internal/gepeto"
 	"repro/internal/mapreduce"
+	"repro/internal/obs"
 	"repro/internal/privacy"
 	"repro/internal/trace"
 )
@@ -42,6 +43,14 @@ type ClusterConfig struct {
 	TaskOverhead time.Duration
 	// Seed drives replica placement.
 	Seed int64
+	// Obs, if set, receives the engine's structured lifecycle events
+	// (job/phase/attempt spans). Nil keeps the engine unobserved.
+	Obs *obs.Bus
+	// HistoryDir, if non-empty, mirrors finished-job history records to
+	// this local directory in addition to the DFS's /_history/ — so a
+	// later `gepeto history` invocation (a separate process) can read
+	// them after the in-process DFS is gone.
+	HistoryDir string
 }
 
 func (c ClusterConfig) withDefaults() ClusterConfig {
@@ -69,6 +78,7 @@ type Toolkit struct {
 	cluster *cluster.Cluster
 	fs      *dfs.FileSystem
 	engine  *mapreduce.Engine
+	history *obs.History
 	// DeployTime is how long cluster bring-up took (the §VI
 	// "deployment overhead" measurement).
 	DeployTime time.Duration
@@ -91,12 +101,25 @@ func NewToolkit(cfg ClusterConfig) (*Toolkit, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: %v", err)
 	}
-	e := mapreduce.NewEngine(c, fs, mapreduce.Options{TaskOverhead: cfg.TaskOverhead})
+	// Job history lives in the DFS (like Hadoop's /_history/), teed to
+	// a local directory when one is configured so it outlives the
+	// in-process file system.
+	var histFS obs.FS = fs
+	if cfg.HistoryDir != "" {
+		histFS = obs.Tee(fs, obs.NewDirFS(cfg.HistoryDir))
+	}
+	hist := obs.NewHistory(histFS)
+	e := mapreduce.NewEngine(c, fs, mapreduce.Options{
+		TaskOverhead: cfg.TaskOverhead,
+		Obs:          cfg.Obs,
+		History:      hist,
+	})
 	return &Toolkit{
 		cfg:        cfg,
 		cluster:    c,
 		fs:         fs,
 		engine:     e,
+		history:    hist,
 		DeployTime: time.Since(start),
 	}, nil
 }
@@ -109,6 +132,9 @@ func (t *Toolkit) FS() *dfs.FileSystem { return t.fs }
 
 // Cluster exposes the simulated cluster.
 func (t *Toolkit) Cluster() *cluster.Cluster { return t.cluster }
+
+// History exposes the job-history store fed by the engine.
+func (t *Toolkit) History() *obs.History { return t.history }
 
 // GenerateAndUpload generates a synthetic GeoLife-like dataset and
 // uploads it to the DFS directory, returning the in-DFS dataset (read

@@ -20,6 +20,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/cluster"
 )
@@ -88,6 +89,34 @@ type FileSystem struct {
 	files   map[string]*fileMeta
 	nodes   map[string]*datanode
 	rng     *rand.Rand
+
+	// Cumulative I/O counters (atomic: bumped under read locks too).
+	ioBytesRead    atomic.Int64
+	ioBytesWritten atomic.Int64
+	ioChunksRead   atomic.Int64
+}
+
+// IOStatsSnapshot is a point-in-time view of cumulative DFS I/O.
+// Callers diff two snapshots to attribute I/O to an interval (the
+// MapReduce engine does this per job; with concurrent jobs on one file
+// system the attribution is shared, as with any global counter).
+type IOStatsSnapshot struct {
+	// BytesRead counts logical chunk bytes served to readers.
+	BytesRead int64
+	// BytesWritten counts logical file bytes accepted by Create
+	// (excluding replication copies).
+	BytesWritten int64
+	// ChunksRead counts chunk reads served.
+	ChunksRead int64
+}
+
+// IOStats returns the cumulative I/O counters.
+func (fs *FileSystem) IOStats() IOStatsSnapshot {
+	return IOStatsSnapshot{
+		BytesRead:    fs.ioBytesRead.Load(),
+		BytesWritten: fs.ioBytesWritten.Load(),
+		ChunksRead:   fs.ioChunksRead.Load(),
+	}
 }
 
 // New creates a file system over the cluster's alive nodes.
@@ -160,6 +189,7 @@ func (fs *FileSystem) Create(path string, data []byte, localNode string) error {
 		}
 	}
 	fs.files[path] = meta
+	fs.ioBytesWritten.Add(int64(len(data)))
 	return nil
 }
 
@@ -321,6 +351,8 @@ func (fs *FileSystem) readChunkLocked(cm *chunkMeta) ([]byte, error) {
 			corrupt++
 			continue
 		}
+		fs.ioChunksRead.Add(1)
+		fs.ioBytesRead.Add(int64(len(block)))
 		return block, nil
 	}
 	if corrupt > 0 {

@@ -566,3 +566,39 @@ func TestBalanceNoOpWhenEven(t *testing.T) {
 		t.Fatalf("second balance moved %d blocks", moves)
 	}
 }
+
+func TestIOStatsCountsTraffic(t *testing.T) {
+	fs, _ := newFS(t, 6, 2, 100)
+	if s := fs.IOStats(); s != (IOStatsSnapshot{}) {
+		t.Fatalf("fresh FS has non-zero I/O stats: %+v", s)
+	}
+	data := randBytes(250, 7) // 3 chunks at chunk size 100
+	if err := fs.Create("data/f", data, ""); err != nil {
+		t.Fatal(err)
+	}
+	s := fs.IOStats()
+	if s.BytesWritten != 250 {
+		t.Errorf("BytesWritten = %d, want 250", s.BytesWritten)
+	}
+	if s.BytesRead != 0 || s.ChunksRead != 0 {
+		t.Errorf("write alone counted reads: %+v", s)
+	}
+	if _, err := fs.ReadAll("data/f"); err != nil {
+		t.Fatal(err)
+	}
+	s = fs.IOStats()
+	if s.ChunksRead != 3 {
+		t.Errorf("ChunksRead = %d, want 3", s.ChunksRead)
+	}
+	if s.BytesRead != 250 {
+		t.Errorf("BytesRead = %d, want 250", s.BytesRead)
+	}
+	// A ranged read touches only the chunks that overlap the range.
+	if _, err := fs.ReadRange("data/f", 120, 50); err != nil {
+		t.Fatal(err)
+	}
+	s2 := fs.IOStats()
+	if got := s2.ChunksRead - s.ChunksRead; got != 1 {
+		t.Errorf("ReadRange touched %d chunks, want 1", got)
+	}
+}

@@ -107,18 +107,23 @@ const (
 //     shipped to every node via the distributed cache;
 //  3. neighborhood computation (map, Algorithm 4) and cluster merging
 //     (single reducer, Algorithm 5).
-func DJClusterMR(e *mapreduce.Engine, inputPaths []string, workDir string, opts DJClusterOptions) (*DJClusterResult, error) {
+func DJClusterMR(e *mapreduce.Engine, inputPaths []string, workDir string, opts DJClusterOptions) (res *DJClusterResult, err error) {
 	opts = opts.withDefaults()
-	res := &DJClusterResult{}
+	res = &DJClusterResult{}
+	spanID := "djcluster:" + workDir
+	defer span(e, spanID, "", fmt.Sprintf("r=%gm minPts=%d", opts.RadiusMeters, opts.MinPts), &err)()
 
 	// Phase 1: preprocessing pipeline.
+	preSpan := spanID + "/preprocess"
+	closePre := span(e, preSpan, spanID, "speed filter + dedup", &err)
 	speedOut := workDir + "/preprocessed-speed"
 	dedupOut := workDir + "/preprocessed"
-	jobs, err := e.RunPipeline(
-		SpeedFilterJob("djcluster-speedfilter", inputPaths, speedOut, opts.MaxSpeedKmh),
-		DedupJob("djcluster-dedup", []string{speedOut}, dedupOut, opts.DupRadiusMeters),
-	)
+	speedJob := SpeedFilterJob("djcluster-speedfilter", inputPaths, speedOut, opts.MaxSpeedKmh)
+	dedupJob := DedupJob("djcluster-dedup", []string{speedOut}, dedupOut, opts.DupRadiusMeters)
+	speedJob.Parent, dedupJob.Parent = preSpan, preSpan
+	jobs, err := e.RunPipeline(speedJob, dedupJob)
 	res.JobResults = append(res.JobResults, jobs...)
+	closePre()
 	if err != nil {
 		return res, err
 	}
@@ -128,6 +133,7 @@ func DJClusterMR(e *mapreduce.Engine, inputPaths []string, workDir string, opts 
 
 	// Phase 2: index the preprocessed traces in an R-tree, built with
 	// the MapReduce construction of §VII-C.
+	opts.RTree.Parent = spanID
 	tree, treeJobs, err := BuildRTreeMR(e, []string{dedupOut}, workDir+"/rtree", opts.RTree)
 	res.JobResults = append(res.JobResults, treeJobs...)
 	if err != nil {
@@ -142,6 +148,7 @@ func DJClusterMR(e *mapreduce.Engine, inputPaths []string, workDir string, opts 
 	clusterOut := workDir + "/clusters"
 	job := &mapreduce.Job{
 		Name:       "djcluster-neighborhood",
+		Parent:     spanID,
 		InputPaths: []string{dedupOut},
 		OutputPath: clusterOut,
 		NewMapper:  func() mapreduce.Mapper { return &neighborhoodMapper{} },

@@ -85,10 +85,11 @@ const (
 // iteration with the current centroids in the distributed cache, and
 // stops on convergence — the workflow of Fig. 4. Intermediate output
 // directories are created under workDir and cleaned up afterwards.
-func KMeansMR(e *mapreduce.Engine, inputPaths []string, workDir string, opts KMeansOptions) (*KMeansResult, error) {
+func KMeansMR(e *mapreduce.Engine, inputPaths []string, workDir string, opts KMeansOptions) (res *KMeansResult, err error) {
 	opts = opts.withDefaults()
+	spanID := "kmeans:" + workDir
+	defer span(e, spanID, "", fmt.Sprintf("k=%d maxIter=%d", opts.K, opts.MaxIter), &err)()
 	var centroids []geo.Point
-	var err error
 	if opts.PlusPlusInit {
 		var pts []geo.Point
 		pts, err = readAllPoints(e.FS(), inputPaths)
@@ -101,10 +102,11 @@ func KMeansMR(e *mapreduce.Engine, inputPaths []string, workDir string, opts KMe
 	if err != nil {
 		return nil, err
 	}
-	res := &KMeansResult{}
+	res = &KMeansResult{}
 	for iter := 0; iter < opts.MaxIter; iter++ {
 		job := &mapreduce.Job{
 			Name:        fmt.Sprintf("kmeans-iter-%03d", iter),
+			Parent:      spanID,
 			InputPaths:  inputPaths,
 			OutputPath:  fmt.Sprintf("%s/clusters-%03d", workDir, iter),
 			NewMapper:   func() mapreduce.Mapper { return &kmeansMapper{} },

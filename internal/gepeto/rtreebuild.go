@@ -32,6 +32,9 @@ type RTreeBuildOptions struct {
 	FanOut int
 	// Seed drives the phase-1 reservoir sampling.
 	Seed int64
+	// Parent is the enclosing observability span, when the build runs
+	// inside a larger pipeline (DJ-Cluster sets this).
+	Parent string
 }
 
 func (o RTreeBuildOptions) withDefaults(e *mapreduce.Engine) RTreeBuildOptions {
@@ -76,9 +79,10 @@ const (
 //     driver) into the final tree indexing the whole dataset.
 //
 // The returned results are the phase-1 and phase-2 job reports.
-func BuildRTreeMR(e *mapreduce.Engine, inputPaths []string, workDir string, opts RTreeBuildOptions) (*rtree.Tree, []*mapreduce.Result, error) {
+func BuildRTreeMR(e *mapreduce.Engine, inputPaths []string, workDir string, opts RTreeBuildOptions) (tree *rtree.Tree, results []*mapreduce.Result, err error) {
 	opts = opts.withDefaults(e)
-	var results []*mapreduce.Result
+	spanID := "rtree:" + workDir
+	defer span(e, spanID, opts.Parent, fmt.Sprintf("curve=%s p=%d", opts.Curve, opts.Partitions), &err)()
 	bounds := geolife.Beijing // quantisation domain for the curve
 	conf := map[string]string{
 		confCurve:      opts.Curve,
@@ -93,6 +97,7 @@ func BuildRTreeMR(e *mapreduce.Engine, inputPaths []string, workDir string, opts
 	phase1Out := workDir + "/phase1"
 	r1, err := e.Run(&mapreduce.Job{
 		Name:        "rtree-phase1-sample",
+		Parent:      spanID,
 		InputPaths:  inputPaths,
 		OutputPath:  phase1Out,
 		NewMapper:   func() mapreduce.Mapper { return &sampleMapper{} },
@@ -117,6 +122,7 @@ func BuildRTreeMR(e *mapreduce.Engine, inputPaths []string, workDir string, opts
 	phase2Out := workDir + "/phase2"
 	r2, err := e.Run(&mapreduce.Job{
 		Name:        "rtree-phase2-build",
+		Parent:      spanID,
 		InputPaths:  inputPaths,
 		OutputPath:  phase2Out,
 		NewMapper:   func() mapreduce.Mapper { return &partitionMapper{} },
@@ -142,6 +148,7 @@ func BuildRTreeMR(e *mapreduce.Engine, inputPaths []string, workDir string, opts
 	// single node due to its low computational complexity"). Subtrees
 	// are merged in partition order, which follows the curve, so
 	// adjacent subtrees are spatially close.
+	defer span(e, spanID+"/merge", spanID, "sequential subtree merge", &err)()
 	kvs, err = e.ReadOutput(phase2Out)
 	if err != nil {
 		return nil, results, err
@@ -159,7 +166,7 @@ func BuildRTreeMR(e *mapreduce.Engine, inputPaths []string, workDir string, opts
 		}
 		subtrees = append(subtrees, st)
 	}
-	tree := rtree.Merge(opts.FanOut, subtrees...)
+	tree = rtree.Merge(opts.FanOut, subtrees...)
 	return tree, results, nil
 }
 

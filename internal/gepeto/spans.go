@@ -1,0 +1,26 @@
+package gepeto
+
+import (
+	"repro/internal/mapreduce"
+	"repro/internal/obs"
+)
+
+// span emits a SpanStart on the engine's bus and returns a closer that
+// emits the matching SpanEnd. errp, if non-nil, is read at close time
+// so the span records the pipeline's failure (use with named returns):
+//
+//	defer span(e, "kmeans:"+workDir, "", "k=11", &err)()
+//
+// The bus is nil-safe, so uninstrumented engines pay only the two
+// calls.
+func span(e *mapreduce.Engine, id, parent, detail string, errp *error) func() {
+	bus := e.Obs()
+	bus.Emit(obs.Event{Type: obs.SpanStart, Span: id, Parent: parent, Detail: detail})
+	return func() {
+		ev := obs.Event{Type: obs.SpanEnd, Span: id}
+		if errp != nil && *errp != nil {
+			ev.Err = (*errp).Error()
+		}
+		bus.Emit(ev)
+	}
+}

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/dfs"
+	"repro/internal/obs"
 )
 
 // Options configures the engine.
@@ -29,6 +30,14 @@ type Options struct {
 	// tasks on the given node, modelling heterogeneous or straggling
 	// nodes (used by tests to exercise speculation).
 	NodeDelay func(node string) time.Duration
+	// Obs receives structured lifecycle events (job, phase and task-
+	// attempt spans). A nil bus — or a bus with no sinks — costs one
+	// nil/empty check per emission site, so jobs run at full speed
+	// when nothing is observing.
+	Obs *obs.Bus
+	// History, if set, persists every successful job's record (report
+	// plus per-attempt timeline) — the job-history server role.
+	History *obs.History
 }
 
 // Engine is the jobtracker: it turns DFS chunks into map tasks,
@@ -51,6 +60,26 @@ func (e *Engine) FS() *dfs.FileSystem { return e.fs }
 
 // Cluster returns the engine's cluster.
 func (e *Engine) Cluster() *cluster.Cluster { return e.cluster }
+
+// Obs returns the engine's event bus (possibly nil), so algorithm
+// drivers can emit pipeline spans onto the same trace.
+func (e *Engine) Obs() *obs.Bus { return e.opts.Obs }
+
+// History returns the engine's job-history store (possibly nil).
+func (e *Engine) History() *obs.History { return e.opts.History }
+
+// attemptLog collects per-attempt records during scheduling.
+type attemptLog struct {
+	mu   sync.Mutex
+	t0   time.Time
+	recs []obs.AttemptRecord
+}
+
+func (l *attemptLog) add(rec obs.AttemptRecord) {
+	l.mu.Lock()
+	l.recs = append(l.recs, rec)
+	l.mu.Unlock()
+}
 
 // mapOutput is one map task's partitioned intermediate output.
 type mapOutput struct {
@@ -88,14 +117,50 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 		Job:      job.Name,
 		Counters: NewCounters(),
 		MapTasks: len(splits),
+		Start:    start,
 	}
 	mapOnly := job.NewReducer == nil
 
+	bus := e.opts.Obs
+	alog := &attemptLog{t0: start}
+	io0 := e.fs.IOStats()
+	bus.Emit(obs.Event{
+		Type: obs.JobSubmitted, Job: job.Name, Parent: job.Parent, Time: start,
+		Detail: fmt.Sprintf("maps=%d reducers=%d", len(splits), numReducers),
+	})
+	// fail reports the job's failure on the bus before returning it.
+	fail := func(err error) (*Result, error) {
+		bus.Emit(obs.Event{
+			Type: obs.JobFinished, Job: job.Name, Parent: job.Parent,
+			Dur: time.Since(start), Err: err.Error(),
+		})
+		return nil, err
+	}
+	// complete finalises a successful result: attempt records, the
+	// job's share of DFS I/O, the finish event, and the history record.
+	complete := func() *Result {
+		res.Wall = time.Since(start)
+		res.Attempts = alog.recs
+		io1 := e.fs.IOStats()
+		res.Counters.Get(CounterGroupDFS, CounterDFSBytesRead).Inc(io1.BytesRead - io0.BytesRead)
+		res.Counters.Get(CounterGroupDFS, CounterDFSBytesWritten).Inc(io1.BytesWritten - io0.BytesWritten)
+		res.Counters.Get(CounterGroupDFS, CounterDFSChunksRead).Inc(io1.ChunksRead - io0.ChunksRead)
+		bus.Emit(obs.Event{
+			Type: obs.JobFinished, Job: job.Name, Parent: job.Parent, Dur: res.Wall,
+		})
+		if e.opts.History != nil {
+			// History is diagnostics: a full store must not fail the job.
+			_, _ = e.opts.History.Save(res.HistoryRecord())
+		}
+		return res
+	}
+
 	// ---- Map phase ----
 	mapStart := time.Now()
+	bus.Emit(obs.Event{Type: obs.PhaseStart, Job: job.Name, Phase: "map", Time: mapStart})
 	outputs := make([]*mapOutput, len(splits))
 	reports := make([]TaskReport, len(splits))
-	err = e.schedule(splits, maxAttempts, res.Counters, func(i int, node string, attempt int) (func(), error) {
+	err = e.schedule(job, "map", alog, splits, maxAttempts, res.Counters, func(i int, node string, attempt int) (func(), error) {
 		taskID := fmt.Sprintf("map-%04d", i)
 		if e.opts.FailureHook != nil {
 			if ferr := e.opts.FailureHook(taskID, attempt, node); ferr != nil {
@@ -169,26 +234,27 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 		return commit, nil
 	}, reports)
 	if err != nil {
-		return nil, fmt.Errorf("mapreduce: job %s: %v", job.Name, err)
+		return fail(fmt.Errorf("mapreduce: job %s: %v", job.Name, err))
 	}
 	res.MapWall = time.Since(mapStart)
+	bus.Emit(obs.Event{Type: obs.PhaseEnd, Job: job.Name, Phase: "map", Dur: res.MapWall})
 
 	if mapOnly {
 		// Each map task's output becomes a part-m file.
 		for i, out := range outputs {
 			name := fmt.Sprintf("%s/part-m-%05d", job.OutputPath, i)
 			if err := e.writePartFile(name, out.parts[0]); err != nil {
-				return nil, err
+				return fail(err)
 			}
 			res.OutputFiles = append(res.OutputFiles, name)
 		}
 		res.Tasks = reports
-		res.Wall = time.Since(start)
-		return res, nil
+		return complete(), nil
 	}
 
 	// ---- Shuffle: the only communication step (§III). ----
 	shuffleStart := time.Now()
+	bus.Emit(obs.Event{Type: obs.PhaseStart, Job: job.Name, Phase: "shuffle", Time: shuffleStart})
 	res.ReduceTasks = numReducers
 	reduceInputs := make([][]KV, numReducers)
 	var shuffleBytes int64
@@ -202,13 +268,15 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 	}
 	res.Counters.Get(CounterGroupShuffle, CounterShuffleBytes).Inc(shuffleBytes)
 	res.ShuffleWall = time.Since(shuffleStart)
+	bus.Emit(obs.Event{Type: obs.PhaseEnd, Job: job.Name, Phase: "shuffle", Dur: res.ShuffleWall, Value: shuffleBytes})
 
 	// ---- Reduce phase ----
 	reduceStart := time.Now()
+	bus.Emit(obs.Event{Type: obs.PhaseStart, Job: job.Name, Phase: "reduce", Time: reduceStart})
 	reduceReports := make([]TaskReport, numReducers)
 	reduceSplits := make([]InputSplit, numReducers) // no locality: reducers read from all mappers
 	partFiles := make([][]KV, numReducers)
-	err = e.schedule(reduceSplits, maxAttempts, res.Counters, func(r int, node string, attempt int) (func(), error) {
+	err = e.schedule(job, "reduce", alog, reduceSplits, maxAttempts, res.Counters, func(r int, node string, attempt int) (func(), error) {
 		taskID := fmt.Sprintf("reduce-%04d", r)
 		if e.opts.FailureHook != nil {
 			if ferr := e.opts.FailureHook(taskID, attempt, node); ferr != nil {
@@ -237,20 +305,20 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 		return commit, nil
 	}, reduceReports)
 	if err != nil {
-		return nil, fmt.Errorf("mapreduce: job %s: %v", job.Name, err)
+		return fail(fmt.Errorf("mapreduce: job %s: %v", job.Name, err))
 	}
 	res.ReduceWall = time.Since(reduceStart)
+	bus.Emit(obs.Event{Type: obs.PhaseEnd, Job: job.Name, Phase: "reduce", Dur: res.ReduceWall})
 
 	for r, kvs := range partFiles {
 		name := fmt.Sprintf("%s/part-r-%05d", job.OutputPath, r)
 		if err := e.writePartFile(name, kvs); err != nil {
-			return nil, err
+			return fail(err)
 		}
 		res.OutputFiles = append(res.OutputFiles, name)
 	}
 	res.Tasks = append(reports, reduceReports...)
-	res.Wall = time.Since(start)
-	return res, nil
+	return complete(), nil
 }
 
 // runReduce sorts records by key, groups equal keys, and feeds each
@@ -373,7 +441,7 @@ func validate(job *Job) error {
 // priority is given to neighboring nodes, i.e. belonging to the same
 // network rack"). Failed attempts are retried, excluding the node that
 // failed, up to maxAttempts; reports[i] is filled for each task.
-func (e *Engine) schedule(splits []InputSplit, maxAttempts int, counters *Counters, run func(i int, node string, attempt int) (func(), error), reports []TaskReport) error {
+func (e *Engine) schedule(job *Job, phase string, alog *attemptLog, splits []InputSplit, maxAttempts int, counters *Counters, run func(i int, node string, attempt int) (func(), error), reports []TaskReport) error {
 	if len(splits) == 0 {
 		return nil
 	}
@@ -381,6 +449,7 @@ func (e *Engine) schedule(splits []InputSplit, maxAttempts int, counters *Counte
 	if len(nodes) == 0 {
 		return fmt.Errorf("no alive nodes")
 	}
+	bus := e.opts.Obs
 
 	type pendingTask struct {
 		idx      int
@@ -401,6 +470,7 @@ func (e *Engine) schedule(splits []InputSplit, maxAttempts int, counters *Counte
 		pending   []*pendingTask
 		running   = make(map[int]*runState)
 		done      = make([]bool, len(splits))
+		failures  = make([]int, len(splits))
 		firstErr  error
 		remaining = len(splits)
 	)
@@ -526,29 +596,54 @@ func (e *Engine) schedule(splits []InputSplit, maxAttempts int, counters *Counte
 			rs.nodes[nodeID] = true
 			mu.Unlock()
 
+			tid := taskID(splits[pt.idx], pt.idx)
+			if bus.Active() {
+				bus.Emit(obs.Event{
+					Type: obs.TaskScheduled, Job: job.Name, Phase: phase, Task: tid,
+					Attempt: pt.attempt, Node: nodeID, Locality: locality, Backup: pt.backup,
+				})
+			}
 			if e.opts.NodeDelay != nil {
 				if d := e.opts.NodeDelay(nodeID); d > 0 {
 					time.Sleep(d)
 				}
 			}
 			taskStart := time.Now()
+			if bus.Active() {
+				bus.Emit(obs.Event{
+					Type: obs.AttemptStarted, Job: job.Name, Phase: phase, Task: tid,
+					Attempt: pt.attempt, Node: nodeID, Locality: locality, Backup: pt.backup,
+					Time: taskStart,
+				})
+			}
 			commit, err := run(pt.idx, nodeID, pt.attempt)
+			taskEnd := time.Now()
+			// The retry branch below bumps pt.attempt for requeueing;
+			// the record and event for THIS attempt keep its own number.
+			attemptNo, wasBackup := pt.attempt, pt.backup
 
 			mu.Lock()
 			rs.active--
+			var status string
 			switch {
 			case done[pt.idx]:
 				// A parallel attempt already won; discard this result.
+				// This is the losing attempt's single terminal transition,
+				// so the kill event below fires exactly once per loser.
+				status = "killed"
 				counters.Get(CounterGroupScheduler, CounterSpeculativeWasted).Inc(1)
 			case err == nil:
+				status = "succeeded"
 				done[pt.idx] = true
 				delete(running, pt.idx)
 				commit()
-				reports[pt.idx].ID = taskID(splits[pt.idx], pt.idx)
+				reports[pt.idx].ID = tid
 				reports[pt.idx].Node = nodeID
 				reports[pt.idx].Attempts = pt.attempt + 1
 				reports[pt.idx].Locality = locality
-				reports[pt.idx].Duration = time.Since(taskStart)
+				reports[pt.idx].Duration = taskEnd.Sub(taskStart)
+				reports[pt.idx].StartOffset = taskStart.Sub(alog.t0)
+				reports[pt.idx].FailedAttempts = failures[pt.idx]
 				if locality != "" {
 					counters.Get(CounterGroupScheduler, localityCounters[class]).Inc(1)
 				}
@@ -556,12 +651,18 @@ func (e *Engine) schedule(splits []InputSplit, maxAttempts int, counters *Counte
 			case rs.active > 0:
 				// Another attempt of this task is still running; let it
 				// decide the task's fate.
+				status = "failed"
+				failures[pt.idx]++
 			case pt.attempt+1 >= maxAttempts:
+				status = "failed"
+				failures[pt.idx]++
 				if firstErr == nil {
 					firstErr = fmt.Errorf("task failed after %d attempts: %v", pt.attempt+1, err)
 				}
 			default:
 				// Retry on another node, like the jobtracker does.
+				status = "failed"
+				failures[pt.idx]++
 				delete(running, pt.idx)
 				if pt.excluded == nil {
 					pt.excluded = make(map[string]bool)
@@ -572,6 +673,36 @@ func (e *Engine) schedule(splits []InputSplit, maxAttempts int, counters *Counte
 				pt.attempt++
 				pt.backup = false
 				pending = append(pending, pt)
+			}
+			if alog != nil {
+				rec := obs.AttemptRecord{
+					Task: tid, Phase: phase, Attempt: attemptNo, Node: nodeID,
+					StartMs: taskStart.Sub(alog.t0).Milliseconds(),
+					EndMs:   taskEnd.Sub(alog.t0).Milliseconds(),
+					Locality: locality, Backup: wasBackup, Status: status,
+				}
+				if err != nil && status == "failed" {
+					rec.Error = err.Error()
+				}
+				alog.add(rec)
+			}
+			if bus.Active() {
+				evType := obs.AttemptSucceeded
+				switch status {
+				case "failed":
+					evType = obs.AttemptFailed
+				case "killed":
+					evType = obs.AttemptKilled
+				}
+				ev := obs.Event{
+					Type: evType, Job: job.Name, Phase: phase, Task: tid,
+					Attempt: attemptNo, Node: nodeID, Locality: locality, Backup: wasBackup,
+					Time: taskEnd, Dur: taskEnd.Sub(taskStart),
+				}
+				if err != nil && status == "failed" {
+					ev.Err = err.Error()
+				}
+				bus.Emit(ev)
 			}
 			cond.Broadcast()
 			mu.Unlock()

@@ -18,7 +18,10 @@ import (
 	"hash/fnv"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // KV is one intermediate or output record. MapReduce represents all
@@ -137,6 +140,10 @@ type Job struct {
 	// MaxAttempts is how many times a failed task is retried on
 	// another node before the job fails (default 3).
 	MaxAttempts int
+	// Parent is an optional observability span ID grouping this job
+	// into a pipeline trace (set by the k-means, DJ-Cluster and R-tree
+	// drivers); it is carried on the job's lifecycle events.
+	Parent string
 }
 
 // HashPartition is the default partitioner: FNV-1a hash of the key
@@ -187,24 +194,20 @@ func (c *TaskContext) Counter(group, name string) *Counter {
 }
 
 // Counter is a monotonically increasing job-level metric, safe for
-// concurrent use.
+// concurrent use. It is a bare atomic so per-record increments on the
+// map/reduce hot paths never contend on a lock.
 type Counter struct {
-	mu sync.Mutex
-	v  int64
+	v atomic.Int64
 }
 
 // Inc adds delta to the counter.
 func (c *Counter) Inc(delta int64) {
-	c.mu.Lock()
-	c.v += delta
-	c.mu.Unlock()
+	c.v.Add(delta)
 }
 
 // Value returns the current count.
 func (c *Counter) Value() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.v
+	return c.v.Load()
 }
 
 // Counters is a two-level registry of job counters (group → name),
@@ -314,6 +317,14 @@ const (
 	CounterSpeculativeWasted   = "speculative_wasted"
 
 	CounterShuffleBytes = "shuffle_bytes"
+
+	// CounterGroupDFS groups the file-system I/O attributed to the job
+	// (the delta of the DFS's global I/O stats across the run; with
+	// concurrent jobs on one file system the attribution is shared).
+	CounterGroupDFS        = "dfs"
+	CounterDFSBytesRead    = "dfs_bytes_read"
+	CounterDFSBytesWritten = "dfs_bytes_written"
+	CounterDFSChunksRead   = "chunks_read"
 )
 
 // TaskReport describes one completed task for diagnostics and tests.
@@ -331,6 +342,12 @@ type TaskReport struct {
 	Records int64
 	// Duration is the wall time of the successful attempt.
 	Duration time.Duration
+	// StartOffset is when the winning attempt started executing,
+	// relative to job submission (timeline positioning).
+	StartOffset time.Duration
+	// FailedAttempts counts the attempts that failed before (or, with
+	// speculation, alongside) the winning one.
+	FailedAttempts int
 }
 
 // Result summarises one job execution.
@@ -347,8 +364,13 @@ type Result struct {
 	MapWall, ShuffleWall, ReduceWall time.Duration
 	// Wall is the total job wall time.
 	Wall time.Duration
+	// Start is the job submission time.
+	Start time.Time
 	// Tasks are per-task reports, map tasks first.
 	Tasks []TaskReport
+	// Attempts are all task attempts — winning, failed and
+	// speculatively killed — for history records and timelines.
+	Attempts []obs.AttemptRecord
 }
 
 // Report is the JSON-friendly form of a Result, mirroring Hadoop's job
@@ -357,19 +379,30 @@ type Report struct {
 	Job         string                      `json:"job"`
 	MapTasks    int                         `json:"map_tasks"`
 	ReduceTasks int                         `json:"reduce_tasks"`
+	StartUnixMs int64                       `json:"start_unix_ms"`
 	WallMillis  int64                       `json:"wall_ms"`
 	PhaseMillis map[string]int64            `json:"phase_ms"`
 	Counters    map[string]map[string]int64 `json:"counters"`
 	OutputFiles []string                    `json:"output_files"`
 	Tasks       []TaskReport                `json:"tasks,omitempty"`
+	Attempts    []obs.AttemptRecord         `json:"attempts,omitempty"`
 }
 
 // Report converts the result for serialization (encoding/json).
+// Reduce tasks have no locality preference, so their Locality renders
+// as "n/a" rather than an ambiguous empty string.
 func (r *Result) Report() Report {
+	tasks := append([]TaskReport(nil), r.Tasks...)
+	for i := range tasks {
+		if tasks[i].Locality == "" {
+			tasks[i].Locality = "n/a"
+		}
+	}
 	return Report{
 		Job:         r.Job,
 		MapTasks:    r.MapTasks,
 		ReduceTasks: r.ReduceTasks,
+		StartUnixMs: r.Start.UnixMilli(),
 		WallMillis:  r.Wall.Milliseconds(),
 		PhaseMillis: map[string]int64{
 			"map":     r.MapWall.Milliseconds(),
@@ -378,6 +411,37 @@ func (r *Result) Report() Report {
 		},
 		Counters:    r.Counters.Snapshot(),
 		OutputFiles: r.OutputFiles,
-		Tasks:       r.Tasks,
+		Tasks:       tasks,
+		Attempts:    r.Attempts,
+	}
+}
+
+// HistoryRecord converts the result into the form the job-history
+// store persists (obs.JobRecord carries no sequence number yet; the
+// store assigns one on Save).
+func (r *Result) HistoryRecord() obs.JobRecord {
+	nodeSet := make(map[string]bool)
+	for _, a := range r.Attempts {
+		nodeSet[a.Node] = true
+	}
+	nodes := make([]string, 0, len(nodeSet))
+	for n := range nodeSet {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	return obs.JobRecord{
+		Job:         r.Job,
+		StartUnixMs: r.Start.UnixMilli(),
+		WallMs:      r.Wall.Milliseconds(),
+		MapTasks:    r.MapTasks,
+		ReduceTasks: r.ReduceTasks,
+		PhaseMs: map[string]int64{
+			"map":     r.MapWall.Milliseconds(),
+			"shuffle": r.ShuffleWall.Milliseconds(),
+			"reduce":  r.ReduceWall.Milliseconds(),
+		},
+		Counters: r.Counters.Snapshot(),
+		Attempts: append([]obs.AttemptRecord(nil), r.Attempts...),
+		Nodes:    nodes,
 	}
 }

@@ -1,0 +1,261 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// HistoryDir is the directory (DFS or local) job records are stored
+// under, mirroring Hadoop's job-history server layout.
+const HistoryDir = "_history"
+
+// FS is the minimal file-store surface the history needs.
+// *dfs.FileSystem satisfies it structurally; DirFS adapts a local
+// directory so records survive the in-process DFS.
+type FS interface {
+	// Create writes a new file; it fails if path already exists.
+	// localNode is the writing datanode identity ("" for clients).
+	Create(path string, data []byte, localNode string) error
+	// List returns the sorted paths of files under the dir prefix.
+	List(dir string) []string
+	// ReadAll returns a file's full contents.
+	ReadAll(path string) ([]byte, error)
+}
+
+// AttemptRecord describes one task attempt for the job history: which
+// node ran it, when (as offsets from job submission), how it ended and
+// with what data locality. It is the unit the timeline renders.
+type AttemptRecord struct {
+	// Task is the owning task ("map-0007", "reduce-0000").
+	Task string `json:"task"`
+	// Phase is "map" or "reduce".
+	Phase string `json:"phase"`
+	// Attempt is the 0-based attempt number.
+	Attempt int `json:"attempt"`
+	// Node is the cluster node that executed the attempt.
+	Node string `json:"node"`
+	// StartMs/EndMs are millisecond offsets from job submission.
+	StartMs int64 `json:"start_ms"`
+	EndMs   int64 `json:"end_ms"`
+	// Locality is the placement class of winning map attempts.
+	Locality string `json:"locality,omitempty"`
+	// Backup marks speculative attempts.
+	Backup bool `json:"backup,omitempty"`
+	// Status is "succeeded", "failed" or "killed" (speculative loser).
+	Status string `json:"status"`
+	// Error is the failure reason for failed attempts.
+	Error string `json:"error,omitempty"`
+}
+
+// JobRecord is one persisted job execution — the engine's Report plus
+// submission time and the per-attempt records, i.e. what the Hadoop
+// job-history server keeps per job.
+type JobRecord struct {
+	// Seq orders records within a history store.
+	Seq int `json:"seq"`
+	// Job is the job name.
+	Job string `json:"job"`
+	// StartUnixMs is the job submission time (Unix milliseconds).
+	StartUnixMs int64 `json:"start_unix_ms"`
+	// WallMs is the total job wall time in milliseconds.
+	WallMs int64 `json:"wall_ms"`
+	// MapTasks and ReduceTasks are the task counts.
+	MapTasks    int `json:"map_tasks"`
+	ReduceTasks int `json:"reduce_tasks"`
+	// PhaseMs maps phase name to wall milliseconds.
+	PhaseMs map[string]int64 `json:"phase_ms"`
+	// Counters are the job counters (group → name → value).
+	Counters map[string]map[string]int64 `json:"counters,omitempty"`
+	// Attempts are all task attempts, winning and losing.
+	Attempts []AttemptRecord `json:"attempts,omitempty"`
+	// Nodes are the distinct nodes that ran attempts, sorted.
+	Nodes []string `json:"nodes,omitempty"`
+}
+
+// Start returns the submission time.
+func (r JobRecord) Start() time.Time { return time.UnixMilli(r.StartUnixMs) }
+
+// History persists finished-job records under HistoryDir in an FS —
+// the job-history server role. Safe for concurrent use.
+type History struct {
+	mu  sync.Mutex
+	fs  FS
+	seq int // next sequence number; 0 = not yet initialised
+}
+
+// NewHistory creates a history store over the given backend.
+func NewHistory(fs FS) *History { return &History{fs: fs} }
+
+// recPath builds "_history/000042-jobname.json". Slashes in job names
+// are flattened so every record stays directly under HistoryDir.
+func recPath(seq int, job string) string {
+	return fmt.Sprintf("%s/%06d-%s.json", HistoryDir, seq, strings.ReplaceAll(job, "/", "_"))
+}
+
+// nextSeqLocked scans existing records once to continue numbering
+// across processes (the local-dir backend outlives the process).
+func (h *History) nextSeqLocked() int {
+	if h.seq == 0 {
+		max := 0
+		for _, p := range h.fs.List(HistoryDir) {
+			base := filepath.Base(p)
+			if i := strings.IndexByte(base, '-'); i > 0 {
+				if n, err := strconv.Atoi(base[:i]); err == nil && n > max {
+					max = n
+				}
+			}
+		}
+		h.seq = max + 1
+	}
+	s := h.seq
+	h.seq++
+	return s
+}
+
+// Save assigns the record a sequence number and persists it, returning
+// the path written.
+func (h *History) Save(rec JobRecord) (string, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	rec.Seq = h.nextSeqLocked()
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	path := recPath(rec.Seq, rec.Job)
+	if err := h.fs.Create(path, data, ""); err != nil {
+		return "", fmt.Errorf("obs: saving history record: %v", err)
+	}
+	return path, nil
+}
+
+// List returns every stored record ordered by sequence number.
+// Unparseable files are skipped rather than failing the listing.
+func (h *History) List() ([]JobRecord, error) {
+	var out []JobRecord
+	for _, p := range h.fs.List(HistoryDir) {
+		data, err := h.fs.ReadAll(p)
+		if err != nil {
+			continue
+		}
+		var rec JobRecord
+		if err := json.Unmarshal(data, &rec); err != nil {
+			continue
+		}
+		out = append(out, rec)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out, nil
+}
+
+// Find returns the most recent record whose job name matches, or whose
+// sequence number equals the numeric form of key.
+func (h *History) Find(key string) (JobRecord, bool) {
+	recs, err := h.List()
+	if err != nil {
+		return JobRecord{}, false
+	}
+	wantSeq, seqErr := strconv.Atoi(key)
+	for i := len(recs) - 1; i >= 0; i-- {
+		if recs[i].Job == key || (seqErr == nil && recs[i].Seq == wantSeq) {
+			return recs[i], true
+		}
+	}
+	return JobRecord{}, false
+}
+
+// dirFS stores files under a local root directory, mapping DFS-style
+// slash paths to the local file tree.
+type dirFS struct {
+	root string
+}
+
+// NewDirFS returns an FS persisting into the local directory root
+// (created on demand). It lets job history survive the in-process DFS,
+// so `gepeto history` can inspect runs after the cluster is gone.
+func NewDirFS(root string) FS { return dirFS{root: root} }
+
+func (d dirFS) local(path string) string {
+	return filepath.Join(d.root, filepath.FromSlash(path))
+}
+
+func (d dirFS) Create(path string, data []byte, _ string) error {
+	full := d.local(path)
+	if _, err := os.Stat(full); err == nil {
+		return fmt.Errorf("obs: %s already exists", path)
+	}
+	if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(full, data, 0o644)
+}
+
+func (d dirFS) List(dir string) []string {
+	full := d.local(dir)
+	entries, err := os.ReadDir(full)
+	if err != nil {
+		return nil
+	}
+	var out []string
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		out = append(out, dir+"/"+e.Name())
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (d dirFS) ReadAll(path string) ([]byte, error) {
+	return os.ReadFile(d.local(path))
+}
+
+// teeFS writes to both backends and reads from their union (primary
+// wins), so records live in the simulated DFS for in-process diffing
+// and in a local directory for post-mortem inspection.
+type teeFS struct {
+	primary, secondary FS
+}
+
+// Tee combines two backends: Create writes to both, List merges, and
+// ReadAll falls back from primary to secondary.
+func Tee(primary, secondary FS) FS { return teeFS{primary, secondary} }
+
+func (t teeFS) Create(path string, data []byte, localNode string) error {
+	if err := t.primary.Create(path, data, localNode); err != nil {
+		return err
+	}
+	// The secondary may already hold the path from an earlier process;
+	// renumbering via List makes that rare, but don't fail the job on
+	// a mirror collision.
+	_ = t.secondary.Create(path, data, localNode)
+	return nil
+}
+
+func (t teeFS) List(dir string) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, p := range append(t.primary.List(dir), t.secondary.List(dir)...) {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (t teeFS) ReadAll(path string) ([]byte, error) {
+	if data, err := t.primary.ReadAll(path); err == nil {
+		return data, nil
+	}
+	return t.secondary.ReadAll(path)
+}

@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+	"time"
+)
+
+// StatusServer is the live jobtracker status endpoint, modelled on the
+// Hadoop jobtracker web UI the paper's Grid'5000 deployments exposed:
+//
+//	/jobs         all jobs and pipeline spans (JSON)
+//	/jobs/<name>  one job with its full attempt list (JSON)
+//	/metrics      Prometheus text-format metrics
+//	/metrics.json the same registry as a JSON snapshot
+//	/history      persisted job records (when a History is attached)
+//	/debug/pprof  the standard Go profiling endpoints
+type StatusServer struct {
+	ln      net.Listener
+	tracker *Tracker
+	reg     *Registry
+	hist    *History
+	// Extra, if set, is invoked at each /metrics scrape to append
+	// additional exposition lines (e.g. DFS storage gauges).
+	Extra func() string
+	srv   *http.Server
+}
+
+// NewStatusServer starts serving on addr (":0" picks a free port).
+// tracker, reg and hist may each be nil, disabling their endpoints.
+func NewStatusServer(addr string, tracker *Tracker, reg *Registry, hist *History) (*StatusServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: status server: %v", err)
+	}
+	s := &StatusServer{ln: ln, tracker: tracker, reg: reg, hist: hist}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/jobs", s.handleJobs)
+	mux.HandleFunc("/jobs/", s.handleJob)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/metrics.json", s.handleMetricsJSON)
+	mux.HandleFunc("/history", s.handleHistory)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.srv = &http.Server{Handler: mux}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound address, e.g. "127.0.0.1:43231".
+func (s *StatusServer) Addr() string { return s.ln.Addr().String() }
+
+// URL returns the server's base URL.
+func (s *StatusServer) URL() string {
+	host := s.Addr()
+	// A wildcard listen address is not dialable; point at loopback.
+	if strings.HasPrefix(host, "[::]") || strings.HasPrefix(host, "0.0.0.0") {
+		_, port, _ := net.SplitHostPort(host)
+		host = "127.0.0.1:" + port
+	}
+	return "http://" + host
+}
+
+// Close shuts the server down.
+func (s *StatusServer) Close() error { return s.srv.Close() }
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func (s *StatusServer) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "gepeto jobtracker status — %s\n\n", time.Now().Format(time.RFC3339))
+	fmt.Fprintln(w, "endpoints: /jobs /jobs/<name> /metrics /metrics.json /history /debug/pprof/")
+	if s.tracker != nil {
+		for _, js := range s.tracker.Jobs() {
+			fmt.Fprintf(w, "%-8s %-10s %s\n", js.Kind, js.State, js.Name)
+		}
+	}
+}
+
+func (s *StatusServer) handleJobs(w http.ResponseWriter, _ *http.Request) {
+	if s.tracker == nil {
+		http.Error(w, "no tracker attached", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, map[string]any{"jobs": s.tracker.Jobs()})
+}
+
+func (s *StatusServer) handleJob(w http.ResponseWriter, r *http.Request) {
+	if s.tracker == nil {
+		http.Error(w, "no tracker attached", http.StatusNotFound)
+		return
+	}
+	name := strings.TrimPrefix(r.URL.Path, "/jobs/")
+	js, attempts, ok := s.tracker.Job(name)
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	writeJSON(w, map[string]any{"job": js, "attempts": attempts})
+}
+
+func (s *StatusServer) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if s.reg != nil {
+		s.reg.WritePrometheus(w)
+	}
+	if s.Extra != nil {
+		fmt.Fprint(w, s.Extra())
+	}
+}
+
+func (s *StatusServer) handleMetricsJSON(w http.ResponseWriter, _ *http.Request) {
+	if s.reg == nil {
+		http.Error(w, "no registry attached", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, map[string]any{"metrics": s.reg.Snapshot()})
+}
+
+func (s *StatusServer) handleHistory(w http.ResponseWriter, _ *http.Request) {
+	if s.hist == nil {
+		http.Error(w, "no history attached", http.StatusNotFound)
+		return
+	}
+	recs, err := s.hist.List()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, map[string]any{"history": recs})
+}

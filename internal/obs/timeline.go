@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// RenderTimeline draws a per-node swimlane of every task attempt in a
+// job record, making stragglers, retries and speculative execution
+// visible at a glance:
+//
+//	job sampling — 2 map / 0 reduce tasks, wall 12ms
+//	time: 0ms ........................................ 12ms
+//	node-1 | [==map-0000==========]
+//	node-1 |          [~~map-0001~~]
+//	node-2 |    [==map-0001=====]
+//	legend: = succeeded   x failed   ~ speculative loser (killed)
+//
+// Each node gets one or more lanes; attempts that overlap in time on
+// the same node stack onto extra lanes. width is the number of columns
+// for the time axis (minimum 20; 0 picks a default of 72).
+func RenderTimeline(rec JobRecord, width int) string {
+	if width <= 0 {
+		width = 72
+	}
+	if width < 20 {
+		width = 20
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "job %s — %d map / %d reduce tasks, wall %v\n",
+		rec.Job, rec.MapTasks, rec.ReduceTasks, time.Duration(rec.WallMs)*time.Millisecond)
+	if len(rec.Attempts) == 0 {
+		sb.WriteString("(no attempt records)\n")
+		return sb.String()
+	}
+
+	// Time scale: job submission (0) to the last attempt end.
+	var tmax int64 = 1
+	for _, a := range rec.Attempts {
+		if a.EndMs > tmax {
+			tmax = a.EndMs
+		}
+	}
+	col := func(ms int64) int {
+		c := int(ms * int64(width-1) / tmax)
+		if c < 0 {
+			c = 0
+		}
+		if c > width-1 {
+			c = width - 1
+		}
+		return c
+	}
+
+	// Group attempts by node, then stack overlapping ones into lanes.
+	byNode := make(map[string][]AttemptRecord)
+	var nodes []string
+	for _, a := range rec.Attempts {
+		if _, ok := byNode[a.Node]; !ok {
+			nodes = append(nodes, a.Node)
+		}
+		byNode[a.Node] = append(byNode[a.Node], a)
+	}
+	sort.Strings(nodes)
+	nodeW := 0
+	for _, n := range nodes {
+		if len(n) > nodeW {
+			nodeW = len(n)
+		}
+	}
+
+	fmt.Fprintf(&sb, "time: 0ms %s %dms\n", strings.Repeat(".", max(0, width-len(fmt.Sprintf("0ms  %dms", tmax)))), tmax)
+	for _, node := range nodes {
+		attempts := byNode[node]
+		sort.SliceStable(attempts, func(i, j int) bool { return attempts[i].StartMs < attempts[j].StartMs })
+		// Greedy lane assignment by end time.
+		var laneEnds []int64
+		lanes := make(map[int][]AttemptRecord)
+		for _, a := range attempts {
+			placed := -1
+			for li, end := range laneEnds {
+				if a.StartMs >= end {
+					placed = li
+					break
+				}
+			}
+			if placed < 0 {
+				placed = len(laneEnds)
+				laneEnds = append(laneEnds, 0)
+			}
+			laneEnds[placed] = a.EndMs
+			lanes[placed] = append(lanes[placed], a)
+		}
+		for li := 0; li < len(laneEnds); li++ {
+			row := []byte(strings.Repeat(" ", width))
+			for _, a := range lanes[li] {
+				drawBar(row, col(a.StartMs), col(a.EndMs), a)
+			}
+			fmt.Fprintf(&sb, "%-*s | %s\n", nodeW, node, strings.TrimRight(string(row), " "))
+		}
+	}
+	sb.WriteString("legend: = succeeded   x failed   ~ speculative loser (killed)   [label] = task-attempt\n")
+	return sb.String()
+}
+
+// drawBar paints one attempt as "[==map-0003/0==]" between the given
+// columns, degrading gracefully when the bar is too narrow for its
+// label or brackets.
+func drawBar(row []byte, lo, hi int, a AttemptRecord) {
+	fill := byte('=')
+	switch a.Status {
+	case "failed":
+		fill = 'x'
+	case "killed":
+		fill = '~'
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	if hi > len(row) {
+		hi = len(row)
+	}
+	for i := lo; i < hi; i++ {
+		row[i] = fill
+	}
+	if hi-lo >= 2 {
+		row[lo] = '['
+		row[hi-1] = ']'
+	}
+	label := fmt.Sprintf("%s/%d", a.Task, a.Attempt)
+	if inner := hi - lo - 2; inner >= len(label) {
+		copy(row[lo+1+(inner-len(label))/2:], label)
+	}
+}
