@@ -7,6 +7,8 @@ package repro
 
 import (
 	"fmt"
+	"math/rand"
+	"sort"
 	"sync"
 	"testing"
 	"time"
@@ -15,6 +17,7 @@ import (
 	"repro/internal/geo"
 	"repro/internal/geolife"
 	"repro/internal/gepeto"
+	"repro/internal/mapreduce"
 	"repro/internal/obs"
 	"repro/internal/privacy"
 	"repro/internal/rtree"
@@ -434,6 +437,144 @@ func BenchmarkMMCPrediction(b *testing.B) {
 		acc = sum / float64(n)
 	}
 	b.ReportMetric(acc*100, "accuracy-%")
+}
+
+// shuffleBenchRuns builds the per-partition map output a shuffle sees:
+// maps tasks each emit recs records keyed by trace id (skewed so keys
+// collide across runs), hash-partitioned over reducers. Returns both
+// the raw emission-order runs (the seed shuffle's input) and stable-
+// sorted copies (the merge shuffle's input — map tasks sort their spill
+// at commit time, so the sort cost lives in the map phase).
+func shuffleBenchRuns(maps, recs, reducers int) (raw, sorted [][][]mapreduce.KV) {
+	rng := rand.New(rand.NewSource(42))
+	raw = make([][][]mapreduce.KV, reducers)
+	for p := range raw {
+		raw[p] = make([][]mapreduce.KV, maps)
+	}
+	for m := 0; m < maps; m++ {
+		for r := 0; r < recs; r++ {
+			k := fmt.Sprintf("trace-%04d", rng.Intn(3000))
+			p := 0
+			if reducers > 1 {
+				p = mapreduce.HashPartition(k, reducers)
+			}
+			raw[p][m] = append(raw[p][m], mapreduce.KV{Key: k, Value: fmt.Sprintf("v%06d", m*recs+r)})
+		}
+	}
+	sorted = make([][][]mapreduce.KV, reducers)
+	for p := range raw {
+		sorted[p] = make([][]mapreduce.KV, maps)
+		for m := range raw[p] {
+			run := append([]mapreduce.KV(nil), raw[p][m]...)
+			sort.SliceStable(run, func(i, j int) bool { return run[i].Key < run[j].Key })
+			sorted[p][m] = run
+		}
+	}
+	return raw, sorted
+}
+
+// seedShufflePartition is the seed engine's shuffle kept as a baseline:
+// concatenate a partition's unsorted runs in run order, then stable-
+// sort the whole partition by key.
+func seedShufflePartition(runs [][]mapreduce.KV) []mapreduce.KV {
+	var all []mapreduce.KV
+	for _, r := range runs {
+		all = append(all, r...)
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].Key < all[j].Key })
+	return all
+}
+
+// forEachPartition runs fn over every partition, in parallel when there
+// is more than one — mirroring the engine's slot-bounded merge fan-out.
+func forEachPartition(reducers int, fn func(p int)) {
+	if reducers == 1 {
+		fn(0)
+		return
+	}
+	var wg sync.WaitGroup
+	for p := 0; p < reducers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			fn(p)
+		}(p)
+	}
+	wg.Wait()
+}
+
+// BenchmarkShuffleMergeSorted measures the engine's current shuffle
+// path: a k-way merge of the map tasks' pre-sorted spill runs, one
+// merge per reduce partition (parallel across partitions). Compare
+// against BenchmarkShuffleSeedConcatSort on the same data.
+func BenchmarkShuffleMergeSorted(b *testing.B) {
+	const maps, recs = 24, 8000
+	for _, reducers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("reducers-%d", reducers), func(b *testing.B) {
+			raw, sorted := shuffleBenchRuns(maps, recs, reducers)
+			// The two shuffles must agree kv for kv before timing anything.
+			for p := 0; p < reducers; p++ {
+				want := seedShufflePartition(raw[p])
+				got := mapreduce.MergeRuns(sorted[p])
+				if len(got) != len(want) {
+					b.Fatalf("partition %d: merge %d records, seed %d", p, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						b.Fatalf("partition %d record %d: merge %v, seed %v", p, i, got[i], want[i])
+					}
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				forEachPartition(reducers, func(p int) {
+					mapreduce.MergeRuns(sorted[p])
+				})
+			}
+			b.ReportMetric(float64(maps*recs), "records/op")
+		})
+	}
+}
+
+// BenchmarkShuffleSeedConcatSort measures the seed engine's shuffle on
+// identical data: concatenate every partition's unsorted runs and
+// stable-sort the whole partition (parallel across partitions, like the
+// merge side, so the comparison isolates sort-vs-merge cost).
+func BenchmarkShuffleSeedConcatSort(b *testing.B) {
+	const maps, recs = 24, 8000
+	for _, reducers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("reducers-%d", reducers), func(b *testing.B) {
+			raw, _ := shuffleBenchRuns(maps, recs, reducers)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				forEachPartition(reducers, func(p int) {
+					seedShufflePartition(raw[p])
+				})
+			}
+			b.ReportMetric(float64(maps*recs), "records/op")
+		})
+	}
+}
+
+// BenchmarkShuffleJob runs a full multi-chunk, multi-reducer job end to
+// end — one k-means iteration with the combiner disabled, so every map
+// output record crosses the shuffle — the integration-level view of the
+// map-side spill sort, parallel per-partition merge and streaming
+// reduce.
+func BenchmarkShuffleJob(b *testing.B) {
+	tk, _ := newBenchToolkit(b, 256<<10)
+	b.ResetTimer()
+	var bytes int64
+	for i := 0; i < b.N; i++ {
+		res, err := gepeto.KMeansMR(tk.Engine(), []string{"data"}, uniq("w"), gepeto.KMeansOptions{
+			K: 11, Distance: geo.MetricSquaredEuclidean, MaxIter: 1, Seed: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		bytes = res.IterationResults[0].Counters.Value("shuffle", "shuffle_bytes")
+	}
+	b.ReportMetric(float64(bytes), "shuffle-bytes")
 }
 
 // BenchmarkEngine measures the observability layer's overhead on a

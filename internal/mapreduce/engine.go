@@ -2,7 +2,6 @@ package mapreduce
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -81,6 +80,14 @@ func (l *attemptLog) add(rec obs.AttemptRecord) {
 	l.mu.Unlock()
 }
 
+// snapshot copies the records under the lock: abandoned speculative
+// losers may still append after the job has returned.
+func (l *attemptLog) snapshot() []obs.AttemptRecord {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]obs.AttemptRecord(nil), l.recs...)
+}
+
 // mapOutput is one map task's partitioned intermediate output.
 type mapOutput struct {
 	parts [][]KV // indexed by reducer partition
@@ -129,7 +136,12 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 		Detail: fmt.Sprintf("maps=%d reducers=%d", len(splits), numReducers),
 	})
 	// fail reports the job's failure on the bus before returning it.
+	// Any part files already committed are removed first — the output-
+	// exists check at submission guarantees everything under OutputPath
+	// was written by this job, and leaving partial output behind would
+	// make a rerun of the same job fail on that very check.
 	fail := func(err error) (*Result, error) {
+		e.fs.DeleteDir(job.OutputPath)
 		bus.Emit(obs.Event{
 			Type: obs.JobFinished, Job: job.Name, Parent: job.Parent,
 			Dur: time.Since(start), Err: err.Error(),
@@ -140,11 +152,11 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 	// job's share of DFS I/O, the finish event, and the history record.
 	complete := func() *Result {
 		res.Wall = time.Since(start)
-		res.Attempts = alog.recs
 		io1 := e.fs.IOStats()
 		res.Counters.Get(CounterGroupDFS, CounterDFSBytesRead).Inc(io1.BytesRead - io0.BytesRead)
 		res.Counters.Get(CounterGroupDFS, CounterDFSBytesWritten).Inc(io1.BytesWritten - io0.BytesWritten)
 		res.Counters.Get(CounterGroupDFS, CounterDFSChunksRead).Inc(io1.ChunksRead - io0.ChunksRead)
+		res.Attempts = alog.snapshot()
 		bus.Emit(obs.Event{
 			Type: obs.JobFinished, Job: job.Name, Parent: job.Parent, Dur: res.Wall,
 		})
@@ -206,17 +218,32 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 			outRecords += int64(len(p))
 		}
 
-		// Map-side combine.
+		// Map-side combine: the combiner sees the raw emission-order
+		// partition (sorted only to form its groups, as any reduce is).
 		var combineIn, combineOut int64
 		if job.NewCombiner != nil && !mapOnly {
 			for p := range out.parts {
-				combined, err := e.runReduce(ctx, job.NewCombiner(), out.parts[p], nil)
+				sortRun(out.parts[p])
+				combined, err := runReduce(ctx, job.NewCombiner(), &sliceIter{kvs: out.parts[p]}, nil)
 				if err != nil {
 					return nil, fmt.Errorf("%s combiner: %v", taskID, err)
 				}
 				combineIn += int64(len(out.parts[p]))
 				combineOut += int64(len(combined))
 				out.parts[p] = combined
+			}
+		}
+		// Sort each partition at commit time (Hadoop's map-side spill
+		// sort): the shuffle then only merges pre-sorted runs and the
+		// reducers never re-sort. The cost lands here, inside the
+		// parallel map phase. With a combiner the partitions are
+		// already nearly sorted (combine emits in group order), so the
+		// stable sort is close to a verification pass.
+		var spilled int64
+		if !mapOnly {
+			for p := range out.parts {
+				sortRun(out.parts[p])
+				spilled += int64(len(out.parts[p]))
 			}
 		}
 		// Only the winning attempt commits its output and counters
@@ -227,6 +254,9 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 			if job.NewCombiner != nil && !mapOnly {
 				ctx.Counter(CounterGroupTask, CounterCombineInput).Inc(combineIn)
 				ctx.Counter(CounterGroupTask, CounterCombineOutput).Inc(combineOut)
+			}
+			if !mapOnly {
+				ctx.Counter(CounterGroupShuffle, CounterShuffleSpilledRecords).Inc(spilled)
 			}
 			outputs[i] = out
 			reports[i].Records = records
@@ -253,22 +283,60 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 	}
 
 	// ---- Shuffle: the only communication step (§III). ----
+	// Sort-based: every map task committed pre-sorted runs per reduce
+	// partition, so the shuffle is a k-way merge per partition, run in
+	// parallel across partitions bounded by the cluster's task slots.
 	shuffleStart := time.Now()
-	bus.Emit(obs.Event{Type: obs.PhaseStart, Job: job.Name, Phase: "shuffle", Time: shuffleStart})
 	res.ReduceTasks = numReducers
-	reduceInputs := make([][]KV, numReducers)
-	var shuffleBytes int64
+	runsPerPart := make([][][]KV, numReducers)
+	var totalRuns int64
 	for _, out := range outputs {
 		for p := range out.parts {
-			for _, kv := range out.parts[p] {
-				shuffleBytes += int64(len(kv.Key) + len(kv.Value))
+			if len(out.parts[p]) > 0 {
+				runsPerPart[p] = append(runsPerPart[p], out.parts[p])
+				totalRuns++
 			}
-			reduceInputs[p] = append(reduceInputs[p], out.parts[p]...)
 		}
 	}
+	bus.Emit(obs.Event{
+		Type: obs.PhaseStart, Job: job.Name, Phase: "shuffle", Time: shuffleStart,
+		Detail: fmt.Sprintf("partitions=%d runs=%d", numReducers, totalRuns),
+	})
+	reduceInputs := make([][]KV, numReducers)
+	partBytes := make([]int64, numReducers)
+	slots := e.cluster.TotalSlots()
+	if slots < 1 {
+		slots = 1
+	}
+	sem := make(chan struct{}, slots)
+	var mergeWG sync.WaitGroup
+	for p := 0; p < numReducers; p++ {
+		mergeWG.Add(1)
+		sem <- struct{}{}
+		go func(p int) {
+			defer mergeWG.Done()
+			defer func() { <-sem }()
+			merged := MergeRuns(runsPerPart[p])
+			var b int64
+			for _, kv := range merged {
+				b += int64(len(kv.Key) + len(kv.Value))
+			}
+			reduceInputs[p] = merged
+			partBytes[p] = b
+		}(p)
+	}
+	mergeWG.Wait()
+	var shuffleBytes int64
+	for _, b := range partBytes {
+		shuffleBytes += b
+	}
 	res.Counters.Get(CounterGroupShuffle, CounterShuffleBytes).Inc(shuffleBytes)
+	res.Counters.Get(CounterGroupShuffle, CounterShuffleRunsMerged).Inc(totalRuns)
 	res.ShuffleWall = time.Since(shuffleStart)
-	bus.Emit(obs.Event{Type: obs.PhaseEnd, Job: job.Name, Phase: "shuffle", Dur: res.ShuffleWall, Value: shuffleBytes})
+	bus.Emit(obs.Event{
+		Type: obs.PhaseEnd, Job: job.Name, Phase: "shuffle", Dur: res.ShuffleWall,
+		Value: shuffleBytes, Detail: shuffleDetail(runsPerPart, reduceInputs, partBytes),
+	})
 
 	// ---- Reduce phase ----
 	reduceStart := time.Now()
@@ -290,8 +358,12 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 			JobName: job.Name, TaskID: taskID, Attempt: attempt, Node: node,
 			conf: job.Conf, cache: job.Cache, counters: res.Counters,
 		}
+		// The merged partition is consumed through a streaming group
+		// iterator; each attempt gets its own cursor over the shared
+		// read-only slice, so concurrent speculative attempts need no
+		// defensive copy and nobody re-sorts.
 		var groups int64
-		out, err := e.runReduce(ctx, job.NewReducer(), reduceInputs[r], &groups)
+		out, err := runReduce(ctx, job.NewReducer(), &sliceIter{kvs: reduceInputs[r]}, &groups)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %v", taskID, err)
 		}
@@ -321,37 +393,30 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 	return complete(), nil
 }
 
-// runReduce sorts records by key, groups equal keys, and feeds each
-// group to the reducer (used for both real reducers and combiners).
-// If groupCount is non-nil it receives the number of distinct keys.
+// runReduce feeds each distinct-key group of a sorted record stream to
+// the reducer (used for both real reducers and combiners). The input
+// iterator must yield records in non-decreasing key order; grouping is
+// streaming, so the whole input is never copied or re-sorted. If
+// groupCount is non-nil it receives the number of distinct keys.
 // Counters are the caller's responsibility (only winning attempts
 // commit them).
-func (e *Engine) runReduce(ctx *TaskContext, red Reducer, input []KV, groupCount *int64) ([]KV, error) {
-	// Copy before sorting: with speculative execution two attempts of
-	// the same reduce task may process this slice concurrently.
-	input = append([]KV(nil), input...)
-	sort.SliceStable(input, func(i, j int) bool { return input[i].Key < input[j].Key })
+func runReduce(ctx *TaskContext, red Reducer, it kvIter, groupCount *int64) ([]KV, error) {
 	var out []KV
 	emit := func(k, v string) { out = append(out, KV{k, v}) }
 	if err := red.Setup(ctx); err != nil {
 		return nil, fmt.Errorf("setup: %v", err)
 	}
-	i := 0
+	g := newGroupIter(it)
 	var groups int64
-	for i < len(input) {
-		j := i
-		for j < len(input) && input[j].Key == input[i].Key {
-			j++
+	for {
+		key, values, ok := g.next()
+		if !ok {
+			break
 		}
-		values := make([]string, 0, j-i)
-		for _, kv := range input[i:j] {
-			values = append(values, kv.Value)
-		}
-		if err := red.Reduce(ctx, input[i].Key, values, emit); err != nil {
+		if err := red.Reduce(ctx, key, values, emit); err != nil {
 			return nil, err
 		}
 		groups++
-		i = j
 	}
 	if err := red.Cleanup(ctx, emit); err != nil {
 		return nil, fmt.Errorf("cleanup: %v", err)
@@ -360,6 +425,25 @@ func (e *Engine) runReduce(ctx *TaskContext, red Reducer, input []KV, groupCount
 		*groupCount = groups
 	}
 	return out, nil
+}
+
+// shuffleDetail renders the per-partition merge summary carried on the
+// shuffle PhaseEnd event: runs merged, records and bytes per reduce
+// partition, capped so huge reducer counts stay readable.
+func shuffleDetail(runs [][][]KV, merged [][]KV, bytes []int64) string {
+	const maxParts = 16
+	var sb strings.Builder
+	for p := range merged {
+		if p == maxParts {
+			fmt.Fprintf(&sb, " …(+%d partitions)", len(merged)-maxParts)
+			break
+		}
+		if p > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "p%d:runs=%d,records=%d,bytes=%d", p, len(runs[p]), len(merged[p]), bytes[p])
+	}
+	return sb.String()
 }
 
 // writePartFile stores records as "key\tvalue" lines in DFS.
@@ -473,9 +557,15 @@ func (e *Engine) schedule(job *Job, phase string, alog *attemptLog, splits []Inp
 		failures  = make([]int, len(splits))
 		firstErr  error
 		remaining = len(splits)
+		// attemptSeq allocates attempt numbers per task. Every launch —
+		// first try, retry or speculative backup — draws a fresh number,
+		// so no two attempts of a task ever collide (a retried backup
+		// must not reuse a number the primary already burned).
+		attemptSeq = make([]int, len(splits))
 	)
 	for i := range splits {
 		pending = append(pending, &pendingTask{idx: i})
+		attemptSeq[i] = 1
 	}
 
 	// pickBackupLocked selects the longest-running unduplicated task
@@ -502,7 +592,9 @@ func (e *Engine) schedule(job *Job, phase string, alog *attemptLog, splits []Inp
 		}
 		running[bestIdx].backups++
 		counters.Get(CounterGroupScheduler, CounterSpeculativeLaunched).Inc(1)
-		return &pendingTask{idx: bestIdx, backup: true}
+		attempt := attemptSeq[bestIdx]
+		attemptSeq[bestIdx]++
+		return &pendingTask{idx: bestIdx, attempt: attempt, backup: true}
 	}
 
 	// pickLocked selects the best pending task for a node:
@@ -650,17 +742,24 @@ func (e *Engine) schedule(job *Job, phase string, alog *attemptLog, splits []Inp
 				remaining--
 			case rs.active > 0:
 				// Another attempt of this task is still running; let it
-				// decide the task's fate.
+				// decide the task's fate. A failed backup releases its
+				// speculation slot so a still-straggling primary can
+				// receive another backup later.
 				status = "failed"
 				failures[pt.idx]++
-			case pt.attempt+1 >= maxAttempts:
+				if pt.backup {
+					rs.backups--
+				}
+			case failures[pt.idx]+1 >= maxAttempts:
 				status = "failed"
 				failures[pt.idx]++
 				if firstErr == nil {
-					firstErr = fmt.Errorf("task failed after %d attempts: %v", pt.attempt+1, err)
+					firstErr = fmt.Errorf("task failed after %d attempts: %v", failures[pt.idx], err)
 				}
 			default:
-				// Retry on another node, like the jobtracker does.
+				// Retry on another node, like the jobtracker does, under
+				// a fresh attempt number that cannot collide with any
+				// attempt already launched (including backups).
 				status = "failed"
 				failures[pt.idx]++
 				delete(running, pt.idx)
@@ -670,7 +769,8 @@ func (e *Engine) schedule(job *Job, phase string, alog *attemptLog, splits []Inp
 				if len(pt.excluded) < len(nodes)-1 {
 					pt.excluded[nodeID] = true
 				}
-				pt.attempt++
+				pt.attempt = attemptSeq[pt.idx]
+				attemptSeq[pt.idx]++
 				pt.backup = false
 				pending = append(pending, pt)
 			}

@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -939,6 +940,221 @@ func TestSpeculativeWastedCounted(t *testing.T) {
 		if len(kvs) != 1 {
 			t.Fatalf("duplicate output records: %v", kvs)
 		}
+	}
+}
+
+func TestFailedJobCleansPartialOutputAndRerunSucceeds(t *testing.T) {
+	// A job that dies after committing some part files must not leave
+	// them in DFS: the rerun of the same job on the same output path
+	// would otherwise refuse to start with "output path already exists".
+	e := newTestEngine(t, 16) // several map tasks
+	writeInput(t, e, "in/f", "aaaa bbbb\ncccc dddd\neeee ffff\n")
+	var sabotage sync.Once
+	fs := e.FS()
+	mapper := func() Mapper {
+		return MapFunc(func(_ *TaskContext, _, v string, emit Emit) error {
+			// First run only: plant a file where the engine will write
+			// its second part file, making that commit fail after the
+			// first part file has already been written.
+			sabotage.Do(func() {
+				_ = fs.Create("out/part-m-00001", []byte("squatter\n"), "")
+			})
+			emit(v, "1")
+			return nil
+		})
+	}
+	job := &Job{
+		Name:       "partial",
+		InputPaths: []string{"in/f"},
+		OutputPath: "out",
+		NewMapper:  mapper,
+	}
+	if _, err := e.Run(job); err == nil {
+		t.Fatal("first run should fail on the planted part file")
+	}
+	if left := fs.List("out"); len(left) != 0 {
+		t.Fatalf("failed job left files behind: %v", left)
+	}
+	if _, err := e.Run(job); err != nil {
+		t.Fatalf("rerun on the same output path: %v", err)
+	}
+	kvs, err := e.ReadOutput("out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kvs) != 3 {
+		t.Fatalf("rerun output = %v, want 3 records", kvs)
+	}
+}
+
+func TestFailedReduceJobCleansOutputForRerun(t *testing.T) {
+	// Same contract on the reduce path: a job failing in the reduce
+	// phase must be rerunnable on the same output path.
+	c, _ := cluster.NewUniform(4, 2, 2)
+	fs, _ := dfs.New(c, dfs.Config{ChunkSize: 64, Replication: 3, Seed: 1})
+	failing := true
+	var mu sync.Mutex
+	e := NewEngine(c, fs, Options{
+		FailureHook: func(taskID string, attempt int, node string) error {
+			mu.Lock()
+			defer mu.Unlock()
+			if failing && strings.HasPrefix(taskID, "reduce-") {
+				return fmt.Errorf("injected reduce failure")
+			}
+			return nil
+		},
+	})
+	writeInput(t, e, "in/f", "a b a\n")
+	job := &Job{
+		Name:        "redfail",
+		InputPaths:  []string{"in/f"},
+		OutputPath:  "out",
+		NewMapper:   func() Mapper { return wordMapper{} },
+		NewReducer:  func() Reducer { return sumReducer{} },
+		MaxAttempts: 1,
+	}
+	if _, err := e.Run(job); err == nil {
+		t.Fatal("first run should fail in reduce")
+	}
+	mu.Lock()
+	failing = false
+	mu.Unlock()
+	if _, err := e.Run(job); err != nil {
+		t.Fatalf("rerun on the same output path: %v", err)
+	}
+}
+
+func TestSecondBackupAfterFailedBackup(t *testing.T) {
+	// When a speculative backup fails while the primary is still
+	// running, its speculation slot must be released so the straggling
+	// task can receive another backup — and the retried attempts must
+	// get attempt numbers that never collide with ones already used.
+	c, _ := cluster.NewUniform(3, 1, 1)
+	fs, _ := dfs.New(c, dfs.Config{ChunkSize: 1 << 20, Replication: 3, Seed: 1})
+	e := NewEngine(c, fs, Options{
+		SpeculativeSlack: 10 * time.Millisecond,
+		FailureHook: func(taskID string, attempt int, node string) error {
+			switch attempt {
+			case 0:
+				time.Sleep(200 * time.Millisecond) // straggling primary
+				return nil
+			case 1:
+				return fmt.Errorf("backup dies") // first backup fails fast
+			default:
+				return nil // second backup succeeds
+			}
+		},
+	})
+	writeInput(t, e, "in/f", "x y z\n")
+	res, err := e.Run(&Job{
+		Name:       "rebackup",
+		InputPaths: []string{"in/f"},
+		OutputPath: "out",
+		NewMapper:  func() Mapper { return wordMapper{} },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := res.Counters.Value(CounterGroupScheduler, CounterSpeculativeLaunched); n < 2 {
+		t.Fatalf("speculative_launched = %d, want >= 2 (second backup after the failed one)", n)
+	}
+	// Attempt numbers must be unique per task across all records.
+	seen := map[string]map[int]bool{}
+	for _, a := range res.Attempts {
+		if seen[a.Task] == nil {
+			seen[a.Task] = map[int]bool{}
+		}
+		if seen[a.Task][a.Attempt] {
+			t.Fatalf("attempt number %d reused for task %s: %+v", a.Attempt, a.Task, res.Attempts)
+		}
+		seen[a.Task][a.Attempt] = true
+	}
+	kvs, _ := e.ReadOutput("out")
+	if len(kvs) != 3 {
+		t.Fatalf("output = %v, want 3 records exactly once", kvs)
+	}
+	// Let the sleeping primary drain before the test (and its cluster)
+	// goes away.
+	time.Sleep(250 * time.Millisecond)
+}
+
+func TestAttemptRecordsStableAfterRunReturns(t *testing.T) {
+	// Run returns as soon as every task has a winner; an abandoned
+	// speculative loser may still be executing and will append its
+	// attempt record afterwards. res.Attempts must be a snapshot that
+	// the caller can read while the loser drains (-race regression).
+	c, _ := cluster.NewUniform(3, 1, 1)
+	fs, _ := dfs.New(c, dfs.Config{ChunkSize: 1 << 20, Replication: 3, Seed: 1})
+	e := NewEngine(c, fs, Options{
+		SpeculativeSlack: 10 * time.Millisecond,
+	})
+	writeInput(t, e, "in/f", "x\n")
+	// The first attempt to reach Map becomes the straggler — after its
+	// split is already read, so the loser touches no shared lock
+	// between the job's return and its own late attempt-record append.
+	var attempts atomic.Int32
+	res, err := e.Run(&Job{
+		Name:       "snapshot",
+		InputPaths: []string{"in/f"},
+		OutputPath: "out",
+		NewMapper: func() Mapper {
+			return MapFunc(func(_ *TaskContext, _, v string, emit Emit) error {
+				if attempts.Add(1) == 1 {
+					time.Sleep(120 * time.Millisecond)
+				}
+				emit(v, "1")
+				return nil
+			})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read the records while any loser is still finishing; under -race
+	// this must not conflict with the loser's append.
+	for _, a := range res.Attempts {
+		if a.Task == "" {
+			t.Fatal("empty attempt record")
+		}
+	}
+	time.Sleep(150 * time.Millisecond) // let the loser record its kill
+	for _, a := range res.Attempts {
+		if a.Status == "" {
+			t.Fatal("attempt record mutated after return")
+		}
+	}
+}
+
+func TestShuffleCountersAndPartitionDetail(t *testing.T) {
+	e := newTestEngine(t, 32)
+	writeInput(t, e, "in/f", strings.Repeat("alpha beta gamma delta\n", 25))
+	res, err := e.Run(&Job{
+		Name:        "shufcount",
+		InputPaths:  []string{"in/f"},
+		OutputPath:  "out",
+		NewMapper:   func() Mapper { return wordMapper{} },
+		NewReducer:  func() Reducer { return sumReducer{} },
+		NumReducers: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs := res.Counters.Value(CounterGroupShuffle, CounterShuffleRunsMerged)
+	spilled := res.Counters.Value(CounterGroupShuffle, CounterShuffleSpilledRecords)
+	mapOut := res.Counters.Value(CounterGroupTask, CounterMapOutputRecords)
+	if runs <= 0 || runs > int64(res.MapTasks*res.ReduceTasks) {
+		t.Fatalf("shuffle_runs_merged = %d with %d maps x %d reducers", runs, res.MapTasks, res.ReduceTasks)
+	}
+	// Without a combiner every map output record is spilled exactly
+	// once and crosses the shuffle exactly once.
+	if spilled != mapOut {
+		t.Fatalf("shuffle_spilled_records = %d, want %d (map output records)", spilled, mapOut)
+	}
+	if in := res.Counters.Value(CounterGroupTask, CounterReduceInputRecords); in != spilled {
+		t.Fatalf("reduce_input_records = %d, want %d", in, spilled)
+	}
+	if res.Counters.Value(CounterGroupShuffle, CounterShuffleBytes) <= 0 {
+		t.Fatal("shuffle_bytes not counted")
 	}
 }
 

@@ -317,6 +317,12 @@ const (
 	CounterSpeculativeWasted   = "speculative_wasted"
 
 	CounterShuffleBytes = "shuffle_bytes"
+	// CounterShuffleRunsMerged counts the pre-sorted map-output runs
+	// fed into the shuffle's per-partition k-way merges.
+	CounterShuffleRunsMerged = "shuffle_runs_merged"
+	// CounterShuffleSpilledRecords counts the records sorted into runs
+	// by map tasks at commit time (Hadoop's "Spilled Records").
+	CounterShuffleSpilledRecords = "shuffle_spilled_records"
 
 	// CounterGroupDFS groups the file-system I/O attributed to the job
 	// (the delta of the DFS's global I/O stats across the run; with

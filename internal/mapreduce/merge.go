@@ -1,0 +1,176 @@
+package mapreduce
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// This file implements the sort-based shuffle's merge machinery,
+// mirroring Hadoop's intermediate-data path: each map task sorts every
+// partition of its output at commit time (a "run", Hadoop's spill
+// file), the shuffle performs a k-way merge of the pre-sorted runs per
+// reduce partition, and the reducer consumes a streaming group
+// iterator over the merged stream — no reduce-side re-sort, and no
+// defensive copy for concurrent speculative attempts, which share the
+// merged slice read-only.
+
+// sortRun stable-sorts one map-output partition by key, preserving
+// emission order among equal keys (the property the merge's tie-break
+// relies on for end-to-end determinism).
+func sortRun(kvs []KV) {
+	sort.SliceStable(kvs, func(i, j int) bool { return kvs[i].Key < kvs[j].Key })
+}
+
+// kvIter yields key-value records in non-decreasing key order.
+type kvIter interface {
+	next() (KV, bool)
+}
+
+// sliceIter iterates an already-sorted slice.
+type sliceIter struct {
+	kvs []KV
+	pos int
+}
+
+func (s *sliceIter) next() (KV, bool) {
+	if s.pos >= len(s.kvs) {
+		return KV{}, false
+	}
+	kv := s.kvs[s.pos]
+	s.pos++
+	return kv, true
+}
+
+// runCursor is one sorted run's read position inside the merge heap.
+// ord is the run's position in the input order; it breaks key ties so
+// the merge is stable across runs (records of equal keys come out in
+// map-task order, exactly as the concat-then-stable-sort shuffle
+// produced them).
+type runCursor struct {
+	run []KV
+	pos int
+	ord int
+}
+
+// runHeap is a min-heap of run cursors ordered by (current key, ord).
+type runHeap []*runCursor
+
+func (h runHeap) Len() int { return len(h) }
+
+func (h runHeap) Less(i, j int) bool {
+	ki, kj := h[i].run[h[i].pos].Key, h[j].run[h[j].pos].Key
+	if ki != kj {
+		return ki < kj
+	}
+	return h[i].ord < h[j].ord
+}
+
+func (h runHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *runHeap) Push(x any) { *h = append(*h, x.(*runCursor)) }
+
+func (h *runHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return x
+}
+
+// mergeIter streams the k-way merge of pre-sorted runs.
+type mergeIter struct {
+	h runHeap
+}
+
+// newMergeIter builds a merge iterator over the given runs. Each run
+// must already be sorted by key; empty runs are skipped.
+func newMergeIter(runs [][]KV) *mergeIter {
+	h := make(runHeap, 0, len(runs))
+	for ord, r := range runs {
+		if len(r) > 0 {
+			h = append(h, &runCursor{run: r, ord: ord})
+		}
+	}
+	heap.Init(&h)
+	return &mergeIter{h: h}
+}
+
+func (m *mergeIter) next() (KV, bool) {
+	if len(m.h) == 0 {
+		return KV{}, false
+	}
+	c := m.h[0]
+	kv := c.run[c.pos]
+	c.pos++
+	if c.pos == len(c.run) {
+		heap.Pop(&m.h)
+	} else {
+		heap.Fix(&m.h, 0)
+	}
+	return kv, true
+}
+
+// MergeRuns merges pre-sorted runs into one sorted slice. Records with
+// equal keys keep run order (and, within a run, the run's own order),
+// so merging stable-sorted runs is kv-for-kv equivalent to
+// concatenating the unsorted runs and stable-sorting the whole — the
+// seed shuffle's behaviour, now at O(N log k) instead of O(N log N).
+//
+// When exactly one run is non-empty the result aliases it rather than
+// copying; callers must treat the inputs as consumed and the output as
+// read-only. Exported for benchmarks and downstream tooling.
+func MergeRuns(runs [][]KV) []KV {
+	var last []KV
+	nonEmpty, total := 0, 0
+	for _, r := range runs {
+		if len(r) > 0 {
+			nonEmpty++
+			total += len(r)
+			last = r
+		}
+	}
+	switch nonEmpty {
+	case 0:
+		return nil
+	case 1:
+		return last
+	}
+	out := make([]KV, 0, total)
+	it := newMergeIter(runs)
+	for kv, ok := it.next(); ok; kv, ok = it.next() {
+		out = append(out, kv)
+	}
+	return out
+}
+
+// groupIter turns a sorted kv stream into (key, values) groups, the
+// unit a Reducer consumes. It buffers only one group at a time.
+type groupIter struct {
+	it  kvIter
+	cur KV
+	ok  bool
+}
+
+func newGroupIter(it kvIter) *groupIter {
+	g := &groupIter{it: it}
+	g.cur, g.ok = it.next()
+	return g
+}
+
+// next returns the next key and all its values. ok is false when the
+// stream is exhausted.
+func (g *groupIter) next() (key string, values []string, ok bool) {
+	if !g.ok {
+		return "", nil, false
+	}
+	key = g.cur.Key
+	values = append(values, g.cur.Value)
+	for {
+		g.cur, g.ok = g.it.next()
+		if !g.ok || g.cur.Key != key {
+			return key, values, true
+		}
+		values = append(values, g.cur.Value)
+	}
+}

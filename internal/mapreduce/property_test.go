@@ -202,6 +202,54 @@ func TestPropertySamplingPipelineComposition(t *testing.T) {
 	}
 }
 
+// TestPropertyMergeShuffleEqualsSeedShuffle asserts the sort-based
+// shuffle's core equivalence: merging the per-map stable-sorted runs
+// yields, kv for kv, exactly what the seed shuffle produced by
+// concatenating the unsorted runs and stable-sorting the whole
+// partition. Runs are random in count, length (including empty) and
+// key skew.
+func TestPropertyMergeShuffleEqualsSeedShuffle(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 100}
+	f := func(seed int64, runsRaw, keysRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		numRuns := int(runsRaw)%12 + 1
+		keySpace := int(keysRaw)%20 + 1
+		runs := make([][]KV, numRuns)
+		seq := 0
+		for i := range runs {
+			n := rng.Intn(50)
+			for j := 0; j < n; j++ {
+				runs[i] = append(runs[i], KV{
+					Key:   fmt.Sprintf("key-%03d", rng.Intn(keySpace)),
+					Value: fmt.Sprintf("val-%05d", seq),
+				})
+				seq++
+			}
+		}
+		want := seedShuffle(runs)
+		sorted := make([][]KV, len(runs))
+		for i, r := range runs {
+			sorted[i] = append([]KV(nil), r...)
+			sortRun(sorted[i])
+		}
+		got := MergeRuns(sorted)
+		if len(got) != len(want) {
+			t.Logf("seed=%d: merged %d records, want %d", seed, len(got), len(want))
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Logf("seed=%d: record %d = %v, want %v", seed, i, got[i], want[i])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func newTestEngineQuick(seed int64) *Engine {
 	c, err := cluster.NewUniform(4, 2, 2)
 	if err != nil {

@@ -73,16 +73,26 @@ func readSplitLines(fs *dfs.FileSystem, sp InputSplit, fn func(offset int64, lin
 	if sp.Offset > 0 {
 		readStart = sp.Offset - 1
 	}
-	buf, err := fs.ReadRange(sp.Path, readStart, (sp.Offset-readStart)+sp.Length+maxLineOverrun)
+	reqLen := (sp.Offset - readStart) + sp.Length + maxLineOverrun
+	buf, err := fs.ReadRange(sp.Path, readStart, reqLen)
 	if err != nil {
 		return err
 	}
+	// ReadRange truncates at end-of-file; a buffer of the full
+	// requested length may therefore have been cut by the range limit
+	// rather than by EOF, and an unterminated tail then means a record
+	// longer than the reader's overrun bound — not a final line.
+	rangeLimited := int64(len(buf)) == reqLen
 	pos := int64(0) // position within buf; file offset is readStart+pos
 	if sp.Offset > 0 {
 		// Skip the line in progress at the split start.
 		nl := bytes.IndexByte(buf, '\n')
 		if nl < 0 {
-			return nil // the whole split is the interior of one huge line
+			// The whole split is the interior of one huge line. That
+			// record belongs to the split it starts in, whose reader
+			// reports the oversized-line error; here there is nothing
+			// to emit.
+			return nil
 		}
 		pos = int64(nl) + 1
 	}
@@ -96,6 +106,16 @@ func readSplitLines(fs *dfs.FileSystem, sp InputSplit, fn func(offset int64, lin
 		var line []byte
 		var advance int64
 		if nl < 0 {
+			if rangeLimited {
+				// The record starting at this offset continues past the
+				// end of the range-limited buffer: emitting rest would
+				// silently truncate it as if it were EOF. Any such
+				// record is over maxLineOverrun bytes long (it starts
+				// before the split end and fills the rest of the
+				// buffer), so it exceeds the reader's contract either
+				// way.
+				return fmt.Errorf("mapreduce: %s: line starting at offset %d exceeds the %d-byte maximum record length", sp.Path, readStart+pos, maxLineOverrun)
+			}
 			line = rest // final line of the file without trailing newline
 			advance = int64(len(rest))
 		} else {

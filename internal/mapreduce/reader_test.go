@@ -1,0 +1,115 @@
+package mapreduce
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/dfs"
+)
+
+func newReaderFS(t *testing.T, chunkSize int64) *dfs.FileSystem {
+	t.Helper()
+	c, err := cluster.NewUniform(4, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := dfs.New(c, dfs.Config{ChunkSize: chunkSize, Replication: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+// readAllSplits runs readSplitLines over every split of a file and
+// collects lines and per-split errors.
+func readAllSplits(t *testing.T, fs *dfs.FileSystem, path string) (lines []string, errs []error) {
+	t.Helper()
+	splits, err := splitsFor(fs, []string{path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sp := range splits {
+		err := readSplitLines(fs, sp, func(_ int64, line string) error {
+			lines = append(lines, line)
+			return nil
+		})
+		if err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return lines, errs
+}
+
+func TestOversizedLineIsAnErrorNotTruncation(t *testing.T) {
+	// A record continuing more than maxLineOverrun bytes past its
+	// split's end used to be emitted truncated, as if the buffer end
+	// were EOF. It must be a "line too long" error instead, reported by
+	// the split the record starts in.
+	const chunk = 1 << 16
+	fs := newReaderFS(t, chunk)
+	// The line must outrun its split's read window: longer than one
+	// chunk plus the full overrun allowance.
+	huge := strings.Repeat("x", maxLineOverrun+2*chunk)
+	content := "short-line\n" + huge + "\n" + "after\n"
+	if err := fs.Create("in/f", []byte(content), ""); err != nil {
+		t.Fatal(err)
+	}
+	lines, errs := readAllSplits(t, fs, "in/f")
+	if len(errs) != 1 {
+		t.Fatalf("got %d split errors, want exactly 1 (from the owning split): %v", len(errs), errs)
+	}
+	if !strings.Contains(errs[0].Error(), "maximum record length") {
+		t.Fatalf("error = %v, want oversized-line error", errs[0])
+	}
+	// No split may have emitted a truncated piece of the huge line.
+	for _, l := range lines {
+		if strings.HasPrefix(l, "x") {
+			t.Fatalf("truncated fragment of the oversized line was emitted (len %d)", len(l))
+		}
+	}
+}
+
+func TestLongLineWithinOverrunStillReads(t *testing.T) {
+	// A record crossing many chunk boundaries but terminating within
+	// maxLineOverrun of its split end is legal and must come back whole.
+	fs := newReaderFS(t, 64)
+	long := strings.Repeat("y", 5000) // spans ~78 chunks, well under the overrun
+	content := "a\n" + long + "\nb\n"
+	if err := fs.Create("in/f", []byte(content), ""); err != nil {
+		t.Fatal(err)
+	}
+	lines, errs := readAllSplits(t, fs, "in/f")
+	if len(errs) != 0 {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3", len(lines))
+	}
+	found := false
+	for _, l := range lines {
+		if l == long {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("long line not read back intact")
+	}
+}
+
+func TestUnterminatedFinalLineAtEOFStillReads(t *testing.T) {
+	// EOF without a trailing newline is not an oversized line: the
+	// buffer is shorter than requested, so the tail is a real record.
+	fs := newReaderFS(t, 8)
+	content := "aaa\nbbbb\nccccc" // no trailing newline
+	if err := fs.Create("in/f", []byte(content), ""); err != nil {
+		t.Fatal(err)
+	}
+	lines, errs := readAllSplits(t, fs, "in/f")
+	if len(errs) != 0 {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+	if len(lines) != 3 || lines[len(lines)-1] != "ccccc" {
+		t.Fatalf("lines = %q, want trailing ccccc intact", lines)
+	}
+}
