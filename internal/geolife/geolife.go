@@ -30,6 +30,7 @@ import (
 
 	"repro/internal/dfs"
 	"repro/internal/geo"
+	"repro/internal/recordio"
 	"repro/internal/trace"
 )
 
@@ -399,20 +400,56 @@ func WriteRecordsConcat(fs *dfs.FileSystem, dir string, ds *trace.Dataset, numFi
 	return nil
 }
 
-// ReadRecords reads a record-file directory written by WriteRecords
-// (or by a MapReduce job emitting trace records as values) back into a
-// dataset. Lines may optionally carry a leading "key TAB" prefix from
-// part files; the trailing "user TAB payload" pair is authoritative.
+// ReadRecords reads a record directory written by WriteRecords or by a
+// MapReduce job back into a dataset. Files are sniffed per file: both
+// text record files ("user TAB lat,lon,alt,unix" lines, optionally
+// with a leading part-file key column) and binary recordio part files
+// are accepted, so text uploads and binary job outputs read the same.
 func ReadRecords(fs *dfs.FileSystem, dir string) (*trace.Dataset, error) {
 	var traces []trace.Trace
-	files := fs.List(dir)
+	err := ForEachTrace(fs, []string{dir}, func(t trace.Trace) error {
+		traces = append(traces, t)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return trace.FromTraces(traces), nil
+}
+
+// ForEachTrace streams every trace stored under the given paths (files
+// or directories) in file order, sniffing the format of each file. It
+// is the single input-scanning loop behind ReadRecords and the
+// driver-side passes of the pipelines (k-means seeding and friends).
+func ForEachTrace(fs *dfs.FileSystem, paths []string, fn func(trace.Trace) error) error {
+	var files []string
+	for _, p := range paths {
+		if fs.Exists(p) {
+			files = append(files, p)
+		} else {
+			files = append(files, fs.List(p)...)
+		}
+	}
 	if len(files) == 0 {
-		return nil, fmt.Errorf("geolife: no record files under %q", dir)
+		return fmt.Errorf("geolife: no record files under %q", strings.Join(paths, ", "))
 	}
 	for _, f := range files {
 		data, err := fs.ReadAll(f)
 		if err != nil {
-			return nil, err
+			return err
+		}
+		if recordio.IsRecordData(data) {
+			err = recordio.ScanAll(data, func(_, value string) error {
+				t, err := recordio.DecodeTraceValue(value)
+				if err != nil {
+					return err
+				}
+				return fn(t)
+			})
+			if err != nil {
+				return fmt.Errorf("geolife: %s: %v", f, err)
+			}
+			continue
 		}
 		for _, line := range strings.Split(string(data), "\n") {
 			if line == "" {
@@ -420,22 +457,20 @@ func ReadRecords(fs *dfs.FileSystem, dir string) (*trace.Dataset, error) {
 			}
 			t, err := ParseRecordValue(line)
 			if err != nil {
-				return nil, fmt.Errorf("geolife: %s: %v", f, err)
+				return fmt.Errorf("geolife: %s: %v", f, err)
 			}
-			traces = append(traces, t)
+			if err := fn(t); err != nil {
+				return err
+			}
 		}
 	}
-	return trace.FromTraces(traces), nil
+	return nil
 }
 
-// ParseRecordValue parses a trace record that may carry extra
-// tab-separated prefixes (e.g. a part-file key). The record proper is
-// the last two tab fields: "user\tlat,lon,alt,unix".
+// ParseRecordValue parses a trace record value in any of the formats
+// jobs exchange: the binary recordio trace value, a raw text record,
+// or a text part-file line with a leading key column. It delegates to
+// the shared parser in internal/recordio.
 func ParseRecordValue(line string) (trace.Trace, error) {
-	fields := strings.Split(line, "\t")
-	if len(fields) < 2 {
-		return trace.Trace{}, fmt.Errorf("short record %q", line)
-	}
-	rec := fields[len(fields)-2] + "\t" + fields[len(fields)-1]
-	return trace.ParseRecord(rec)
+	return recordio.DecodeTraceValue(line)
 }

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/geo"
 	"repro/internal/mapreduce"
+	"repro/internal/recordio"
 	"repro/internal/rtree"
 	"repro/internal/trace"
 )
@@ -146,13 +147,23 @@ func DJClusterMR(e *mapreduce.Engine, inputPaths []string, workDir string, opts 
 
 	// Phase 3: neighborhood map + merging reduce.
 	clusterOut := workDir + "/clusters"
-	job := &mapreduce.Job{
+	ntj := &neighborhoodJob{
 		Name:       "djcluster-neighborhood",
 		Parent:     spanID,
 		InputPaths: []string{dedupOut},
 		OutputPath: clusterOut,
-		NewMapper:  func() mapreduce.Mapper { return &neighborhoodMapper{} },
-		NewReducer: func() mapreduce.Reducer { return &mergeReducer{} },
+		Mapper: func() mapreduce.TypedMapper[string, trace.Trace, string, []string] {
+			return &neighborhoodMapper{}
+		},
+		Reducer: func() mapreduce.TypedReducer[string, []string, string, string] {
+			return &mergeReducer{}
+		},
+		InputKey:    recordio.RawString{},
+		InputValue:  recordio.TraceValue{},
+		MapKey:      recordio.RawString{},
+		MapValue:    recordio.StringList{},
+		OutputKey:   recordio.RawString{},
+		OutputValue: recordio.RawString{},
 		// "A single reducer implements the last phase of the
 		// algorithm as the merging of joinable neighborhoods must be
 		// done by a centralized entity."
@@ -164,7 +175,7 @@ func DJClusterMR(e *mapreduce.Engine, inputPaths []string, workDir string, opts 
 		},
 		Cache: map[string][]byte{cacheRTree: treeBlob.Bytes()},
 	}
-	jr, err := e.Run(job)
+	jr, err := e.Run(ntj.Build())
 	if err != nil {
 		return res, err
 	}
@@ -209,20 +220,27 @@ func DJClusterMR(e *mapreduce.Engine, inputPaths []string, workDir string, opts 
 // corresponding time difference — and outputs only the traces whose
 // speed is at most maxSpeedKmh.
 func SpeedFilterJob(name string, inputPaths []string, outputPath string, maxSpeedKmh float64) *mapreduce.Job {
-	return &mapreduce.Job{
+	tj := &traceFilterJob{
 		Name:       name,
 		InputPaths: inputPaths,
 		OutputPath: outputPath,
-		NewMapper:  func() mapreduce.Mapper { return &speedFilterMapper{} },
+		Mapper: func() mapreduce.TypedMapper[string, trace.Trace, string, trace.Trace] {
+			return &speedFilterMapper{}
+		},
+		InputKey:   recordio.RawString{},
+		InputValue: recordio.TraceValue{},
+		MapKey:     recordio.RawString{},
+		MapValue:   recordio.TraceValue{},
 		Conf:       map[string]string{confMaxSpeed: strconv.FormatFloat(maxSpeedKmh, 'f', -1, 64)},
 	}
+	return tj.Build()
 }
 
 // speedFilterMapper keeps a two-trace lookbehind per user so each
 // interior trace's speed uses the centered difference; the first and
 // last traces of a chunk fall back to one-sided speeds.
 type speedFilterMapper struct {
-	mapreduce.MapperBase
+	mapreduce.TypedMapperBase[string, trace.Trace]
 	maxSpeed float64
 	state    map[string]*speedState
 }
@@ -242,11 +260,7 @@ func (m *speedFilterMapper) Setup(ctx *mapreduce.TaskContext) error {
 	return nil
 }
 
-func (m *speedFilterMapper) Map(ctx *mapreduce.TaskContext, _, value string, emit mapreduce.Emit) error {
-	t, err := parseTraceValue(value)
-	if err != nil {
-		return err
-	}
+func (m *speedFilterMapper) Map(ctx *mapreduce.TaskContext, _ string, t trace.Trace, emit mapreduce.TypedEmit[string, trace.Trace]) error {
 	st, ok := m.state[t.User]
 	if !ok {
 		m.state[t.User] = &speedState{cur: t, n: 1}
@@ -263,7 +277,7 @@ func (m *speedFilterMapper) Map(ctx *mapreduce.TaskContext, _, value string, emi
 	return nil
 }
 
-func (m *speedFilterMapper) Cleanup(ctx *mapreduce.TaskContext, emit mapreduce.Emit) error {
+func (m *speedFilterMapper) Cleanup(ctx *mapreduce.TaskContext, emit mapreduce.TypedEmit[string, trace.Trace]) error {
 	// Flush each user's final trace with a one-sided speed.
 	users := make([]string, 0, len(m.state))
 	for u := range m.state {
@@ -275,7 +289,7 @@ func (m *speedFilterMapper) Cleanup(ctx *mapreduce.TaskContext, emit mapreduce.E
 		if st.n == 1 {
 			// Lone trace: no speed evidence; it is stationary by
 			// definition of the filter (nothing to move from).
-			emitTrace(emit, st.cur)
+			emit(st.cur.User, st.cur)
 			ctx.Counter("djcluster", "speed_kept").Inc(1)
 			continue
 		}
@@ -286,11 +300,11 @@ func (m *speedFilterMapper) Cleanup(ctx *mapreduce.TaskContext, emit mapreduce.E
 
 // filter emits cur iff its speed (prev -> next over their time span)
 // is within the threshold.
-func (m *speedFilterMapper) filter(ctx *mapreduce.TaskContext, prev, cur, next trace.Trace, emit mapreduce.Emit) {
+func (m *speedFilterMapper) filter(ctx *mapreduce.TaskContext, prev, cur, next trace.Trace, emit mapreduce.TypedEmit[string, trace.Trace]) {
 	dt := next.Time.Sub(prev.Time).Seconds()
 	v := geo.SpeedKmh(prev.Point, next.Point, dt)
 	if v <= m.maxSpeed {
-		emitTrace(emit, cur)
+		emit(cur.User, cur)
 		ctx.Counter("djcluster", "speed_kept").Inc(1)
 	} else {
 		ctx.Counter("djcluster", "speed_dropped").Inc(1)
@@ -302,17 +316,24 @@ func (m *speedFilterMapper) filter(ctx *mapreduce.TaskContext, prev, cur, next t
 // the same spatial coordinate but different timestamps — keeping the
 // first of each redundant sequence.
 func DedupJob(name string, inputPaths []string, outputPath string, dupRadiusMeters float64) *mapreduce.Job {
-	return &mapreduce.Job{
+	tj := &traceFilterJob{
 		Name:       name,
 		InputPaths: inputPaths,
 		OutputPath: outputPath,
-		NewMapper:  func() mapreduce.Mapper { return &dedupMapper{} },
+		Mapper: func() mapreduce.TypedMapper[string, trace.Trace, string, trace.Trace] {
+			return &dedupMapper{}
+		},
+		InputKey:   recordio.RawString{},
+		InputValue: recordio.TraceValue{},
+		MapKey:     recordio.RawString{},
+		MapValue:   recordio.TraceValue{},
 		Conf:       map[string]string{confDupRadius: strconv.FormatFloat(dupRadiusMeters, 'f', -1, 64)},
 	}
+	return tj.Build()
 }
 
 type dedupMapper struct {
-	mapreduce.MapperBase
+	mapreduce.TypedMapperBase[string, trace.Trace]
 	radius float64
 	last   map[string]geo.Point
 }
@@ -327,19 +348,22 @@ func (m *dedupMapper) Setup(ctx *mapreduce.TaskContext) error {
 	return nil
 }
 
-func (m *dedupMapper) Map(ctx *mapreduce.TaskContext, _, value string, emit mapreduce.Emit) error {
-	t, err := parseTraceValue(value)
-	if err != nil {
-		return err
-	}
+func (m *dedupMapper) Map(ctx *mapreduce.TaskContext, _ string, t trace.Trace, emit mapreduce.TypedEmit[string, trace.Trace]) error {
 	if last, ok := m.last[t.User]; ok && geo.Haversine(last, t.Point) <= m.radius {
 		ctx.Counter("djcluster", "dup_dropped").Inc(1)
 		return nil
 	}
 	m.last[t.User] = t.Point
-	emitTrace(emit, t)
+	emit(t.User, t)
 	return nil
 }
+
+// neighborhoodJob is the typed shape of the neighborhood+merge job:
+// trace records in, (constant key, [center, neighbor...] ID list)
+// intermediates, and text cluster-membership records out. The member
+// lists travel as length-prefixed binary string lists instead of
+// "center|id,id"-formatted strings.
+type neighborhoodJob = mapreduce.TypedJob[string, trace.Trace, string, []string, string, string]
 
 // neighborhoodMapper is Algorithm 4: it loads the R-tree from the
 // distributed cache in setup, computes the neighborhood of each trace
@@ -347,7 +371,7 @@ func (m *dedupMapper) Map(ctx *mapreduce.TaskContext, _, value string, emit mapr
 // marks under-dense traces as noise, and emits (constant key, trace
 // plus neighborhood) pairs so a single reducer collects them all.
 type neighborhoodMapper struct {
-	mapreduce.MapperBase
+	mapreduce.TypedMapperBase[string, []string]
 	tree    *rtree.Tree
 	radius  float64
 	minPts  int
@@ -374,25 +398,23 @@ func (m *neighborhoodMapper) Setup(ctx *mapreduce.TaskContext) error {
 	return nil
 }
 
-func (m *neighborhoodMapper) Map(ctx *mapreduce.TaskContext, _, value string, emit mapreduce.Emit) error {
-	t, err := parseTraceValue(value)
-	if err != nil {
-		return err
-	}
+func (m *neighborhoodMapper) Map(ctx *mapreduce.TaskContext, _ string, t trace.Trace, emit mapreduce.TypedEmit[string, []string]) error {
 	neighbors := m.tree.Within(t.Point, m.radius)
-	ids := make([]string, 0, len(neighbors))
+	// ids[0] is the neighborhood's center trace; the rest its members.
+	ids := make([]string, 1, len(neighbors)+1)
+	ids[0] = TraceID(t)
 	for _, n := range neighbors {
 		if m.perUser && UserOfTraceID(n.ID) != t.User {
 			continue
 		}
 		ids = append(ids, n.ID)
 	}
-	if len(ids) < m.minPts {
+	if len(ids)-1 < m.minPts {
 		ctx.Counter("djcluster", "noise").Inc(1)
 		return nil
 	}
-	sort.Strings(ids)
-	emit(constKey, TraceID(t)+"|"+strings.Join(ids, ","))
+	sort.Strings(ids[1:])
+	emit(constKey, ids)
 	return nil
 }
 
@@ -402,10 +424,10 @@ func (m *neighborhoodMapper) Map(ctx *mapreduce.TaskContext, _, value string, em
 // using a union-find over trace IDs. Each output record is one final
 // cluster: key "cluster-N", value the comma-joined member IDs.
 type mergeReducer struct {
-	mapreduce.ReducerBase
+	mapreduce.TypedReducerBase[string, string]
 }
 
-func (r *mergeReducer) Reduce(_ *mapreduce.TaskContext, _ string, values []string, emit mapreduce.Emit) error {
+func (r *mergeReducer) Reduce(_ *mapreduce.TaskContext, _ string, values [][]string, emit mapreduce.TypedEmit[string, string]) error {
 	parent := make(map[string]string)
 	var find func(string) string
 	find = func(x string) string {
@@ -428,11 +450,11 @@ func (r *mergeReducer) Reduce(_ *mapreduce.TaskContext, _ string, values []strin
 		}
 	}
 	for _, v := range values {
-		center, rest, ok := strings.Cut(v, "|")
-		if !ok {
-			return fmt.Errorf("mergeReducer: bad neighborhood %q", v)
+		if len(v) == 0 {
+			return fmt.Errorf("mergeReducer: empty neighborhood")
 		}
-		for _, id := range strings.Split(rest, ",") {
+		center := v[0]
+		for _, id := range v[1:] {
 			union(center, id)
 		}
 	}

@@ -5,11 +5,14 @@
 // mapreduce engine. Sequential baselines of every algorithm are
 // provided for correctness cross-checks and speed-up benchmarks.
 //
-// Data layout: jobs exchange traces as line-oriented records whose
-// last two tab-separated fields are "user TAB lat,lon,alt,unix" (see
-// internal/geolife.ParseRecordValue). Every trace-emitting job outputs
-// key = user and value = payload, so its part files are directly
-// consumable as input records by the next job in a pipeline.
+// Data layout: jobs are typed over trace records via internal/recordio
+// codecs. Input codecs accept both text uploads (lines whose last two
+// tab-separated fields are "user TAB lat,lon,alt,unix", see
+// internal/geolife.ParseRecordValue) and the binary part files earlier
+// jobs produce. Every trace-emitting job outputs binary recordio
+// records with key = user and value = the encoded trace, so its part
+// files are directly consumable as input records by the next job in a
+// pipeline.
 package gepeto
 
 import (
@@ -18,7 +21,6 @@ import (
 	"strings"
 
 	"repro/internal/geo"
-	"repro/internal/geolife"
 	"repro/internal/trace"
 )
 
@@ -34,25 +36,6 @@ func TraceID(t trace.Trace) string {
 func UserOfTraceID(id string) string {
 	u, _, _ := strings.Cut(id, ":")
 	return u
-}
-
-// parseTraceValue decodes a map input line into a trace, tolerating a
-// leading part-file key prefix.
-func parseTraceValue(line string) (trace.Trace, error) {
-	return geolife.ParseRecordValue(line)
-}
-
-// emitTrace writes a trace in the composable record layout
-// (key = user, value = payload).
-func emitTrace(emit func(k, v string), t trace.Trace) {
-	rec := t.Record()
-	user, payload, _ := strings.Cut(rec, "\t")
-	emit(user, payload)
-}
-
-// formatPoint renders "lat,lon" at PLT precision.
-func formatPoint(p geo.Point) string {
-	return fmt.Sprintf("%.6f,%.6f", p.Lat, p.Lon)
 }
 
 // parsePoint parses "lat,lon".

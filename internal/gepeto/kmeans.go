@@ -9,7 +9,10 @@ import (
 
 	"repro/internal/dfs"
 	"repro/internal/geo"
+	"repro/internal/geolife"
 	"repro/internal/mapreduce"
+	"repro/internal/recordio"
+	"repro/internal/trace"
 )
 
 // KMeansOptions carries the runtime arguments of the MapReduced
@@ -104,20 +107,33 @@ func KMeansMR(e *mapreduce.Engine, inputPaths []string, workDir string, opts KMe
 	}
 	res = &KMeansResult{}
 	for iter := 0; iter < opts.MaxIter; iter++ {
-		job := &mapreduce.Job{
-			Name:        fmt.Sprintf("kmeans-iter-%03d", iter),
-			Parent:      spanID,
-			InputPaths:  inputPaths,
-			OutputPath:  fmt.Sprintf("%s/clusters-%03d", workDir, iter),
-			NewMapper:   func() mapreduce.Mapper { return &kmeansMapper{} },
-			NewReducer:  func() mapreduce.Reducer { return &kmeansReducer{final: true} },
+		tj := &kmeansIterJob{
+			Name:       fmt.Sprintf("kmeans-iter-%03d", iter),
+			Parent:     spanID,
+			InputPaths: inputPaths,
+			OutputPath: fmt.Sprintf("%s/clusters-%03d", workDir, iter),
+			Mapper: func() mapreduce.TypedMapper[string, trace.Trace, int64, recordio.PointSum] {
+				return &kmeansMapper{}
+			},
+			Reducer: func() mapreduce.TypedReducer[int64, recordio.PointSum, int64, recordio.PointSum] {
+				return kmeansReducer{}
+			},
+			InputKey:    recordio.RawString{},
+			InputValue:  recordio.TraceValue{},
+			MapKey:      recordio.Int64{},
+			MapValue:    recordio.PointSumCodec{},
+			OutputKey:   recordio.Int64{},
+			OutputValue: recordio.PointSumCodec{},
 			NumReducers: reducersFor(e, opts.K),
 			Conf:        map[string]string{confKMeansDistance: opts.Distance.String()},
 			Cache:       map[string][]byte{cacheCentroids: marshalCentroids(centroids)},
 		}
 		if opts.UseCombiner {
-			job.NewCombiner = func() mapreduce.Reducer { return &kmeansReducer{final: false} }
+			tj.Combiner = func() mapreduce.TypedReducer[int64, recordio.PointSum, int64, recordio.PointSum] {
+				return kmeansReducer{}
+			}
 		}
+		job := tj.Build()
 		jr, err := e.Run(job)
 		if err != nil {
 			return nil, err
@@ -142,10 +158,17 @@ func KMeansMR(e *mapreduce.Engine, inputPaths []string, workDir string, opts KMe
 	return res, nil
 }
 
+// kmeansIterJob is one k-means iteration in typed form: trace records
+// in, (cluster index, partial coordinate sum) intermediates, and one
+// aggregated PointSum per cluster out. Cluster indices travel as
+// order-preserving int64 encodings and partial sums as raw float64
+// bits — the combiner no longer loses precision to decimal rendering.
+type kmeansIterJob = mapreduce.TypedJob[string, trace.Trace, int64, recordio.PointSum, int64, recordio.PointSum]
+
 // kmeansMapper is Algorithm 1: load the centroids from the distributed
 // cache in setup, then assign each trace to its closest centroid.
 type kmeansMapper struct {
-	mapreduce.MapperBase
+	mapreduce.TypedMapperBase[int64, recordio.PointSum]
 	centroids []geo.Point
 	metric    geo.Metric
 }
@@ -164,11 +187,7 @@ func (m *kmeansMapper) Setup(ctx *mapreduce.TaskContext) error {
 	return err
 }
 
-func (m *kmeansMapper) Map(_ *mapreduce.TaskContext, _, value string, emit mapreduce.Emit) error {
-	t, err := parseTraceValue(value)
-	if err != nil {
-		return err
-	}
+func (m *kmeansMapper) Map(_ *mapreduce.TaskContext, _ string, t trace.Trace, emit mapreduce.TypedEmit[int64, recordio.PointSum]) error {
 	best, bestDist := 0, m.metric.Distance(t.Point, m.centroids[0])
 	for i := 1; i < len(m.centroids); i++ {
 		if d := m.metric.Distance(t.Point, m.centroids[i]); d < bestDist {
@@ -176,51 +195,26 @@ func (m *kmeansMapper) Map(_ *mapreduce.TaskContext, _, value string, emit mapre
 		}
 	}
 	// Emit in partial-sum form so the combiner can aggregate.
-	emit(strconv.Itoa(best), fmt.Sprintf("%.6f,%.6f,1", t.Point.Lat, t.Point.Lon))
+	emit(int64(best), recordio.PointSum{LatSum: t.Point.Lat, LonSum: t.Point.Lon, N: 1})
 	return nil
 }
 
-// kmeansReducer is Algorithm 2 (and doubles as the combiner): values
-// are "latSum,lonSum,count" partial sums; the combiner re-emits the
-// aggregated partial sum, while the final reducer emits the new
-// centroid as the average, with its cluster size.
+// kmeansReducer is Algorithm 2 and doubles as the combiner: the merge
+// of partial sums is associative, so the same reduction runs map-side
+// and reduce-side, and the driver computes the average afterwards.
+// Sums stay full-precision float64 end to end — the old text codec
+// rendered combiner output through %f, quantising each partial sum to
+// six decimals and drifting the centroids when combining was on.
 type kmeansReducer struct {
-	mapreduce.ReducerBase
-	final bool
+	mapreduce.TypedReducerBase[int64, recordio.PointSum]
 }
 
-func (r *kmeansReducer) Reduce(_ *mapreduce.TaskContext, key string, values []string, emit mapreduce.Emit) error {
-	var latSum, lonSum float64
-	var count int64
+func (kmeansReducer) Reduce(_ *mapreduce.TaskContext, key int64, values []recordio.PointSum, emit mapreduce.TypedEmit[int64, recordio.PointSum]) error {
+	var sum recordio.PointSum
 	for _, v := range values {
-		parts := strings.Split(v, ",")
-		if len(parts) != 3 {
-			return fmt.Errorf("kmeansReducer: bad partial sum %q", v)
-		}
-		lat, err := strconv.ParseFloat(parts[0], 64)
-		if err != nil {
-			return err
-		}
-		lon, err := strconv.ParseFloat(parts[1], 64)
-		if err != nil {
-			return err
-		}
-		n, err := strconv.ParseInt(parts[2], 10, 64)
-		if err != nil {
-			return err
-		}
-		latSum += lat
-		lonSum += lon
-		count += n
+		sum.Merge(v)
 	}
-	if !r.final {
-		emit(key, fmt.Sprintf("%f,%f,%d", latSum, lonSum, count))
-		return nil
-	}
-	if count == 0 {
-		return nil
-	}
-	emit(key, fmt.Sprintf("%.6f,%.6f,%d", latSum/float64(count), lonSum/float64(count), count))
+	emit(key, sum)
 	return nil
 }
 
@@ -232,34 +226,17 @@ func randomCenters(fs *dfs.FileSystem, inputPaths []string, k int, seed int64) (
 	rng := rand.New(rand.NewSource(seed))
 	reservoir := make([]geo.Point, 0, k)
 	n := 0
-	var files []string
-	for _, p := range inputPaths {
-		if fs.Exists(p) {
-			files = append(files, p)
-		} else {
-			files = append(files, fs.List(p)...)
+	err := geolife.ForEachTrace(fs, inputPaths, func(t trace.Trace) error {
+		n++
+		if len(reservoir) < k {
+			reservoir = append(reservoir, t.Point)
+		} else if j := rng.Intn(n); j < k {
+			reservoir[j] = t.Point
 		}
-	}
-	for _, f := range files {
-		data, err := fs.ReadAll(f)
-		if err != nil {
-			return nil, err
-		}
-		for _, line := range strings.Split(string(data), "\n") {
-			if line == "" {
-				continue
-			}
-			t, err := parseTraceValue(line)
-			if err != nil {
-				return nil, fmt.Errorf("kmeans init: %v", err)
-			}
-			n++
-			if len(reservoir) < k {
-				reservoir = append(reservoir, t.Point)
-			} else if j := rng.Intn(n); j < k {
-				reservoir[j] = t.Point
-			}
-		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("kmeans init: %v", err)
 	}
 	if len(reservoir) < k {
 		return nil, fmt.Errorf("kmeans init: dataset has %d traces, need at least k=%d", n, k)
@@ -271,30 +248,13 @@ func randomCenters(fs *dfs.FileSystem, inputPaths []string, k int, seed int64) (
 // single-node initialization pass, like randomCenters but retaining all
 // points for ++-style seeding).
 func readAllPoints(fs *dfs.FileSystem, inputPaths []string) ([]geo.Point, error) {
-	var files []string
-	for _, p := range inputPaths {
-		if fs.Exists(p) {
-			files = append(files, p)
-		} else {
-			files = append(files, fs.List(p)...)
-		}
-	}
 	var pts []geo.Point
-	for _, f := range files {
-		data, err := fs.ReadAll(f)
-		if err != nil {
-			return nil, err
-		}
-		for _, line := range strings.Split(string(data), "\n") {
-			if line == "" {
-				continue
-			}
-			t, err := parseTraceValue(line)
-			if err != nil {
-				return nil, fmt.Errorf("kmeans init: %v", err)
-			}
-			pts = append(pts, t.Point)
-		}
+	err := geolife.ForEachTrace(fs, inputPaths, func(t trace.Trace) error {
+		pts = append(pts, t.Point)
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("kmeans init: %v", err)
 	}
 	return pts, nil
 }
@@ -358,9 +318,11 @@ func KMeansPlusPlusSequential(points []geo.Point, opts KMeansOptions) *KMeansRes
 	return kmeansIterate(points, centers, opts)
 }
 
-// readCentroids parses an iteration's output into the next centroid
-// set, keeping the previous centroid for clusters that received no
-// points.
+// readCentroids decodes an iteration's output — one aggregated
+// PointSum per cluster — into the next centroid set, keeping the
+// previous centroid for clusters that received no points. Averaging
+// happens here, driver-side, on full-precision sums; the result is
+// quantised to record precision so MR and sequential runs agree.
 func readCentroids(e *mapreduce.Engine, outputPath string, prev []geo.Point) ([]geo.Point, []int, error) {
 	kvs, err := e.ReadOutput(outputPath)
 	if err != nil {
@@ -369,24 +331,22 @@ func readCentroids(e *mapreduce.Engine, outputPath string, prev []geo.Point) ([]
 	next := append([]geo.Point(nil), prev...)
 	sizes := make([]int, len(prev))
 	for _, kv := range kvs {
-		idx, err := strconv.Atoi(kv.Key)
-		if err != nil || idx < 0 || idx >= len(prev) {
+		idx, err := (recordio.Int64{}).Decode(kv.Key)
+		if err != nil || idx < 0 || idx >= int64(len(prev)) {
 			return nil, nil, fmt.Errorf("kmeans: bad centroid key %q", kv.Key)
 		}
-		parts := strings.Split(kv.Value, ",")
-		if len(parts) != 3 {
-			return nil, nil, fmt.Errorf("kmeans: bad centroid value %q", kv.Value)
-		}
-		p, err := parsePoint(parts[0] + "," + parts[1])
+		sum, err := (recordio.PointSumCodec{}).Decode(kv.Value)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, fmt.Errorf("kmeans: bad centroid value: %v", err)
 		}
-		sz, err := strconv.Atoi(parts[2])
-		if err != nil {
-			return nil, nil, fmt.Errorf("kmeans: bad centroid size %q", parts[2])
+		if sum.N <= 0 {
+			continue
 		}
-		next[idx] = p
-		sizes[idx] = sz
+		next[idx] = geo.Point{
+			Lat: quantize(sum.LatSum / float64(sum.N)),
+			Lon: quantize(sum.LonSum / float64(sum.N)),
+		}
+		sizes[idx] = int(sum.N)
 	}
 	return next, sizes, nil
 }
@@ -447,32 +407,45 @@ func reducersFor(e *mapreduce.Engine, k int) int {
 // with its final centroid: output key = centroid index, value = the
 // trace record. Used to materialise cluster membership for inference.
 func KMeansAssignments(e *mapreduce.Engine, inputPaths []string, outputPath string, centroids []geo.Point, metric geo.Metric) (*mapreduce.Result, error) {
-	job := &mapreduce.Job{
+	tj := &assignJob{
 		Name:       "kmeans-assign",
 		InputPaths: inputPaths,
 		OutputPath: outputPath,
-		NewMapper:  func() mapreduce.Mapper { return &assignMapper{} },
+		Mapper: func() mapreduce.TypedMapper[string, trace.Trace, int64, trace.Trace] {
+			return &assignMapper{}
+		},
+		InputKey:   recordio.RawString{},
+		InputValue: recordio.TraceValue{},
+		MapKey:     recordio.Int64{},
+		MapValue:   recordio.TraceValue{},
 		Conf:       map[string]string{confKMeansDistance: metric.String()},
 		Cache:      map[string][]byte{cacheCentroids: marshalCentroids(centroids)},
 	}
-	return e.Run(job)
+	return e.Run(tj.Build())
 }
 
-// assignMapper emits (centroid index, full trace record).
-type assignMapper struct{ kmeansMapper }
+// assignJob is the map-only labeling pass: trace records in, (centroid
+// index, full trace record) out.
+type assignJob = mapreduce.TypedJob[string, trace.Trace, int64, trace.Trace, int64, trace.Trace]
 
-func (m *assignMapper) Map(_ *mapreduce.TaskContext, _, value string, emit mapreduce.Emit) error {
-	t, err := parseTraceValue(value)
-	if err != nil {
-		return err
-	}
-	best, bestDist := 0, m.metric.Distance(t.Point, m.centroids[0])
-	for i := 1; i < len(m.centroids); i++ {
-		if d := m.metric.Distance(t.Point, m.centroids[i]); d < bestDist {
+// assignMapper emits (centroid index, full trace record). It reuses
+// the kmeansMapper centroid-cache setup but keeps the whole trace as
+// the value instead of collapsing it to a partial sum.
+type assignMapper struct {
+	mapreduce.TypedMapperBase[int64, trace.Trace]
+	inner kmeansMapper
+}
+
+func (m *assignMapper) Setup(ctx *mapreduce.TaskContext) error { return m.inner.Setup(ctx) }
+
+func (m *assignMapper) Map(_ *mapreduce.TaskContext, _ string, t trace.Trace, emit mapreduce.TypedEmit[int64, trace.Trace]) error {
+	best, bestDist := 0, m.inner.metric.Distance(t.Point, m.inner.centroids[0])
+	for i := 1; i < len(m.inner.centroids); i++ {
+		if d := m.inner.metric.Distance(t.Point, m.inner.centroids[i]); d < bestDist {
 			best, bestDist = i, d
 		}
 	}
-	emit(strconv.Itoa(best), t.Record())
+	emit(int64(best), t)
 	return nil
 }
 

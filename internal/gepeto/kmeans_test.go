@@ -2,11 +2,11 @@ package gepeto
 
 import (
 	"math"
-	"strconv"
 	"testing"
 
 	"repro/internal/geo"
 	"repro/internal/mapreduce"
+	"repro/internal/recordio"
 )
 
 func TestKMeansSequentialBasic(t *testing.T) {
@@ -153,6 +153,47 @@ func TestKMeansMRCombinerEquivalence(t *testing.T) {
 	}
 }
 
+// TestKMeansMRCombinerPrecision is the regression test for the
+// combiner precision bug: the old text codec rendered map output at
+// %.6f and combiner output at %f, so enabling the combiner quantised
+// the partial sums and drifted the centroids. With raw float64 sums
+// the two paths differ only in summation order, and because the driver
+// quantises the averaged centroid to record precision, combiner-on and
+// combiner-off runs must agree to 1e-12 degrees (in practice exactly).
+func TestKMeansMRCombinerPrecision(t *testing.T) {
+	h1 := newHarness(t, 2, 8_000, 64)
+	h2 := newHarness(t, 2, 8_000, 64)
+	base := KMeansOptions{K: 4, Distance: geo.MetricSquaredEuclidean, MaxIter: 10, Seed: 5}
+	noComb, err := KMeansMR(h1.e, []string{h1.input}, "w", base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withCombOpts := base
+	withCombOpts.UseCombiner = true
+	withComb, err := KMeansMR(h2.e, []string{h2.input}, "w", withCombOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noComb.Iterations != withComb.Iterations {
+		t.Errorf("iterations diverged: %d without combiner, %d with", noComb.Iterations, withComb.Iterations)
+	}
+	if len(noComb.Centroids) != len(withComb.Centroids) {
+		t.Fatalf("centroid counts diverged: %d vs %d", len(noComb.Centroids), len(withComb.Centroids))
+	}
+	const tol = 1e-12
+	for i := range noComb.Centroids {
+		a, b := noComb.Centroids[i], withComb.Centroids[i]
+		if math.Abs(a.Lat-b.Lat) > tol || math.Abs(a.Lon-b.Lon) > tol {
+			t.Errorf("centroid %d: combiner off %v vs on %v, want agreement to %g", i, a, b, tol)
+		}
+	}
+	for i := range noComb.Sizes {
+		if noComb.Sizes[i] != withComb.Sizes[i] {
+			t.Errorf("cluster %d size: %d without combiner, %d with", i, noComb.Sizes[i], withComb.Sizes[i])
+		}
+	}
+}
+
 func TestKMeansMRHaversineDistance(t *testing.T) {
 	h := newHarness(t, 2, 6_000, 64)
 	res, err := KMeansMR(h.e, []string{h.input}, "w", KMeansOptions{
@@ -214,16 +255,20 @@ func TestKMeansAssignments(t *testing.T) {
 	if len(kvs) != h.ds.NumTraces() {
 		t.Fatalf("assignments = %d, want %d", len(kvs), h.ds.NumTraces())
 	}
-	counts := map[string]int{}
+	counts := map[int64]int{}
 	for _, kv := range kvs {
-		counts[kv.Key]++
+		idx, err := (recordio.Int64{}).Decode(kv.Key)
+		if err != nil {
+			t.Fatalf("bad assignment key %q: %v", kv.Key, err)
+		}
+		counts[idx]++
 	}
 	// Sizes report the assignment of the last iteration's input
 	// centroids, while KMeansAssignments uses the post-update ones;
 	// after convergence (centroid movement <= 10 m) the two may differ
 	// by a handful of boundary traces.
 	for i, size := range res.Sizes {
-		got := counts[strconv.Itoa(i)]
+		got := counts[int64(i)]
 		if diff := got - size; size > 0 && (diff > size/20+5 || diff < -size/20-5) {
 			t.Errorf("cluster %d: assignment count %d far from size %d", i, got, size)
 		}

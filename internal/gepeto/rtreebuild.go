@@ -10,8 +10,10 @@ import (
 	"repro/internal/geo"
 	"repro/internal/geolife"
 	"repro/internal/mapreduce"
+	"repro/internal/recordio"
 	"repro/internal/rtree"
 	"repro/internal/sfc"
+	"repro/internal/trace"
 )
 
 // RTreeBuildOptions configures the MapReduce R-tree construction of
@@ -95,16 +97,27 @@ func BuildRTreeMR(e *mapreduce.Engine, inputPaths []string, workDir string, opts
 
 	// Phase 1: sample scalars, pick partitioning points.
 	phase1Out := workDir + "/phase1"
-	r1, err := e.Run(&mapreduce.Job{
-		Name:        "rtree-phase1-sample",
-		Parent:      spanID,
-		InputPaths:  inputPaths,
-		OutputPath:  phase1Out,
-		NewMapper:   func() mapreduce.Mapper { return &sampleMapper{} },
-		NewReducer:  func() mapreduce.Reducer { return &partitionPointsReducer{} },
+	p1 := &rtreePhase1Job{
+		Name:       "rtree-phase1-sample",
+		Parent:     spanID,
+		InputPaths: inputPaths,
+		OutputPath: phase1Out,
+		Mapper: func() mapreduce.TypedMapper[string, trace.Trace, string, uint64] {
+			return &sampleMapper{}
+		},
+		Reducer: func() mapreduce.TypedReducer[string, uint64, string, []uint64] {
+			return &partitionPointsReducer{}
+		},
+		InputKey:    recordio.RawString{},
+		InputValue:  recordio.TraceValue{},
+		MapKey:      recordio.RawString{},
+		MapValue:    recordio.Uint64{},
+		OutputKey:   recordio.RawString{},
+		OutputValue: recordio.Uint64List{},
 		NumReducers: 1,
 		Conf:        conf,
-	})
+	}
+	r1, err := e.Run(p1.Build())
 	if err != nil {
 		return nil, results, err
 	}
@@ -116,29 +129,41 @@ func BuildRTreeMR(e *mapreduce.Engine, inputPaths []string, workDir string, opts
 	if len(kvs) != 1 || kvs[0].Key != "bounds" {
 		return nil, results, fmt.Errorf("rtree: phase 1 produced %d records, want 1 bounds record", len(kvs))
 	}
+	// The encoded scalar list goes into the distributed cache verbatim;
+	// phase-2 mappers decode it with the same codec.
 	partitionPoints := kvs[0].Value
 
 	// Phase 2: partition objects and build small R-trees.
 	phase2Out := workDir + "/phase2"
-	r2, err := e.Run(&mapreduce.Job{
-		Name:        "rtree-phase2-build",
-		Parent:      spanID,
-		InputPaths:  inputPaths,
-		OutputPath:  phase2Out,
-		NewMapper:   func() mapreduce.Mapper { return &partitionMapper{} },
-		NewReducer:  func() mapreduce.Reducer { return &subtreeReducer{} },
+	p2 := &rtreePhase2Job{
+		Name:       "rtree-phase2-build",
+		Parent:     spanID,
+		InputPaths: inputPaths,
+		OutputPath: phase2Out,
+		Mapper: func() mapreduce.TypedMapper[string, trace.Trace, int64, recordio.IDPoint] {
+			return &partitionMapper{}
+		},
+		Reducer: func() mapreduce.TypedReducer[int64, recordio.IDPoint, int64, []recordio.IDPoint] {
+			return &subtreeReducer{}
+		},
+		InputKey:    recordio.RawString{},
+		InputValue:  recordio.TraceValue{},
+		MapKey:      recordio.Int64{},
+		MapValue:    recordio.IDPointCodec{},
+		OutputKey:   recordio.Int64{},
+		OutputValue: recordio.IDPointList{},
 		NumReducers: opts.Partitions,
 		// Partition i goes to reducer i: keys are partition indices.
-		Partitioner: func(key string, n int) int {
-			idx, err := strconv.Atoi(key)
-			if err != nil || idx < 0 {
+		Partition: func(idx int64, n int) int {
+			if idx < 0 {
 				return 0
 			}
-			return idx % n
+			return int(idx % int64(n))
 		},
 		Conf:  conf,
 		Cache: map[string][]byte{cachePartitions: []byte(partitionPoints)},
-	})
+	}
+	r2, err := e.Run(p2.Build())
 	if err != nil {
 		return nil, results, err
 	}
@@ -154,8 +179,8 @@ func BuildRTreeMR(e *mapreduce.Engine, inputPaths []string, workDir string, opts
 		return nil, results, err
 	}
 	sort.Slice(kvs, func(i, j int) bool {
-		a, _ := strconv.Atoi(kvs[i].Key)
-		b, _ := strconv.Atoi(kvs[j].Key)
+		a, _ := (recordio.Int64{}).Decode(kvs[i].Key)
+		b, _ := (recordio.Int64{}).Decode(kvs[j].Key)
 		return a < b
 	})
 	subtrees := make([]*rtree.Tree, 0, len(kvs))
@@ -170,12 +195,23 @@ func BuildRTreeMR(e *mapreduce.Engine, inputPaths []string, workDir string, opts
 	return tree, results, nil
 }
 
+// rtreePhase1Job is the typed shape of the sampling phase: trace
+// records in, ("sample", curve scalar) intermediates, one ("bounds",
+// partitioning points) record out. Scalars travel as raw 8-byte
+// big-endian values rather than decimal strings.
+type rtreePhase1Job = mapreduce.TypedJob[string, trace.Trace, string, uint64, string, []uint64]
+
+// rtreePhase2Job is the typed shape of the build phase: trace records
+// in, (partition index, ID+point) intermediates, one (partition index,
+// serialized entry list) record per partition out.
+type rtreePhase2Job = mapreduce.TypedJob[string, trace.Trace, int64, recordio.IDPoint, int64, []recordio.IDPoint]
+
 // sampleMapper is Algorithm 6: it reservoir-samples a predefined
 // number of objects from its chunk and outputs the corresponding
 // single-dimensional values obtained by applying the space-filling
 // curve.
 type sampleMapper struct {
-	mapreduce.MapperBase
+	mapreduce.TypedMapperBase[string, uint64]
 	curve     sfc.Curve
 	rng       *rand.Rand
 	size      int
@@ -201,11 +237,7 @@ func (m *sampleMapper) Setup(ctx *mapreduce.TaskContext) error {
 	return nil
 }
 
-func (m *sampleMapper) Map(_ *mapreduce.TaskContext, _, value string, _ mapreduce.Emit) error {
-	t, err := parseTraceValue(value)
-	if err != nil {
-		return err
-	}
+func (m *sampleMapper) Map(_ *mapreduce.TaskContext, _ string, t trace.Trace, _ mapreduce.TypedEmit[string, uint64]) error {
 	m.seen++
 	scalar := m.curve.Key(t.Point)
 	if len(m.reservoir) < m.size {
@@ -216,9 +248,9 @@ func (m *sampleMapper) Map(_ *mapreduce.TaskContext, _, value string, _ mapreduc
 	return nil
 }
 
-func (m *sampleMapper) Cleanup(_ *mapreduce.TaskContext, emit mapreduce.Emit) error {
+func (m *sampleMapper) Cleanup(_ *mapreduce.TaskContext, emit mapreduce.TypedEmit[string, uint64]) error {
 	for _, s := range m.reservoir {
-		emit("sample", strconv.FormatUint(s, 10))
+		emit("sample", s)
 	}
 	return nil
 }
@@ -227,32 +259,25 @@ func (m *sampleMapper) Cleanup(_ *mapreduce.TaskContext, emit mapreduce.Emit) er
 // scalars from all mappers, orders the set, and determines p-1
 // partitioning points delimiting the boundaries of each partition.
 type partitionPointsReducer struct {
-	mapreduce.ReducerBase
+	mapreduce.TypedReducerBase[string, []uint64]
 }
 
-func (r *partitionPointsReducer) Reduce(ctx *mapreduce.TaskContext, _ string, values []string, emit mapreduce.Emit) error {
+func (r *partitionPointsReducer) Reduce(ctx *mapreduce.TaskContext, _ string, values []uint64, emit mapreduce.TypedEmit[string, []uint64]) error {
 	p, err := strconv.Atoi(ctx.ConfDefault(confPartitions, "1"))
 	if err != nil || p < 1 {
 		return fmt.Errorf("partitionPointsReducer: bad partition count: %v", err)
 	}
-	scalars := make([]uint64, 0, len(values))
-	for _, v := range values {
-		s, err := strconv.ParseUint(v, 10, 64)
-		if err != nil {
-			return fmt.Errorf("partitionPointsReducer: bad scalar %q", v)
-		}
-		scalars = append(scalars, s)
-	}
+	scalars := append([]uint64(nil), values...)
 	sort.Slice(scalars, func(i, j int) bool { return scalars[i] < scalars[j] })
-	points := make([]string, 0, p-1)
+	points := make([]uint64, 0, p-1)
 	for i := 1; i < p; i++ {
 		idx := i * len(scalars) / p
 		if idx >= len(scalars) {
 			idx = len(scalars) - 1
 		}
-		points = append(points, strconv.FormatUint(scalars[idx], 10))
+		points = append(points, scalars[idx])
 	}
-	emit("bounds", strings.Join(points, ","))
+	emit("bounds", points)
 	return nil
 }
 
@@ -261,7 +286,7 @@ func (r *partitionPointsReducer) Reduce(ctx *mapreduce.TaskContext, _ string, va
 // identifier, the intermediate key, so all datapoints of a partition
 // are collected by the same reducer.
 type partitionMapper struct {
-	mapreduce.MapperBase
+	mapreduce.TypedMapperBase[int64, recordio.IDPoint]
 	curve  sfc.Curve
 	points []uint64
 }
@@ -276,29 +301,17 @@ func (m *partitionMapper) Setup(ctx *mapreduce.TaskContext) error {
 	if !ok {
 		return fmt.Errorf("partitionMapper: partition points not in cache")
 	}
-	s := strings.TrimSpace(string(blob))
-	if s == "" {
-		m.points = nil // single partition
-		return nil
-	}
-	for _, f := range strings.Split(s, ",") {
-		v, err := strconv.ParseUint(f, 10, 64)
-		if err != nil {
-			return fmt.Errorf("partitionMapper: bad partition point %q", f)
-		}
-		m.points = append(m.points, v)
+	m.points, err = (recordio.Uint64List{}).Decode(string(blob))
+	if err != nil {
+		return fmt.Errorf("partitionMapper: bad partition points: %v", err)
 	}
 	return nil
 }
 
-func (m *partitionMapper) Map(_ *mapreduce.TaskContext, _, value string, emit mapreduce.Emit) error {
-	t, err := parseTraceValue(value)
-	if err != nil {
-		return err
-	}
+func (m *partitionMapper) Map(_ *mapreduce.TaskContext, _ string, t trace.Trace, emit mapreduce.TypedEmit[int64, recordio.IDPoint]) error {
 	scalar := m.curve.Key(t.Point)
 	idx := sort.Search(len(m.points), func(i int) bool { return m.points[i] > scalar })
-	emit(strconv.Itoa(idx), TraceID(t)+"|"+formatPoint(t.Point))
+	emit(int64(idx), recordio.IDPoint{ID: TraceID(t), P: t.Point})
 	return nil
 }
 
@@ -307,55 +320,43 @@ func (m *partitionMapper) Map(_ *mapreduce.TaskContext, _, value string, emit ma
 // form (the tree is reconstructed losslessly by bulk-loading, so only
 // the entries travel).
 type subtreeReducer struct {
-	mapreduce.ReducerBase
+	mapreduce.TypedReducerBase[int64, []recordio.IDPoint]
 }
 
-func (r *subtreeReducer) Reduce(ctx *mapreduce.TaskContext, key string, values []string, emit mapreduce.Emit) error {
+func (r *subtreeReducer) Reduce(ctx *mapreduce.TaskContext, key int64, values []recordio.IDPoint, emit mapreduce.TypedEmit[int64, []recordio.IDPoint]) error {
 	fanOut, err := strconv.Atoi(ctx.ConfDefault(confFanOut, strconv.Itoa(rtree.DefaultMaxEntries)))
 	if err != nil || fanOut < 4 {
 		fanOut = rtree.DefaultMaxEntries
 	}
 	entries := make([]rtree.Entry, 0, len(values))
 	for _, v := range values {
-		id, pt, ok := strings.Cut(v, "|")
-		if !ok {
-			return fmt.Errorf("subtreeReducer: bad object %q", v)
-		}
-		p, err := parsePoint(pt)
-		if err != nil {
-			return err
-		}
-		entries = append(entries, rtree.Entry{ID: id, Point: p})
+		entries = append(entries, rtree.Entry{ID: v.ID, Point: v.P})
 	}
 	tree := rtree.BulkLoad(entries, fanOut)
 	ctx.Counter("rtree", "subtree_entries").Inc(int64(tree.Len()))
-	// Serialize in DFS order; ';' separates entries on one line.
-	parts := make([]string, 0, tree.Len())
+	// Serialize in DFS order so the driver's bulk-load reconstruction
+	// is lossless; only the entries travel.
+	out := make([]recordio.IDPoint, 0, tree.Len())
 	for _, e := range tree.All() {
-		parts = append(parts, e.ID+"|"+formatPoint(e.Point))
+		out = append(out, recordio.IDPoint{ID: e.ID, P: e.Point})
 	}
-	emit(key, strings.Join(parts, ";"))
+	emit(key, out)
 	return nil
 }
 
 // parseSubtree reconstructs a partition R-tree from its serialized
-// entry list.
+// entry list (a recordio.IDPointList encoding).
 func parseSubtree(s string, fanOut int) (*rtree.Tree, error) {
 	if s == "" {
 		return rtree.New(fanOut), nil
 	}
-	fields := strings.Split(s, ";")
-	entries := make([]rtree.Entry, 0, len(fields))
-	for _, f := range fields {
-		id, pt, ok := strings.Cut(f, "|")
-		if !ok {
-			return nil, fmt.Errorf("rtree: bad serialized entry %q", f)
-		}
-		p, err := parsePoint(pt)
-		if err != nil {
-			return nil, err
-		}
-		entries = append(entries, rtree.Entry{ID: id, Point: p})
+	pts, err := (recordio.IDPointList{}).Decode(s)
+	if err != nil {
+		return nil, fmt.Errorf("rtree: bad serialized subtree: %v", err)
+	}
+	entries := make([]rtree.Entry, 0, len(pts))
+	for _, v := range pts {
+		entries = append(entries, rtree.Entry{ID: v.ID, Point: v.P})
 	}
 	return rtree.BulkLoad(entries, fanOut), nil
 }

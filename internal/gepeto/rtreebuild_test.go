@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/geo"
+	"repro/internal/recordio"
 	"repro/internal/rtree"
 )
 
@@ -125,13 +126,21 @@ func TestBuildRTreeMRDefaultOptions(t *testing.T) {
 }
 
 func TestParseSubtreeErrors(t *testing.T) {
-	if _, err := parseSubtree("garbage-without-pipe", 8); err == nil {
-		t.Fatal("want error")
+	enc := string((recordio.IDPointList{}).Append(nil, []recordio.IDPoint{
+		{ID: "u1:100", P: geo.Point{Lat: 39.9, Lon: 116.4}},
+		{ID: "u2:200", P: geo.Point{Lat: 40.0, Lon: 116.5}},
+	}))
+	if _, err := parseSubtree(enc[:len(enc)-1], 8); err == nil {
+		t.Fatal("want error for truncated encoding")
 	}
-	if _, err := parseSubtree("id|notapoint", 8); err == nil {
-		t.Fatal("want error")
+	if _, err := parseSubtree(enc+"\x00", 8); err == nil {
+		t.Fatal("want error for trailing bytes")
 	}
-	tr, err := parseSubtree("", 8)
+	tr, err := parseSubtree(enc, 8)
+	if err != nil || tr.Len() != 2 {
+		t.Fatalf("valid subtree: len=%d, %v", tr.Len(), err)
+	}
+	tr, err = parseSubtree("", 8)
 	if err != nil || tr.Len() != 0 {
 		t.Fatalf("empty subtree: %v, %v", tr, err)
 	}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/mapreduce"
+	"repro/internal/recordio"
 	"repro/internal/trace"
 )
 
@@ -52,19 +53,33 @@ const (
 // traces within each (user, time-window) pair are summarised by a
 // single representative trace. The user supplies the window size and
 // technique, and the input and output folders, exactly the runtime
-// arguments the paper lists.
+// arguments the paper lists. The job is typed over trace records: its
+// input codec reads text uploads and binary part files alike, and its
+// output is binary recordio records keyed by user.
 func SamplingJob(name string, inputPaths []string, outputPath string, window time.Duration, tech SamplingTechnique) *mapreduce.Job {
-	return &mapreduce.Job{
+	tj := &traceFilterJob{
 		Name:       name,
 		InputPaths: inputPaths,
 		OutputPath: outputPath,
-		NewMapper:  func() mapreduce.Mapper { return &samplingMapper{} },
+		Mapper: func() mapreduce.TypedMapper[string, trace.Trace, string, trace.Trace] {
+			return &samplingMapper{}
+		},
+		InputKey:   recordio.RawString{},
+		InputValue: recordio.TraceValue{},
+		MapKey:     recordio.RawString{},
+		MapValue:   recordio.TraceValue{},
 		Conf: map[string]string{
 			confSamplingWindow:    strconv.Itoa(int(window.Seconds())),
 			confSamplingTechnique: tech.String(),
 		},
 	}
+	return tj.Build()
 }
+
+// traceFilterJob is the common shape of the map-only trace→trace jobs
+// (sampling, speed filter, dedup, the sanitizers): text-or-binary
+// trace records in, binary trace records keyed by user out.
+type traceFilterJob = mapreduce.TypedJob[string, trace.Trace, string, trace.Trace, string, trace.Trace]
 
 // samplingMapper implements the paper's sampling as a pure map phase
 // ("the reduce phase is not necessary as sampling represents a
@@ -74,7 +89,7 @@ func SamplingJob(name string, inputPaths []string, outputPath string, window tim
 // compares each trace read from the chunk against it, and outputs only
 // the trace closest to the reference.
 type samplingMapper struct {
-	mapreduce.MapperBase
+	mapreduce.TypedMapperBase[string, trace.Trace]
 
 	window int64
 	tech   SamplingTechnique
@@ -114,11 +129,7 @@ func (m *samplingMapper) reference(window int64) float64 {
 	return start + float64(m.window) // upper limit
 }
 
-func (m *samplingMapper) Map(ctx *mapreduce.TaskContext, _, value string, emit mapreduce.Emit) error {
-	t, err := parseTraceValue(value)
-	if err != nil {
-		return err
-	}
+func (m *samplingMapper) Map(ctx *mapreduce.TaskContext, _ string, t trace.Trace, emit mapreduce.TypedEmit[string, trace.Trace]) error {
 	w := t.Time.Unix() / m.window
 	st, ok := m.state[t.User]
 	if !ok {
@@ -127,7 +138,7 @@ func (m *samplingMapper) Map(ctx *mapreduce.TaskContext, _, value string, emit m
 	}
 	if w != st.window {
 		// Window closed: flush its representative.
-		emitTrace(emit, st.best)
+		emit(st.best.User, st.best)
 		ctx.Counter("sampling", "windows").Inc(1)
 		st.window = w
 		st.bestDist = math.Inf(1)
@@ -138,10 +149,10 @@ func (m *samplingMapper) Map(ctx *mapreduce.TaskContext, _, value string, emit m
 	return nil
 }
 
-func (m *samplingMapper) Cleanup(ctx *mapreduce.TaskContext, emit mapreduce.Emit) error {
+func (m *samplingMapper) Cleanup(ctx *mapreduce.TaskContext, emit mapreduce.TypedEmit[string, trace.Trace]) error {
 	for _, st := range m.state {
 		if !math.IsInf(st.bestDist, 1) {
-			emitTrace(emit, st.best)
+			emit(st.best.User, st.best)
 			ctx.Counter("sampling", "windows").Inc(1)
 		}
 	}

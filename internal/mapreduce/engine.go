@@ -9,6 +9,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/dfs"
 	"repro/internal/obs"
+	"repro/internal/recordio"
 )
 
 // Options configures the engine.
@@ -203,9 +204,9 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 			return nil, fmt.Errorf("%s setup: %v", taskID, err)
 		}
 		var records int64
-		err := readSplitLines(e.fs, splits[i], func(off int64, line string) error {
+		err := readSplit(e.fs, splits[i], func(key, value string) error {
 			records++
-			return m.Map(ctx, offsetKey(off), line, emit)
+			return m.Map(ctx, key, value, emit)
 		})
 		if err != nil {
 			return nil, fmt.Errorf("%s: %v", taskID, err)
@@ -223,8 +224,8 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 		var combineIn, combineOut int64
 		if job.NewCombiner != nil && !mapOnly {
 			for p := range out.parts {
-				sortRun(out.parts[p])
-				combined, err := runReduce(ctx, job.NewCombiner(), &sliceIter{kvs: out.parts[p]}, nil)
+				sortRun(out.parts[p], job.KeyCompare)
+				combined, err := runReduce(ctx, job.NewCombiner(), &sliceIter{kvs: out.parts[p]}, nil, job.KeyCompare)
 				if err != nil {
 					return nil, fmt.Errorf("%s combiner: %v", taskID, err)
 				}
@@ -242,7 +243,7 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 		var spilled int64
 		if !mapOnly {
 			for p := range out.parts {
-				sortRun(out.parts[p])
+				sortRun(out.parts[p], job.KeyCompare)
 				spilled += int64(len(out.parts[p]))
 			}
 		}
@@ -273,7 +274,7 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 		// Each map task's output becomes a part-m file.
 		for i, out := range outputs {
 			name := fmt.Sprintf("%s/part-m-%05d", job.OutputPath, i)
-			if err := e.writePartFile(name, out.parts[0]); err != nil {
+			if err := e.writePartFile(name, out.parts[0], job.BinaryOutput); err != nil {
 				return fail(err)
 			}
 			res.OutputFiles = append(res.OutputFiles, name)
@@ -316,7 +317,7 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 		go func(p int) {
 			defer mergeWG.Done()
 			defer func() { <-sem }()
-			merged := MergeRuns(runsPerPart[p])
+			merged := mergeRuns(runsPerPart[p], job.KeyCompare)
 			var b int64
 			for _, kv := range merged {
 				b += int64(len(kv.Key) + len(kv.Value))
@@ -363,7 +364,7 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 		// read-only slice, so concurrent speculative attempts need no
 		// defensive copy and nobody re-sorts.
 		var groups int64
-		out, err := runReduce(ctx, job.NewReducer(), &sliceIter{kvs: reduceInputs[r]}, &groups)
+		out, err := runReduce(ctx, job.NewReducer(), &sliceIter{kvs: reduceInputs[r]}, &groups, job.KeyCompare)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %v", taskID, err)
 		}
@@ -384,7 +385,7 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 
 	for r, kvs := range partFiles {
 		name := fmt.Sprintf("%s/part-r-%05d", job.OutputPath, r)
-		if err := e.writePartFile(name, kvs); err != nil {
+		if err := e.writePartFile(name, kvs, job.BinaryOutput); err != nil {
 			return fail(err)
 		}
 		res.OutputFiles = append(res.OutputFiles, name)
@@ -400,13 +401,13 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 // groupCount is non-nil it receives the number of distinct keys.
 // Counters are the caller's responsibility (only winning attempts
 // commit them).
-func runReduce(ctx *TaskContext, red Reducer, it kvIter, groupCount *int64) ([]KV, error) {
+func runReduce(ctx *TaskContext, red Reducer, it kvIter, groupCount *int64, cmp func(a, b string) int) ([]KV, error) {
 	var out []KV
 	emit := func(k, v string) { out = append(out, KV{k, v}) }
 	if err := red.Setup(ctx); err != nil {
 		return nil, fmt.Errorf("setup: %v", err)
 	}
-	g := newGroupIter(it)
+	g := newGroupIter(it, cmp)
 	var groups int64
 	for {
 		key, values, ok := g.next()
@@ -446,8 +447,16 @@ func shuffleDetail(runs [][][]KV, merged [][]KV, bytes []int64) string {
 	return sb.String()
 }
 
-// writePartFile stores records as "key\tvalue" lines in DFS.
-func (e *Engine) writePartFile(path string, kvs []KV) error {
+// writePartFile stores records in DFS — as "key\tvalue" text lines,
+// or in the recordio binary record format when binary is set.
+func (e *Engine) writePartFile(path string, kvs []KV, binary bool) error {
+	if binary {
+		w := recordio.NewWriter()
+		for _, kv := range kvs {
+			w.Add(kv.Key, kv.Value)
+		}
+		return e.fs.Create(path, w.Bytes(), "")
+	}
 	var sb strings.Builder
 	for _, kv := range kvs {
 		sb.WriteString(kv.Key)
@@ -459,7 +468,9 @@ func (e *Engine) writePartFile(path string, kvs []KV) error {
 }
 
 // ReadOutput reads back all part files of a completed job's output
-// directory as KV records, in part-file order.
+// directory as KV records, in part-file order. Each file's format —
+// binary record file or text lines — is sniffed from its header, so
+// mixed outputs read uniformly.
 func (e *Engine) ReadOutput(outputPath string) ([]KV, error) {
 	files := e.fs.List(outputPath)
 	if len(files) == 0 {
@@ -470,6 +481,16 @@ func (e *Engine) ReadOutput(outputPath string) ([]KV, error) {
 		data, err := e.fs.ReadAll(f)
 		if err != nil {
 			return nil, err
+		}
+		if recordio.IsRecordData(data) {
+			err := recordio.ScanAll(data, func(k, v string) error {
+				out = append(out, KV{Key: k, Value: v})
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			continue
 		}
 		for _, line := range strings.Split(string(data), "\n") {
 			if line == "" {
@@ -777,8 +798,8 @@ func (e *Engine) schedule(job *Job, phase string, alog *attemptLog, splits []Inp
 			if alog != nil {
 				rec := obs.AttemptRecord{
 					Task: tid, Phase: phase, Attempt: attemptNo, Node: nodeID,
-					StartMs: taskStart.Sub(alog.t0).Milliseconds(),
-					EndMs:   taskEnd.Sub(alog.t0).Milliseconds(),
+					StartMs:  taskStart.Sub(alog.t0).Milliseconds(),
+					EndMs:    taskEnd.Sub(alog.t0).Milliseconds(),
 					Locality: locality, Backup: wasBackup, Status: status,
 				}
 				if err != nil && status == "failed" {

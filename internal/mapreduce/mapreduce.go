@@ -131,6 +131,16 @@ type Job struct {
 	// Partitioner routes keys to reducers; defaults to hash
 	// partitioning (Hadoop's HashPartitioner).
 	Partitioner func(key string, numReducers int) int
+	// KeyCompare orders intermediate keys in the spill sort, shuffle
+	// merge and reduce grouping (Hadoop's RawComparator). Nil means
+	// plain byte order — correct for text keys and for the
+	// order-preserving binary key encodings in internal/recordio.
+	KeyCompare func(a, b string) int
+	// BinaryOutput writes part files in the recordio binary record
+	// format instead of "key\tvalue" text lines. Readers sniff the
+	// format per file, so binary and text outputs interoperate in
+	// pipelines. Typed jobs set this by default.
+	BinaryOutput bool
 	// Conf carries job configuration strings read by tasks (Hadoop's
 	// Configuration), e.g. the sampling window size.
 	Conf map[string]string

@@ -13,12 +13,23 @@ import (
 // iterator over the merged stream — no reduce-side re-sort, and no
 // defensive copy for concurrent speculative attempts, which share the
 // merged slice read-only.
+//
+// Every stage takes an optional key comparator (Job.KeyCompare,
+// Hadoop's RawComparator). A nil comparator means plain byte order on
+// the key strings — the legacy text path, kept branch-cheap so string
+// jobs pay nothing for the hook. Typed jobs with order-preserving key
+// encodings also pass nil (byte order IS their key order); only
+// custom sort orders need a function.
 
 // sortRun stable-sorts one map-output partition by key, preserving
 // emission order among equal keys (the property the merge's tie-break
 // relies on for end-to-end determinism).
-func sortRun(kvs []KV) {
-	sort.SliceStable(kvs, func(i, j int) bool { return kvs[i].Key < kvs[j].Key })
+func sortRun(kvs []KV, cmp func(a, b string) int) {
+	if cmp == nil {
+		sort.SliceStable(kvs, func(i, j int) bool { return kvs[i].Key < kvs[j].Key })
+		return
+	}
+	sort.SliceStable(kvs, func(i, j int) bool { return cmp(kvs[i].Key, kvs[j].Key) < 0 })
 }
 
 // kvIter yields key-value records in non-decreasing key order.
@@ -52,29 +63,38 @@ type runCursor struct {
 	ord int
 }
 
-// runHeap is a min-heap of run cursors ordered by (current key, ord).
-type runHeap []*runCursor
-
-func (h runHeap) Len() int { return len(h) }
-
-func (h runHeap) Less(i, j int) bool {
-	ki, kj := h[i].run[h[i].pos].Key, h[j].run[h[j].pos].Key
-	if ki != kj {
-		return ki < kj
-	}
-	return h[i].ord < h[j].ord
+// runHeap is a min-heap of run cursors ordered by (current key, ord)
+// under the given comparator (nil = byte order).
+type runHeap struct {
+	cursors []*runCursor
+	cmp     func(a, b string) int
 }
 
-func (h runHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *runHeap) Len() int { return len(h.cursors) }
 
-func (h *runHeap) Push(x any) { *h = append(*h, x.(*runCursor)) }
+func (h *runHeap) Less(i, j int) bool {
+	ci, cj := h.cursors[i], h.cursors[j]
+	ki, kj := ci.run[ci.pos].Key, cj.run[cj.pos].Key
+	if h.cmp == nil {
+		if ki != kj {
+			return ki < kj
+		}
+	} else if c := h.cmp(ki, kj); c != 0 {
+		return c < 0
+	}
+	return ci.ord < cj.ord
+}
+
+func (h *runHeap) Swap(i, j int) { h.cursors[i], h.cursors[j] = h.cursors[j], h.cursors[i] }
+
+func (h *runHeap) Push(x any) { h.cursors = append(h.cursors, x.(*runCursor)) }
 
 func (h *runHeap) Pop() any {
-	old := *h
+	old := h.cursors
 	n := len(old)
 	x := old[n-1]
 	old[n-1] = nil
-	*h = old[:n-1]
+	h.cursors = old[:n-1]
 	return x
 }
 
@@ -84,12 +104,12 @@ type mergeIter struct {
 }
 
 // newMergeIter builds a merge iterator over the given runs. Each run
-// must already be sorted by key; empty runs are skipped.
-func newMergeIter(runs [][]KV) *mergeIter {
-	h := make(runHeap, 0, len(runs))
+// must already be sorted under cmp; empty runs are skipped.
+func newMergeIter(runs [][]KV, cmp func(a, b string) int) *mergeIter {
+	h := runHeap{cursors: make([]*runCursor, 0, len(runs)), cmp: cmp}
 	for ord, r := range runs {
 		if len(r) > 0 {
-			h = append(h, &runCursor{run: r, ord: ord})
+			h.cursors = append(h.cursors, &runCursor{run: r, ord: ord})
 		}
 	}
 	heap.Init(&h)
@@ -97,10 +117,10 @@ func newMergeIter(runs [][]KV) *mergeIter {
 }
 
 func (m *mergeIter) next() (KV, bool) {
-	if len(m.h) == 0 {
+	if len(m.h.cursors) == 0 {
 		return KV{}, false
 	}
-	c := m.h[0]
+	c := m.h.cursors[0]
 	kv := c.run[c.pos]
 	c.pos++
 	if c.pos == len(c.run) {
@@ -111,16 +131,22 @@ func (m *mergeIter) next() (KV, bool) {
 	return kv, true
 }
 
-// MergeRuns merges pre-sorted runs into one sorted slice. Records with
-// equal keys keep run order (and, within a run, the run's own order),
-// so merging stable-sorted runs is kv-for-kv equivalent to
-// concatenating the unsorted runs and stable-sorting the whole — the
-// seed shuffle's behaviour, now at O(N log k) instead of O(N log N).
+// MergeRuns merges pre-sorted runs into one sorted slice under plain
+// byte order. Records with equal keys keep run order (and, within a
+// run, the run's own order), so merging stable-sorted runs is
+// kv-for-kv equivalent to concatenating the unsorted runs and
+// stable-sorting the whole — the seed shuffle's behaviour, now at
+// O(N log k) instead of O(N log N).
 //
 // When exactly one run is non-empty the result aliases it rather than
 // copying; callers must treat the inputs as consumed and the output as
 // read-only. Exported for benchmarks and downstream tooling.
 func MergeRuns(runs [][]KV) []KV {
+	return mergeRuns(runs, nil)
+}
+
+// mergeRuns is MergeRuns under an optional custom key comparator.
+func mergeRuns(runs [][]KV, cmp func(a, b string) int) []KV {
 	var last []KV
 	nonEmpty, total := 0, 0
 	for _, r := range runs {
@@ -137,7 +163,7 @@ func MergeRuns(runs [][]KV) []KV {
 		return last
 	}
 	out := make([]KV, 0, total)
-	it := newMergeIter(runs)
+	it := newMergeIter(runs, cmp)
 	for kv, ok := it.next(); ok; kv, ok = it.next() {
 		out = append(out, kv)
 	}
@@ -145,15 +171,18 @@ func MergeRuns(runs [][]KV) []KV {
 }
 
 // groupIter turns a sorted kv stream into (key, values) groups, the
-// unit a Reducer consumes. It buffers only one group at a time.
+// unit a Reducer consumes. It buffers only one group at a time. Group
+// boundaries fall where the comparator (nil = byte equality) says two
+// adjacent keys differ.
 type groupIter struct {
 	it  kvIter
+	cmp func(a, b string) int
 	cur KV
 	ok  bool
 }
 
-func newGroupIter(it kvIter) *groupIter {
-	g := &groupIter{it: it}
+func newGroupIter(it kvIter, cmp func(a, b string) int) *groupIter {
+	g := &groupIter{it: it, cmp: cmp}
 	g.cur, g.ok = it.next()
 	return g
 }
@@ -168,9 +197,16 @@ func (g *groupIter) next() (key string, values []string, ok bool) {
 	values = append(values, g.cur.Value)
 	for {
 		g.cur, g.ok = g.it.next()
-		if !g.ok || g.cur.Key != key {
+		if !g.ok || g.keyChanged(key) {
 			return key, values, true
 		}
 		values = append(values, g.cur.Value)
 	}
+}
+
+func (g *groupIter) keyChanged(key string) bool {
+	if g.cmp == nil {
+		return g.cur.Key != key
+	}
+	return g.cmp(g.cur.Key, key) != 0
 }

@@ -48,7 +48,7 @@ func TestMergeRunsStableAcrossRuns(t *testing.T) {
 
 func TestGroupIterGroupsSortedStream(t *testing.T) {
 	in := []KV{{"a", "1"}, {"a", "2"}, {"b", "3"}, {"c", "4"}, {"c", "5"}, {"c", "6"}}
-	g := newGroupIter(&sliceIter{kvs: in})
+	g := newGroupIter(&sliceIter{kvs: in}, nil)
 	type group struct {
 		key    string
 		values []string
@@ -68,7 +68,7 @@ func TestGroupIterGroupsSortedStream(t *testing.T) {
 }
 
 func TestGroupIterEmpty(t *testing.T) {
-	g := newGroupIter(&sliceIter{})
+	g := newGroupIter(&sliceIter{}, nil)
 	if _, _, ok := g.next(); ok {
 		t.Fatal("empty stream yielded a group")
 	}
@@ -112,7 +112,7 @@ func TestMergeRunsMatchesSeedShuffle(t *testing.T) {
 		sorted := make([][]KV, len(runs))
 		for i, r := range runs {
 			sorted[i] = append([]KV(nil), r...)
-			sortRun(sorted[i])
+			sortRun(sorted[i], nil)
 		}
 		got := MergeRuns(sorted)
 		if len(want) == 0 {

@@ -6,6 +6,7 @@ import (
 	"strconv"
 
 	"repro/internal/dfs"
+	"repro/internal/recordio"
 )
 
 // maxLineOverrun bounds how far past a split's end the record reader
@@ -53,6 +54,43 @@ func splitsFor(fs *dfs.FileSystem, inputPaths []string) ([]InputSplit, error) {
 		}
 	}
 	return splits, nil
+}
+
+// readSplit reads the records belonging to a split, dispatching on
+// the underlying file's format: files with the recordio header are
+// read as binary key-value records, anything else as text lines whose
+// key is the byte offset (Hadoop TextInputFormat). The sniff costs
+// one tiny ReadRange per split; the engine's pipelines mix text
+// uploads and binary part files freely because of it.
+func readSplit(fs *dfs.FileSystem, sp InputSplit, fn func(key, value string) error) error {
+	hdr, err := fs.ReadRange(sp.Path, 0, recordio.HeaderLen)
+	if err != nil {
+		return err
+	}
+	if recordio.IsRecordData(hdr) {
+		return readSplitRecords(fs, sp, fn)
+	}
+	return readSplitLines(fs, sp, func(off int64, line string) error {
+		return fn(offsetKey(off), line)
+	})
+}
+
+// readSplitRecords reads the binary records belonging to a split: the
+// sync blocks starting inside it (see recordio.ScanSplit), with the
+// same read-past-the-end overrun budget the line reader uses to
+// finish a record straddling the split boundary.
+func readSplitRecords(fs *dfs.FileSystem, sp InputSplit, fn func(key, value string) error) error {
+	reqLen := sp.Length + maxLineOverrun
+	buf, err := fs.ReadRange(sp.Path, sp.Offset, reqLen)
+	if err != nil {
+		return err
+	}
+	rangeLimited := int64(len(buf)) == reqLen
+	err = recordio.ScanSplit(buf, sp.Offset, sp.Offset, sp.Offset+sp.Length, rangeLimited, fn)
+	if err != nil {
+		return fmt.Errorf("mapreduce: %s: %v", sp.Path, err)
+	}
+	return nil
 }
 
 // readSplitLines reads the line records belonging to a split with

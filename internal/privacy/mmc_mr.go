@@ -7,8 +7,9 @@ import (
 	"strings"
 
 	"repro/internal/geo"
-	"repro/internal/geolife"
 	"repro/internal/mapreduce"
+	"repro/internal/recordio"
+	"repro/internal/trace"
 )
 
 // The §VIII extension, realised: "we want to develop algorithms for
@@ -163,19 +164,29 @@ func BuildMMCsMR(e *mapreduce.Engine, inputPaths []string, outputPath string, us
 	if attachRadius <= 0 {
 		attachRadius = 50
 	}
-	job := &mapreduce.Job{
-		Name:        "mmc-build",
-		InputPaths:  inputPaths,
-		OutputPath:  outputPath,
-		NewMapper:   func() mapreduce.Mapper { return mmcRouteMapper{} },
-		NewReducer:  func() mapreduce.Reducer { return &mmcBuildReducer{} },
+	tj := &mmcBuildJob{
+		Name:       "mmc-build",
+		InputPaths: inputPaths,
+		OutputPath: outputPath,
+		Mapper: func() mapreduce.TypedMapper[string, trace.Trace, string, recordio.TimedPoint] {
+			return mmcRouteMapper{}
+		},
+		Reducer: func() mapreduce.TypedReducer[string, recordio.TimedPoint, string, string] {
+			return &mmcBuildReducer{}
+		},
+		InputKey:    recordio.RawString{},
+		InputValue:  recordio.TraceValue{},
+		MapKey:      recordio.RawString{},
+		MapValue:    recordio.TimedPointCodec{},
+		OutputKey:   recordio.RawString{},
+		OutputValue: recordio.RawString{},
 		NumReducers: e.Cluster().TotalSlots(),
 		Conf: map[string]string{
 			confAttachRadiu: strconv.FormatFloat(attachRadius, 'f', -1, 64),
 		},
 		Cache: map[string][]byte{cachePOIs: MarshalUserPOIs(userPOIs)},
 	}
-	res, err := e.Run(job)
+	res, err := e.Run(tj.Build())
 	if err != nil {
 		return nil, nil, err
 	}
@@ -194,22 +205,25 @@ func BuildMMCsMR(e *mapreduce.Engine, inputPaths []string, outputPath string, us
 	return out, res, nil
 }
 
-// mmcRouteMapper routes each trace to its user's reducer as
-// "unix|lat,lon".
-type mmcRouteMapper struct{ mapreduce.MapperBase }
+// mmcBuildJob is the typed shape of the chain builder: trace records
+// in, (user, timestamped position) intermediates, one (user,
+// serialized chain) record per user out.
+type mmcBuildJob = mapreduce.TypedJob[string, trace.Trace, string, recordio.TimedPoint, string, string]
 
-func (mmcRouteMapper) Map(_ *mapreduce.TaskContext, _, value string, emit mapreduce.Emit) error {
-	t, err := geolife.ParseRecordValue(value)
-	if err != nil {
-		return err
-	}
-	emit(t.User, fmt.Sprintf("%d|%.6f,%.6f", t.Time.Unix(), t.Point.Lat, t.Point.Lon))
+// mmcRouteMapper routes each trace to its user's reducer as a
+// timestamped position.
+type mmcRouteMapper struct {
+	mapreduce.TypedMapperBase[string, recordio.TimedPoint]
+}
+
+func (mmcRouteMapper) Map(_ *mapreduce.TaskContext, _ string, t trace.Trace, emit mapreduce.TypedEmit[string, recordio.TimedPoint]) error {
+	emit(t.User, recordio.TimedPoint{Unix: t.Time.Unix(), P: t.Point})
 	return nil
 }
 
 // mmcBuildReducer rebuilds one user's chronological trail and its MMC.
 type mmcBuildReducer struct {
-	mapreduce.ReducerBase
+	mapreduce.TypedReducerBase[string, string]
 	pois   map[string][]geo.Point
 	radius float64
 }
@@ -228,42 +242,15 @@ func (r *mmcBuildReducer) Setup(ctx *mapreduce.TaskContext) error {
 	return err
 }
 
-func (r *mmcBuildReducer) Reduce(ctx *mapreduce.TaskContext, user string, values []string, emit mapreduce.Emit) error {
+func (r *mmcBuildReducer) Reduce(ctx *mapreduce.TaskContext, user string, values []recordio.TimedPoint, emit mapreduce.TypedEmit[string, string]) error {
 	pois, ok := r.pois[user]
 	if !ok || len(pois) == 0 {
 		ctx.Counter("mmc", "users_without_pois").Inc(1)
 		return nil
 	}
-	type ev struct {
-		unix int64
-		p    geo.Point
-	}
-	events := make([]ev, 0, len(values))
-	for _, v := range values {
-		unixS, ptS, ok := strings.Cut(v, "|")
-		if !ok {
-			return fmt.Errorf("mmcBuildReducer: bad event %q", v)
-		}
-		unix, err := strconv.ParseInt(unixS, 10, 64)
-		if err != nil {
-			return err
-		}
-		latS, lonS, ok := strings.Cut(ptS, ",")
-		if !ok {
-			return fmt.Errorf("mmcBuildReducer: bad point %q", ptS)
-		}
-		lat, err := strconv.ParseFloat(latS, 64)
-		if err != nil {
-			return err
-		}
-		lon, err := strconv.ParseFloat(lonS, 64)
-		if err != nil {
-			return err
-		}
-		events = append(events, ev{unix, geo.Point{Lat: lat, Lon: lon}})
-	}
+	events := append([]recordio.TimedPoint(nil), values...)
 	// The shuffle does not preserve temporal order: sort.
-	sort.Slice(events, func(i, j int) bool { return events[i].unix < events[j].unix })
+	sort.Slice(events, func(i, j int) bool { return events[i].Unix < events[j].Unix })
 
 	// Replay the BuildMMC attachment/transition logic.
 	n := len(pois)
@@ -276,7 +263,7 @@ func (r *mmcBuildReducer) Reduce(ctx *mapreduce.TaskContext, user string, values
 	for _, e := range events {
 		state, best := -1, r.radius
 		for i, s := range pois {
-			if d := geo.Haversine(e.p, s); d <= best {
+			if d := geo.Haversine(e.P, s); d <= best {
 				best, state = d, i
 			}
 		}

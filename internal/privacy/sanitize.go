@@ -8,8 +8,8 @@ import (
 	"time"
 
 	"repro/internal/geo"
-	"repro/internal/geolife"
 	"repro/internal/mapreduce"
+	"repro/internal/recordio"
 	"repro/internal/trace"
 )
 
@@ -241,23 +241,34 @@ const (
 	confCloakCell = "sanitize.cloak.cell"
 )
 
+// sanitizeJob is the typed shape of the map-only sanitizers: trace
+// records (text or binary) in, binary trace records keyed by user out.
+type sanitizeJob = mapreduce.TypedJob[string, trace.Trace, string, trace.Trace, string, trace.Trace]
+
 // GaussianMaskJob builds a map-only job applying GaussianMask to
 // record files — the MapReduced geographical mask of §VIII.
 func GaussianMaskJob(name string, inputPaths []string, outputPath string, sigmaMeters float64, seed int64) *mapreduce.Job {
-	return &mapreduce.Job{
+	tj := &sanitizeJob{
 		Name:       name,
 		InputPaths: inputPaths,
 		OutputPath: outputPath,
-		NewMapper:  func() mapreduce.Mapper { return &maskMapper{} },
+		Mapper: func() mapreduce.TypedMapper[string, trace.Trace, string, trace.Trace] {
+			return &maskMapper{}
+		},
+		InputKey:   recordio.RawString{},
+		InputValue: recordio.TraceValue{},
+		MapKey:     recordio.RawString{},
+		MapValue:   recordio.TraceValue{},
 		Conf: map[string]string{
 			confMaskSigma: strconv.FormatFloat(sigmaMeters, 'f', -1, 64),
 			confMaskSeed:  strconv.FormatInt(seed, 10),
 		},
 	}
+	return tj.Build()
 }
 
 type maskMapper struct {
-	mapreduce.MapperBase
+	mapreduce.TypedMapperBase[string, trace.Trace]
 	sigma float64
 	rng   *rand.Rand
 }
@@ -278,33 +289,34 @@ func (m *maskMapper) Setup(ctx *mapreduce.TaskContext) error {
 	return nil
 }
 
-func (m *maskMapper) Map(_ *mapreduce.TaskContext, _, value string, emit mapreduce.Emit) error {
-	t, err := geolife.ParseRecordValue(value)
-	if err != nil {
-		return err
-	}
+func (m *maskMapper) Map(_ *mapreduce.TaskContext, _ string, t trace.Trace, emit mapreduce.TypedEmit[string, trace.Trace]) error {
 	d := math.Abs(m.rng.NormFloat64()) * m.sigma
 	t.Point = geo.Destination(t.Point, m.rng.Float64()*360, d)
-	rec := t.Record()
-	user, payload, _ := cut(rec)
-	emit(user, payload)
+	emit(t.User, t)
 	return nil
 }
 
 // CloakingJob builds a map-only job applying SpatialCloaking to record
 // files.
 func CloakingJob(name string, inputPaths []string, outputPath string, cellMeters float64) *mapreduce.Job {
-	return &mapreduce.Job{
+	tj := &sanitizeJob{
 		Name:       name,
 		InputPaths: inputPaths,
 		OutputPath: outputPath,
-		NewMapper:  func() mapreduce.Mapper { return &cloakMapper{} },
+		Mapper: func() mapreduce.TypedMapper[string, trace.Trace, string, trace.Trace] {
+			return &cloakMapper{}
+		},
+		InputKey:   recordio.RawString{},
+		InputValue: recordio.TraceValue{},
+		MapKey:     recordio.RawString{},
+		MapValue:   recordio.TraceValue{},
 		Conf:       map[string]string{confCloakCell: strconv.FormatFloat(cellMeters, 'f', -1, 64)},
 	}
+	return tj.Build()
 }
 
 type cloakMapper struct {
-	mapreduce.MapperBase
+	mapreduce.TypedMapperBase[string, trace.Trace]
 	cell float64
 }
 
@@ -317,25 +329,10 @@ func (m *cloakMapper) Setup(ctx *mapreduce.TaskContext) error {
 	return nil
 }
 
-func (m *cloakMapper) Map(_ *mapreduce.TaskContext, _, value string, emit mapreduce.Emit) error {
-	t, err := geolife.ParseRecordValue(value)
-	if err != nil {
-		return err
-	}
+func (m *cloakMapper) Map(_ *mapreduce.TaskContext, _ string, t trace.Trace, emit mapreduce.TypedEmit[string, trace.Trace]) error {
 	t.Point = snapToGrid(t.Point, m.cell)
-	rec := t.Record()
-	user, payload, _ := cut(rec)
-	emit(user, payload)
+	emit(t.User, t)
 	return nil
-}
-
-func cut(rec string) (string, string, bool) {
-	for i := 0; i < len(rec); i++ {
-		if rec[i] == '\t' {
-			return rec[:i], rec[i+1:], true
-		}
-	}
-	return rec, "", false
 }
 
 func hashID(s string) uint32 {

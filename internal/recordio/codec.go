@@ -1,0 +1,267 @@
+// Package recordio is the binary record layer under the typed
+// MapReduce job API: order-preserving codecs for scalar and composite
+// keys, compact codecs for the domain value types (trace records,
+// points, centroid partial sums), and a sync-marked framed file
+// format for binary part files. It is the analogue of the
+// Writable/SequenceFile/RawComparator stack the paper's Hadoop
+// deployment of GEPETO builds on — at millions of traces the hot path
+// must not re-parse text, so keys and values travel as fixed binary
+// encodings inside the engine's KV strings.
+//
+// Key codecs are order-preserving: comparing two encoded keys
+// byte-lexicographically (strings.Compare) orders them exactly as
+// comparing the decoded values would. The engine's spill sort, k-way
+// shuffle merge and group iterator therefore never decode a key.
+// The float64 ordering policy is -Inf < finite < +Inf with -0 < +0;
+// NaN has no place in a sort key, so Append panics on NaN and Decode
+// rejects the bit patterns.
+package recordio
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// beAppendUint64 appends v as 8 big-endian bytes.
+func beAppendUint64(dst []byte, v uint64) []byte {
+	return append(dst,
+		byte(v>>56), byte(v>>48), byte(v>>40), byte(v>>32),
+		byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+// beUint64 reads 8 big-endian bytes from the front of s. The caller
+// has already checked len(s) >= 8.
+func beUint64(s string) uint64 {
+	return uint64(s[0])<<56 | uint64(s[1])<<48 | uint64(s[2])<<40 | uint64(s[3])<<32 |
+		uint64(s[4])<<24 | uint64(s[5])<<16 | uint64(s[6])<<8 | uint64(s[7])
+}
+
+// appendUvarint appends v in unsigned varint form (the encoding/binary
+// wire format).
+func appendUvarint(dst []byte, v uint64) []byte {
+	for v >= 0x80 {
+		dst = append(dst, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(dst, byte(v))
+}
+
+// uvarint decodes an unsigned varint from the front of s, returning
+// the value and the number of bytes consumed (0 if s is truncated or
+// the varint overflows 64 bits).
+func uvarint(s string) (uint64, int) {
+	var v uint64
+	var shift uint
+	for i := 0; i < len(s); i++ {
+		b := s[i]
+		if b < 0x80 {
+			if i > 9 || i == 9 && b > 1 {
+				return 0, 0 // overflows uint64
+			}
+			return v | uint64(b)<<shift, i + 1
+		}
+		v |= uint64(b&0x7f) << shift
+		shift += 7
+	}
+	return 0, 0
+}
+
+// Int64 encodes an int64 as 8 big-endian bytes with the sign bit
+// flipped, so unsigned byte order equals signed integer order.
+type Int64 struct{}
+
+// Append appends the encoding of v to dst.
+func (Int64) Append(dst []byte, v int64) []byte {
+	return beAppendUint64(dst, uint64(v)^(1<<63))
+}
+
+// Decode parses an encoded int64.
+func (Int64) Decode(s string) (int64, error) {
+	if len(s) != 8 {
+		return 0, fmt.Errorf("recordio: int64 encoding is %d bytes, want 8", len(s))
+	}
+	return int64(beUint64(s) ^ (1 << 63)), nil
+}
+
+// RawCompare orders encoded int64s without decoding them.
+func (Int64) RawCompare(a, b string) int { return strings.Compare(a, b) }
+
+// Uint64 encodes a uint64 as 8 big-endian bytes.
+type Uint64 struct{}
+
+// Append appends the encoding of v to dst.
+func (Uint64) Append(dst []byte, v uint64) []byte { return beAppendUint64(dst, v) }
+
+// Decode parses an encoded uint64.
+func (Uint64) Decode(s string) (uint64, error) {
+	if len(s) != 8 {
+		return 0, fmt.Errorf("recordio: uint64 encoding is %d bytes, want 8", len(s))
+	}
+	return beUint64(s), nil
+}
+
+// RawCompare orders encoded uint64s without decoding them.
+func (Uint64) RawCompare(a, b string) int { return strings.Compare(a, b) }
+
+// floatOrderedBits maps a float64 onto a uint64 whose unsigned order
+// equals the float order (IEEE 754 total order restricted to non-NaN):
+// negative values have all bits flipped, non-negative values have the
+// sign bit set. NaN is rejected — it has no position in a sort order.
+func floatOrderedBits(v float64) uint64 {
+	if math.IsNaN(v) {
+		panic("recordio: cannot encode NaN as a sort key")
+	}
+	b := math.Float64bits(v)
+	if b&(1<<63) != 0 {
+		return ^b
+	}
+	return b | 1<<63
+}
+
+// Float64 encodes a float64 in 8 order-preserving big-endian bytes:
+// -Inf < negatives < -0 < +0 < positives < +Inf. Append panics on NaN;
+// Decode rejects NaN bit patterns.
+type Float64 struct{}
+
+// Append appends the encoding of v to dst. It panics if v is NaN.
+func (Float64) Append(dst []byte, v float64) []byte {
+	return beAppendUint64(dst, floatOrderedBits(v))
+}
+
+// Decode parses an encoded float64, rejecting NaN.
+func (Float64) Decode(s string) (float64, error) {
+	if len(s) != 8 {
+		return 0, fmt.Errorf("recordio: float64 encoding is %d bytes, want 8", len(s))
+	}
+	b := beUint64(s)
+	if b&(1<<63) != 0 {
+		b &^= 1 << 63
+	} else {
+		b = ^b
+	}
+	v := math.Float64frombits(b)
+	if math.IsNaN(v) {
+		return 0, fmt.Errorf("recordio: float64 encoding decodes to NaN")
+	}
+	return v, nil
+}
+
+// RawCompare orders encoded float64s without decoding them.
+func (Float64) RawCompare(a, b string) int { return strings.Compare(a, b) }
+
+// RawString passes strings through unencoded: the raw bytes are the
+// key. Use it for free-standing text keys (user IDs) where byte order
+// is the wanted order and legacy text jobs must see identical keys; it
+// cannot be embedded in a composite (no terminator).
+type RawString struct{}
+
+// Append appends v verbatim.
+func (RawString) Append(dst []byte, v string) []byte { return append(dst, v...) }
+
+// Decode returns s verbatim.
+func (RawString) Decode(s string) (string, error) { return s, nil }
+
+// RawCompare orders raw strings bytewise.
+func (RawString) RawCompare(a, b string) int { return strings.Compare(a, b) }
+
+// String encodes a string so it can lead a composite key and still
+// compare bytewise in string order: each 0x00 byte becomes 0x00 0xFF
+// and the encoding ends with the terminator 0x00 0x00, so a shorter
+// string always orders before its extensions ("a" < "a\x00" < "ab"
+// holds on the encoded bytes).
+type String struct{}
+
+// Append appends the escaped, terminated encoding of v to dst.
+func (String) Append(dst []byte, v string) []byte {
+	for i := 0; i < len(v); i++ {
+		c := v[i]
+		dst = append(dst, c)
+		if c == 0x00 {
+			dst = append(dst, 0xFF)
+		}
+	}
+	return append(dst, 0x00, 0x00)
+}
+
+// Decode parses a full encoded string (no trailing bytes allowed).
+func (String) Decode(s string) (string, error) {
+	v, rest, err := consumeString(s)
+	if err != nil {
+		return "", err
+	}
+	if rest != "" {
+		return "", fmt.Errorf("recordio: %d trailing bytes after string encoding", len(rest))
+	}
+	return v, nil
+}
+
+// RawCompare orders encoded strings without decoding them.
+func (String) RawCompare(a, b string) int { return strings.Compare(a, b) }
+
+// consumeString decodes one escaped, terminated string from the front
+// of s and returns the remainder — the composite-key building block.
+func consumeString(s string) (val, rest string, err error) {
+	i := strings.IndexByte(s, 0x00)
+	if i < 0 || i+1 >= len(s) {
+		return "", "", fmt.Errorf("recordio: unterminated string encoding")
+	}
+	if s[i+1] == 0x00 {
+		// Fast path: no escapes before the terminator — the value is a
+		// substring, no copy.
+		return s[:i], s[i+2:], nil
+	}
+	var b strings.Builder
+	pos := 0
+	for {
+		i := strings.IndexByte(s[pos:], 0x00)
+		if i < 0 || pos+i+1 >= len(s) {
+			return "", "", fmt.Errorf("recordio: unterminated string encoding")
+		}
+		j := pos + i
+		b.WriteString(s[pos:j])
+		switch s[j+1] {
+		case 0xFF:
+			b.WriteByte(0x00)
+			pos = j + 2
+		case 0x00:
+			return b.String(), s[j+2:], nil
+		default:
+			return "", "", fmt.Errorf("recordio: invalid string escape 0x00 0x%02X", s[j+1])
+		}
+	}
+}
+
+// UserTimeKey is the composite (user, unix seconds) sort key the
+// trace pipelines group and order by.
+type UserTimeKey struct {
+	User string
+	Unix int64
+}
+
+// UserTime encodes a UserTimeKey as the escaped user string followed
+// by the order-preserving int64, so encoded keys sort by user first
+// and then chronologically — without decoding.
+type UserTime struct{}
+
+// Append appends the encoding of v to dst.
+func (UserTime) Append(dst []byte, v UserTimeKey) []byte {
+	dst = String{}.Append(dst, v.User)
+	return Int64{}.Append(dst, v.Unix)
+}
+
+// Decode parses an encoded UserTimeKey.
+func (UserTime) Decode(s string) (UserTimeKey, error) {
+	user, rest, err := consumeString(s)
+	if err != nil {
+		return UserTimeKey{}, err
+	}
+	unix, err := Int64{}.Decode(rest)
+	if err != nil {
+		return UserTimeKey{}, err
+	}
+	return UserTimeKey{User: user, Unix: unix}, nil
+}
+
+// RawCompare orders encoded UserTimeKeys without decoding them.
+func (UserTime) RawCompare(a, b string) int { return strings.Compare(a, b) }
