@@ -19,10 +19,12 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"time"
 
@@ -32,6 +34,7 @@ import (
 	"repro/internal/gepeto"
 	"repro/internal/mapreduce"
 	"repro/internal/obs"
+	obstrace "repro/internal/obs/trace"
 	"repro/internal/privacy"
 	"repro/internal/trace"
 	"repro/internal/viz"
@@ -71,6 +74,8 @@ func main() {
 		err = cmdMMC(args)
 	case "history":
 		err = cmdHistory(args)
+	case "analyze":
+		err = cmdAnalyze(args)
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -101,10 +106,12 @@ commands:
   social     co-location social-link discovery (two chained MR jobs)
   mmc        build Mobility Markov Chains per user and evaluate prediction
   history    list stored job runs and render per-node attempt timelines
+  analyze    critical-path / straggler / shuffle-skew report from traces
 
 cluster commands also accept -status ADDR (live jobtracker status +
-/metrics + pprof over HTTP) and -historydir DIR (job-history mirror,
-read back by "gepeto history").
+/metrics + /trace/ + /analyze/ + pprof over HTTP) and -historydir DIR
+(job-history and trace mirror, read back by "gepeto history" and
+"gepeto analyze").
 
 run "gepeto <command> -h" for flags`)
 }
@@ -135,8 +142,12 @@ var obsCfg struct {
 }
 
 // deployAndLoad builds a toolkit and uploads the local dataset dir.
-// When -status is set it also starts the live status server; the
-// returned closer shuts it down (it is always safe to call).
+// When -status or -historydir is set it attaches the observability
+// bus: a causal-trace collector (persisted beside the job history so
+// "gepeto analyze" works post-mortem) and, under -status, the live
+// status server with /trace/ + /analyze/ endpoints, a runtime sampler,
+// and graceful shutdown on SIGINT. The returned closer tears all of it
+// down (always safe to call).
 func deployAndLoad(nodes, racks, slots int, chunkMB int64, inDir string) (*core.Toolkit, *trace.Dataset, func(), error) {
 	cfg := core.ClusterConfig{
 		Nodes: nodes, Racks: racks, SlotsPerNode: slots, ChunkSize: chunkMB << 20,
@@ -144,10 +155,16 @@ func deployAndLoad(nodes, racks, slots int, chunkMB int64, inDir string) (*core.
 	}
 	var tracker *obs.Tracker
 	var reg *obs.Registry
-	if obsCfg.status != "" {
+	var collector *obstrace.Collector
+	var store *obstrace.Store
+	if obsCfg.status != "" || obsCfg.historyDir != "" {
 		tracker = obs.NewTracker()
 		reg = obs.NewRegistry()
-		cfg.Obs = obs.NewBus(tracker, obs.NewMetricsSink(reg))
+		if obsCfg.historyDir != "" {
+			store = obstrace.NewStore(obs.NewDirFS(obsCfg.historyDir))
+		}
+		collector = obstrace.NewCollector(store, 0)
+		cfg.Obs = obs.NewBus(tracker, obs.NewMetricsSink(reg), collector)
 	}
 	tk, err := core.NewToolkit(cfg)
 	if err != nil {
@@ -160,8 +177,33 @@ func deployAndLoad(nodes, racks, slots int, chunkMB int64, inDir string) (*core.
 			return nil, nil, nil, err
 		}
 		srv.Extra = dfsGauges(tk)
+		src := obstrace.Multi(collector, store)
+		srv.Handle("/trace/", obstrace.TraceHandler("/trace/", src))
+		srv.Handle("/analyze/", obstrace.AnalyzeHandler("/analyze/", src, obstrace.Options{}))
+		stopSampler := obs.StartRuntimeSampler(reg, time.Second)
 		fmt.Fprintf(os.Stderr, "status server listening on %s\n", srv.URL())
-		closer = func() { _ = srv.Close() }
+		// Drain the server gracefully both on normal teardown and on
+		// SIGINT, so the listener never outlives the process's work.
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt)
+		shutdown := func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			_ = srv.Shutdown(ctx)
+			stopSampler()
+		}
+		go func() {
+			if _, ok := <-sig; ok {
+				fmt.Fprintln(os.Stderr, "interrupted; shutting down status server")
+				shutdown()
+				os.Exit(130)
+			}
+		}()
+		closer = func() {
+			signal.Stop(sig)
+			close(sig)
+			shutdown()
+		}
 	}
 	ds, err := geolife.ReadRecordsLocal(inDir)
 	if err != nil {
@@ -746,6 +788,68 @@ func cmdHistory(args []string) error {
 			continue
 		}
 		fmt.Print(obs.RenderTimeline(rec, *width))
+	}
+	return nil
+}
+
+// cmdAnalyze reads stored causal traces (mirrored by cluster commands
+// under -historydir) and prints the bottleneck report: critical path
+// with per-phase attribution, stragglers, and shuffle skew. With no
+// arguments it lists the stored traces.
+func cmdAnalyze(args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	dir := fs.String("dir", defaultHistoryDir, "trace directory (as mirrored by -historydir)")
+	slow := fs.Float64("slow", 1.5, "straggler threshold: multiple of the phase median attempt duration")
+	skew := fs.Float64("skew", 2.0, "skew threshold: multiple of the mean partition volume")
+	chrome := fs.String("chrome", "", "write the trace as Chrome trace_event JSON to this file (open in Perfetto)")
+	asJSON := fs.Bool("json", false, "print the analysis as JSON instead of the ASCII report")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	st := obstrace.NewStore(obs.NewDirFS(*dir))
+	if fs.NArg() == 0 {
+		trees, err := st.List()
+		if err != nil {
+			return err
+		}
+		if len(trees) == 0 {
+			fmt.Printf("no traces under %s (run a cluster command with -historydir)\n", *dir)
+			return nil
+		}
+		fmt.Printf("%-4s %-32s %-22s %10s %5s\n", "seq", "root", "started", "wall", "jobs")
+		for _, t := range trees {
+			fmt.Printf("%-4d %-32s %-22s %10s %5d\n",
+				t.Seq, t.Root.Name, t.Start().Format("2006-01-02T15:04:05"),
+				time.Duration(t.WallUs())*time.Microsecond, len(t.Root.Jobs()))
+		}
+		return nil
+	}
+	opts := obstrace.Options{StragglerFactor: *slow, SkewFactor: *skew}
+	for _, key := range fs.Args() {
+		t, ok := st.Find(key)
+		if !ok {
+			return fmt.Errorf("no trace matches %q in %s", key, *dir)
+		}
+		if *chrome != "" {
+			data, err := obstrace.EncodeChrome(t)
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(*chrome, data, 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "wrote Chrome trace to %s (load it at https://ui.perfetto.dev)\n", *chrome)
+		}
+		a := obstrace.AnalyzeTree(t, opts)
+		if *asJSON {
+			data, err := json.MarshalIndent(a, "", "  ")
+			if err != nil {
+				return err
+			}
+			fmt.Println(string(data))
+			continue
+		}
+		obstrace.WriteReport(os.Stdout, t, a)
 	}
 	return nil
 }

@@ -1,10 +1,14 @@
 package main
 
 import (
+	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	obstrace "repro/internal/obs/trace"
 )
 
 // chdir moves into a temp dir for the duration of a test (the CLI
@@ -181,6 +185,129 @@ func TestCLISampleJSONReport(t *testing.T) {
 	}
 	if !strings.Contains(string(body), `"map_input_records"`) {
 		t.Fatalf("report missing counters: %s", body)
+	}
+}
+
+// captureStdout runs f with os.Stdout redirected to a pipe and returns
+// what it printed.
+func captureStdout(t *testing.T, f func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := f()
+	w.Close()
+	os.Stdout = old
+	data, readErr := io.ReadAll(r)
+	r.Close()
+	if runErr != nil {
+		t.Fatalf("command failed: %v", runErr)
+	}
+	if readErr != nil {
+		t.Fatal(readErr)
+	}
+	return string(data)
+}
+
+func TestCLIAnalyzeKMeansRun(t *testing.T) {
+	chdir(t)
+	// An empty trace store is a hint, not an error.
+	if out := captureStdout(t, func() error { return cmdAnalyze(nil) }); !strings.Contains(out, "no traces") {
+		t.Errorf("empty-store analyze output: %q", out)
+	}
+	if err := cmdGenerate([]string{"-users", "2", "-traces", "6000", "-out", "data"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdSample([]string{"-in", "data", "-out", "sampled", "-chunk", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	// The k-means run of the acceptance criterion: cluster commands
+	// mirror causal traces next to job history by default.
+	if err := cmdKMeans([]string{"-in", "sampled", "-k", "3", "-maxiter", "4", "-chunk", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	files, err := filepath.Glob(filepath.Join(defaultHistoryDir, "_trace", "*.json"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no mirrored trace files: %v %v", files, err)
+	}
+
+	// The bare command lists every stored trace.
+	list := captureStdout(t, func() error { return cmdAnalyze(nil) })
+	if !strings.Contains(list, "seq") || !strings.Contains(list, "kmeans") {
+		t.Errorf("trace listing missing kmeans run:\n%s", list)
+	}
+
+	// Analyze the k-means trace (findable by root-name prefix via a
+	// contained job, or here by its sequence number: sampling ran first).
+	out := captureStdout(t, func() error { return cmdAnalyze([]string{"-json", "2"}) })
+	var a struct {
+		Root   string `json:"root"`
+		WallUs int64  `json:"wall_us"`
+		Jobs   []struct {
+			Job    string `json:"job"`
+			WallUs int64  `json:"wall_us"`
+			Path   []struct {
+				Kind string `json:"kind"`
+			} `json:"path"`
+			Phases []struct {
+				Phase string  `json:"phase"`
+				DurUs int64   `json:"dur_us"`
+				Pct   float64 `json:"pct"`
+			} `json:"phases"`
+		} `json:"jobs"`
+	}
+	if err := json.Unmarshal([]byte(out), &a); err != nil {
+		t.Fatalf("analyze -json output not JSON: %v\n%s", err, out)
+	}
+	if !strings.HasPrefix(a.Root, "kmeans:") {
+		t.Fatalf("analyzed root %q, want the kmeans span", a.Root)
+	}
+	if len(a.Jobs) == 0 {
+		t.Fatal("no jobs in the k-means analysis")
+	}
+	// Acceptance criterion: per-phase critical-path durations sum to
+	// within 5% of each job's recorded wall-clock.
+	for _, j := range a.Jobs {
+		if j.WallUs <= 0 || len(j.Phases) == 0 || len(j.Path) == 0 {
+			t.Fatalf("degenerate job analysis: %+v", j)
+		}
+		var sum int64
+		for _, p := range j.Phases {
+			sum += p.DurUs
+		}
+		diff := sum - j.WallUs
+		if diff < 0 {
+			diff = -diff
+		}
+		if float64(diff) > 0.05*float64(j.WallUs) {
+			t.Errorf("job %s: phase durations sum to %dµs, wall %dµs (off by %.1f%%, want ≤5%%)",
+				j.Job, sum, j.WallUs, 100*float64(diff)/float64(j.WallUs))
+		}
+	}
+
+	// The default ASCII report names the critical path and attribution.
+	report := captureStdout(t, func() error { return cmdAnalyze([]string{"2"}) })
+	for _, want := range []string{"critical path", "%"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+
+	// -chrome exports a valid Perfetto-loadable trace_event file.
+	_ = captureStdout(t, func() error { return cmdAnalyze([]string{"-chrome", "kmeans-trace.json", "2"}) })
+	data, err := os.ReadFile("kmeans-trace.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := obstrace.DecodeChrome(data); err != nil {
+		t.Fatalf("exported Chrome trace invalid: %v", err)
+	}
+
+	if err := cmdAnalyze([]string{"no-such-trace"}); err == nil {
+		t.Fatal("analyze of unknown key should error")
 	}
 }
 

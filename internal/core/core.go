@@ -185,12 +185,27 @@ func (t *Toolkit) DJCluster(inputDir string, opts gepeto.DJClusterOptions) (*gep
 // AttackPOI runs the end-to-end POI inference attack: down-sample,
 // DJ-Cluster, extract and label POIs. It is GEPETO's primary inference
 // attack (§VIII). The preprocessed dataset's timestamps label the POIs.
-func (t *Toolkit) AttackPOI(inputDir string, window time.Duration, opts gepeto.DJClusterOptions) ([]privacy.POI, *gepeto.DJClusterResult, error) {
+func (t *Toolkit) AttackPOI(inputDir string, window time.Duration, opts gepeto.DJClusterOptions) (pois []privacy.POI, res *gepeto.DJClusterResult, err error) {
+	// The whole attack is one pipeline span, so the trace tree links the
+	// sampling job and the DJ-Cluster sub-pipeline under a single root.
+	spanID := "attack:" + inputDir
+	t.cfg.Obs.Emit(obs.Event{Type: obs.SpanStart, Span: spanID,
+		Detail: fmt.Sprintf("window=%s r=%gm", window, opts.RadiusMeters)})
+	defer func() {
+		ev := obs.Event{Type: obs.SpanEnd, Span: spanID}
+		if err != nil {
+			ev.Err = err.Error()
+		}
+		t.cfg.Obs.Emit(ev)
+	}()
 	sampledDir := inputDir + "-attack-sampled"
-	if _, err := t.Sample(inputDir, sampledDir, window, gepeto.SampleUpperLimit); err != nil {
+	job := gepeto.SamplingJob("sampling", []string{inputDir}, sampledDir, window, gepeto.SampleUpperLimit)
+	job.Parent = spanID
+	if _, err := t.engine.Run(job); err != nil {
 		return nil, nil, err
 	}
-	res, err := t.DJCluster(sampledDir, opts)
+	opts.Parent = spanID
+	res, err = t.DJCluster(sampledDir, opts)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -198,7 +213,7 @@ func (t *Toolkit) AttackPOI(inputDir string, window time.Duration, opts gepeto.D
 	if err != nil {
 		return nil, nil, err
 	}
-	pois, err := privacy.ExtractPOIs(res, privacy.TraceTimes(pre))
+	pois, err = privacy.ExtractPOIs(res, privacy.TraceTimes(pre))
 	if err != nil {
 		return nil, nil, err
 	}

@@ -38,6 +38,9 @@ type DJClusterOptions struct {
 	// RTree configures the MapReduce R-tree construction used to
 	// index the preprocessed traces (§VII-C).
 	RTree RTreeBuildOptions
+	// Parent is the enclosing observability span, when the clustering
+	// runs inside a larger pipeline ("" for a standalone run).
+	Parent string
 }
 
 func (o DJClusterOptions) withDefaults() DJClusterOptions {
@@ -112,7 +115,7 @@ func DJClusterMR(e *mapreduce.Engine, inputPaths []string, workDir string, opts 
 	opts = opts.withDefaults()
 	res = &DJClusterResult{}
 	spanID := "djcluster:" + workDir
-	defer span(e, spanID, "", fmt.Sprintf("r=%gm minPts=%d", opts.RadiusMeters, opts.MinPts), &err)()
+	defer span(e, spanID, opts.Parent, fmt.Sprintf("r=%gm minPts=%d", opts.RadiusMeters, opts.MinPts), &err)()
 
 	// Phase 1: preprocessing pipeline.
 	preSpan := spanID + "/preprocess"

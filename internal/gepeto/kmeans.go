@@ -43,6 +43,9 @@ type KMeansOptions struct {
 	PlusPlusInit bool
 	// Seed drives the random initial-centroid choice.
 	Seed int64
+	// Parent is the enclosing observability span, when the clustering
+	// runs inside a larger pipeline ("" for a standalone run).
+	Parent string
 }
 
 func (o KMeansOptions) withDefaults() KMeansOptions {
@@ -91,7 +94,7 @@ const (
 func KMeansMR(e *mapreduce.Engine, inputPaths []string, workDir string, opts KMeansOptions) (res *KMeansResult, err error) {
 	opts = opts.withDefaults()
 	spanID := "kmeans:" + workDir
-	defer span(e, spanID, "", fmt.Sprintf("k=%d maxIter=%d", opts.K, opts.MaxIter), &err)()
+	defer span(e, spanID, opts.Parent, fmt.Sprintf("k=%d maxIter=%d", opts.K, opts.MaxIter), &err)()
 	var centroids []geo.Point
 	if opts.PlusPlusInit {
 		var pts []geo.Point

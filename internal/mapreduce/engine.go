@@ -305,6 +305,7 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 	})
 	reduceInputs := make([][]KV, numReducers)
 	partBytes := make([]int64, numReducers)
+	partDur := make([]time.Duration, numReducers)
 	slots := e.cluster.TotalSlots()
 	if slots < 1 {
 		slots = 1
@@ -317,6 +318,7 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 		go func(p int) {
 			defer mergeWG.Done()
 			defer func() { <-sem }()
+			mergeStart := time.Now()
 			merged := mergeRuns(runsPerPart[p], job.KeyCompare)
 			var b int64
 			for _, kv := range merged {
@@ -324,6 +326,7 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 			}
 			reduceInputs[p] = merged
 			partBytes[p] = b
+			partDur[p] = time.Since(mergeStart)
 		}(p)
 	}
 	mergeWG.Wait()
@@ -334,9 +337,23 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 	res.Counters.Get(CounterGroupShuffle, CounterShuffleBytes).Inc(shuffleBytes)
 	res.Counters.Get(CounterGroupShuffle, CounterShuffleRunsMerged).Inc(totalRuns)
 	res.ShuffleWall = time.Since(shuffleStart)
+	var parts []obs.PartStat
+	if bus.Active() {
+		parts = make([]obs.PartStat, numReducers)
+		for p := 0; p < numReducers; p++ {
+			parts[p] = obs.PartStat{
+				Part:    p,
+				Runs:    int64(len(runsPerPart[p])),
+				Records: int64(len(reduceInputs[p])),
+				Bytes:   partBytes[p],
+				DurUs:   partDur[p].Microseconds(),
+			}
+		}
+	}
 	bus.Emit(obs.Event{
 		Type: obs.PhaseEnd, Job: job.Name, Phase: "shuffle", Dur: res.ShuffleWall,
 		Value: shuffleBytes, Detail: shuffleDetail(runsPerPart, reduceInputs, partBytes),
+		Parts: parts,
 	})
 
 	// ---- Reduce phase ----

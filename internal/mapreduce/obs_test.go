@@ -76,6 +76,31 @@ func TestEngineEventLifecycle(t *testing.T) {
 	if got := ends[1].Value; got != res.Counters.Value(CounterGroupShuffle, CounterShuffleBytes) {
 		t.Errorf("shuffle PhaseEnd value = %d, want shuffle_bytes counter", got)
 	}
+	// ... and the per-partition merge summary the trace assembler and
+	// skew analysis consume: one PartStat per reduce partition, whose
+	// byte/run totals match the shuffle counters.
+	parts := ends[1].Parts
+	if len(parts) != res.ReduceTasks {
+		t.Fatalf("shuffle PhaseEnd parts: %d, want %d", len(parts), res.ReduceTasks)
+	}
+	var partBytes, partRuns, partRecords int64
+	for i, p := range parts {
+		if p.Part != i {
+			t.Errorf("parts[%d].Part = %d", i, p.Part)
+		}
+		partBytes += p.Bytes
+		partRuns += p.Runs
+		partRecords += p.Records
+	}
+	if partBytes != res.Counters.Value(CounterGroupShuffle, CounterShuffleBytes) {
+		t.Errorf("sum of partition bytes = %d, want shuffle_bytes counter", partBytes)
+	}
+	if partRuns != res.Counters.Value(CounterGroupShuffle, CounterShuffleRunsMerged) {
+		t.Errorf("sum of partition runs = %d, want shuffle_runs_merged counter", partRuns)
+	}
+	if partRecords <= 0 {
+		t.Error("partition records not recorded")
+	}
 
 	tasks := res.MapTasks + res.ReduceTasks
 	if got := len(rec.ByType(obs.AttemptSucceeded)); got != tasks {

@@ -93,6 +93,26 @@ type Event struct {
 	Err string
 	// Detail is free-form context ("maps=12 reducers=4").
 	Detail string
+	// Parts is the per-reduce-partition shuffle summary, set on the
+	// shuffle PhaseEnd event. It is the raw material for skew analysis:
+	// the DJ-Cluster merge funnelling everything into one reducer shows
+	// up here as one partition holding all the records.
+	Parts []PartStat
+}
+
+// PartStat summarises one reduce partition's share of the shuffle: how
+// many pre-sorted map-output runs were merged into it, the record and
+// byte volume routed to it, and the merge wall time.
+type PartStat struct {
+	// Part is the 0-based reduce partition index.
+	Part int `json:"part"`
+	// Runs is the number of map-output runs merged.
+	Runs int64 `json:"runs"`
+	// Records and Bytes are the merged record count and byte volume.
+	Records int64 `json:"records"`
+	Bytes   int64 `json:"bytes"`
+	// DurUs is the partition's merge wall time in microseconds.
+	DurUs int64 `json:"dur_us"`
 }
 
 // Sink consumes events. Implementations must be safe for concurrent
@@ -166,16 +186,45 @@ func (f SinkFunc) Emit(e Event) { f(e) }
 
 // Recorder is a Sink that buffers every event, for tests and ad-hoc
 // tracing. Safe for concurrent use.
+//
+// Long-lived processes set MaxJobs to bound the buffer: once more than
+// MaxJobs jobs have finished, the oldest finished job's events are
+// dropped. Events of jobs that are still running — and events carrying
+// no job at all (pipeline spans) — are never pruned, so an in-flight
+// job's trace stays complete no matter how many jobs finish around it.
 type Recorder struct {
-	mu     sync.Mutex
-	events []Event
+	// MaxJobs, when > 0, bounds retention to the events of the most
+	// recent MaxJobs finished jobs (plus everything still running).
+	MaxJobs int
+
+	mu       sync.Mutex
+	events   []Event
+	finished []string // finished job names, oldest first
 }
 
 // Emit implements Sink.
 func (r *Recorder) Emit(e Event) {
 	r.mu.Lock()
 	r.events = append(r.events, e)
+	if r.MaxJobs > 0 && e.Type == JobFinished && e.Job != "" {
+		r.finished = append(r.finished, e.Job)
+		for len(r.finished) > r.MaxJobs {
+			r.evictLocked(r.finished[0])
+			r.finished = r.finished[1:]
+		}
+	}
 	r.mu.Unlock()
+}
+
+// evictLocked drops every buffered event of one finished job.
+func (r *Recorder) evictLocked(job string) {
+	kept := r.events[:0]
+	for _, e := range r.events {
+		if e.Job != job {
+			kept = append(kept, e)
+		}
+	}
+	r.events = kept
 }
 
 // Events returns a copy of everything recorded so far.

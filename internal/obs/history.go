@@ -27,6 +27,8 @@ type FS interface {
 	List(dir string) []string
 	// ReadAll returns a file's full contents.
 	ReadAll(path string) ([]byte, error)
+	// Delete removes a file. Deleting a missing path is an error.
+	Delete(path string) error
 }
 
 // AttemptRecord describes one task attempt for the job history: which
@@ -85,13 +87,24 @@ func (r JobRecord) Start() time.Time { return time.UnixMilli(r.StartUnixMs) }
 // History persists finished-job records under HistoryDir in an FS —
 // the job-history server role. Safe for concurrent use.
 type History struct {
-	mu  sync.Mutex
-	fs  FS
-	seq int // next sequence number; 0 = not yet initialised
+	mu      sync.Mutex
+	fs      FS
+	seq     int // next sequence number; 0 = not yet initialised
+	maxJobs int // 0 = unbounded
 }
 
 // NewHistory creates a history store over the given backend.
 func NewHistory(fs FS) *History { return &History{fs: fs} }
+
+// SetMaxJobs bounds the store to the n most recent records: each Save
+// beyond the bound deletes the oldest stored record. n <= 0 means
+// unbounded. Only finished jobs ever reach Save, so pruning can never
+// touch a running job.
+func (h *History) SetMaxJobs(n int) {
+	h.mu.Lock()
+	h.maxJobs = n
+	h.mu.Unlock()
+}
 
 // recPath builds "_history/000042-jobname.json". Slashes in job names
 // are flattened so every record stays directly under HistoryDir.
@@ -133,7 +146,24 @@ func (h *History) Save(rec JobRecord) (string, error) {
 	if err := h.fs.Create(path, data, ""); err != nil {
 		return "", fmt.Errorf("obs: saving history record: %v", err)
 	}
+	h.pruneLocked()
 	return path, nil
+}
+
+// pruneLocked enforces maxJobs by deleting the lowest-sequence records.
+// Mirror backends may miss some paths; those errors are ignored — the
+// next prune retries.
+func (h *History) pruneLocked() {
+	if h.maxJobs <= 0 {
+		return
+	}
+	paths := h.fs.List(HistoryDir)
+	// List is sorted and names embed a zero-padded sequence number, so
+	// lexical order is sequence order.
+	for len(paths) > h.maxJobs {
+		_ = h.fs.Delete(paths[0])
+		paths = paths[1:]
+	}
 }
 
 // List returns every stored record ordered by sequence number.
@@ -218,6 +248,10 @@ func (d dirFS) ReadAll(path string) ([]byte, error) {
 	return os.ReadFile(d.local(path))
 }
 
+func (d dirFS) Delete(path string) error {
+	return os.Remove(d.local(path))
+}
+
 // teeFS writes to both backends and reads from their union (primary
 // wins), so records live in the simulated DFS for in-process diffing
 // and in a local directory for post-mortem inspection.
@@ -258,4 +292,12 @@ func (t teeFS) ReadAll(path string) ([]byte, error) {
 		return data, nil
 	}
 	return t.secondary.ReadAll(path)
+}
+
+func (t teeFS) Delete(path string) error {
+	err := t.primary.Delete(path)
+	// The mirror may legitimately lack the path (or hold extras from an
+	// earlier process); deleting there is best-effort.
+	_ = t.secondary.Delete(path)
+	return err
 }

@@ -5,6 +5,7 @@ import (
 	"io"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -28,6 +29,22 @@ func (c *Counter) Inc() { c.v.Add(1) }
 
 // Value returns the current count.
 func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down, backed by an atomic.
+// The runtime sampler uses gauges for heap size, goroutine count and
+// GC state.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the gauge by delta (either direction).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
 
 // DefBuckets are the default histogram bucket upper bounds, in seconds
 // (matching the Prometheus client default ladder).
@@ -93,6 +110,7 @@ type Labels map[string]string
 type series struct {
 	labels  Labels
 	counter *Counter
+	gauge   *Gauge
 	hist    *Histogram
 }
 
@@ -100,7 +118,7 @@ type series struct {
 type family struct {
 	name   string
 	help   string
-	typ    string // "counter" | "histogram"
+	typ    string // "counter" | "gauge" | "histogram"
 	series map[string]*series
 	order  []string
 }
@@ -164,6 +182,22 @@ func (r *Registry) Counter(name, help string, labels Labels) *Counter {
 		f.order = append(f.order, key)
 	}
 	return s.counter
+}
+
+// Gauge returns the gauge for name+labels, registering it on first
+// use. help is only recorded the first time a name is seen.
+func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyLocked(name, help, "gauge")
+	key := labelKey(labels)
+	s, ok := f.series[key]
+	if !ok {
+		s = &series{labels: cloneLabels(labels), gauge: &Gauge{}}
+		f.series[key] = s
+		f.order = append(f.order, key)
+	}
+	return s.gauge
 }
 
 // Histogram returns the histogram for name+labels, registering it with
@@ -250,6 +284,8 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 			switch {
 			case s.counter != nil:
 				fmt.Fprintf(w, "%s%s %d\n", f.name, promLabels(s.labels, ""), s.counter.Value())
+			case s.gauge != nil:
+				fmt.Fprintf(w, "%s%s %d\n", f.name, promLabels(s.labels, ""), s.gauge.Value())
 			case s.hist != nil:
 				cum, sum, count := s.hist.snapshot()
 				for i, b := range s.hist.bounds {
@@ -300,6 +336,8 @@ func (r *Registry) Snapshot() []MetricPoint {
 			switch {
 			case s.counter != nil:
 				p.Value = s.counter.Value()
+			case s.gauge != nil:
+				p.Value = s.gauge.Value()
 			case s.hist != nil:
 				_, sum, count := s.hist.snapshot()
 				p.Count, p.Sum = count, sum
@@ -345,6 +383,13 @@ func (m *MetricsSink) Emit(e Event) {
 		m.reg.Histogram("mr_phase_duration_seconds", "Wall time per job phase.", nil, Labels{"phase": e.Phase}).Observe(e.Dur.Seconds())
 		if e.Phase == "shuffle" && e.Value > 0 {
 			m.reg.Counter("mr_shuffle_bytes_total", "Intermediate bytes moved by the shuffle.", nil).Add(e.Value)
+		}
+		// Per-partition shuffle distribution, the skew signal: a hot
+		// reduce key shows up as one partition label dominating both.
+		for _, p := range e.Parts {
+			part := Labels{"partition": strconv.Itoa(p.Part)}
+			m.reg.Counter("shuffle_partition_records", "Records merged into each reduce partition.", part).Add(p.Records)
+			m.reg.Counter("shuffle_partition_bytes", "Bytes merged into each reduce partition.", part).Add(p.Bytes)
 		}
 	case TaskScheduled:
 		m.reg.Counter("mr_task_attempts_scheduled_total", "Task attempts assigned to node slots.", Labels{"phase": e.Phase}).Inc()

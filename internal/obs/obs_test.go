@@ -1,10 +1,12 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"strings"
 	"sync"
 	"testing"
@@ -149,6 +151,159 @@ func TestMetricsSinkDerivesEngineMetrics(t *testing.T) {
 	}
 }
 
+func TestMetricsSinkPartitionCounters(t *testing.T) {
+	reg := NewRegistry()
+	s := NewMetricsSink(reg)
+	s.Emit(Event{Type: PhaseEnd, Phase: "shuffle", Value: 60, Dur: time.Millisecond, Parts: []PartStat{
+		{Part: 0, Runs: 2, Records: 3, Bytes: 10, DurUs: 5},
+		{Part: 1, Runs: 2, Records: 97, Bytes: 50, DurUs: 40},
+	}})
+	// A second job's shuffle accumulates into the same partition series.
+	s.Emit(Event{Type: PhaseEnd, Phase: "shuffle", Value: 4, Dur: time.Millisecond, Parts: []PartStat{
+		{Part: 0, Runs: 1, Records: 1, Bytes: 4, DurUs: 2},
+	}})
+
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		`shuffle_partition_records{partition="0"} 4`,
+		`shuffle_partition_records{partition="1"} 97`,
+		`shuffle_partition_bytes{partition="0"} 14`,
+		`shuffle_partition_bytes{partition="1"} 50`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistryGaugeExposition(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.Gauge("queue_depth", "Depth.", Labels{"q": "a"})
+	g.Set(10)
+	g.Add(-3)
+	if g.Value() != 7 {
+		t.Fatalf("gauge value = %d, want 7", g.Value())
+	}
+	// Same name+labels returns the same gauge.
+	if reg.Gauge("queue_depth", "", Labels{"q": "a"}) != g {
+		t.Error("registry returned a different gauge for same name+labels")
+	}
+
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE queue_depth gauge",
+		`queue_depth{q="a"} 7`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	snap := reg.Snapshot()
+	if len(snap) != 1 || snap[0].Name != "queue_depth" || snap[0].Value != 7 {
+		t.Errorf("gauge snapshot: %+v", snap)
+	}
+}
+
+func TestRuntimeSamplerPopulatesGauges(t *testing.T) {
+	reg := NewRegistry()
+	stop := StartRuntimeSampler(reg, time.Hour) // first sample is immediate
+	defer stop()
+	if v := reg.Gauge("go_goroutines", "", nil).Value(); v <= 0 {
+		t.Errorf("go_goroutines = %d, want > 0", v)
+	}
+	if v := reg.Gauge("go_heap_alloc_bytes", "", nil).Value(); v <= 0 {
+		t.Errorf("go_heap_alloc_bytes = %d, want > 0", v)
+	}
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	if !strings.Contains(sb.String(), "go_heap_sys_bytes") {
+		t.Error("runtime gauges missing from exposition")
+	}
+	stop()
+	stop() // idempotent
+}
+
+func TestRecorderRetentionKeepsRunningJobs(t *testing.T) {
+	r := &Recorder{MaxJobs: 2}
+	// A pipeline span (no Job) and a long-running job that never
+	// finishes during the test.
+	r.Emit(Event{Type: SpanStart, Span: "pipe"})
+	r.Emit(Event{Type: JobSubmitted, Job: "long-running", Parent: "pipe"})
+	r.Emit(Event{Type: AttemptStarted, Job: "long-running", Phase: "map", Task: "map-0000"})
+	// Three jobs finish around it; MaxJobs=2 must evict only the oldest.
+	for _, j := range []string{"old-1", "old-2", "old-3"} {
+		r.Emit(Event{Type: JobSubmitted, Job: j, Parent: "pipe"})
+		r.Emit(Event{Type: JobFinished, Job: j})
+	}
+
+	byJob := map[string]int{}
+	for _, e := range r.Events() {
+		byJob[e.Job]++
+	}
+	if byJob["old-1"] != 0 {
+		t.Errorf("oldest finished job retained %d events, want 0", byJob["old-1"])
+	}
+	for _, j := range []string{"old-2", "old-3"} {
+		if byJob[j] != 2 {
+			t.Errorf("job %s has %d events, want 2", j, byJob[j])
+		}
+	}
+	// The still-running job and the span events are never pruned.
+	if byJob["long-running"] != 2 {
+		t.Errorf("running job has %d events, want 2 — retention dropped a live job", byJob["long-running"])
+	}
+	if byJob[""] != 1 {
+		t.Errorf("span events pruned: %d, want 1", byJob[""])
+	}
+
+	// Once the running job finishes it becomes evictable like any other.
+	r.Emit(Event{Type: JobFinished, Job: "long-running"})
+	r.Emit(Event{Type: JobSubmitted, Job: "old-4"})
+	r.Emit(Event{Type: JobFinished, Job: "old-4"})
+	for _, e := range r.Events() {
+		if e.Job == "old-2" {
+			t.Fatal("old-2 should have been evicted after two more jobs finished")
+		}
+	}
+}
+
+func TestHistoryRetentionPrunesOldest(t *testing.T) {
+	h := NewHistory(NewDirFS(t.TempDir()))
+	h.SetMaxJobs(2)
+	// Only finished jobs ever reach Save, so pruning the oldest record
+	// files can never touch a running job; the in-memory side of that
+	// guarantee is TestRecorderRetentionKeepsRunningJobs.
+	for _, name := range []string{"job-a", "job-b", "job-c"} {
+		if _, err := h.Save(JobRecord{Job: name}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs, err := h.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("listed %d records after pruning, want 2", len(recs))
+	}
+	if recs[0].Job != "job-b" || recs[0].Seq != 2 || recs[1].Job != "job-c" || recs[1].Seq != 3 {
+		t.Errorf("retained wrong records: %+v", recs)
+	}
+	if _, ok := h.Find("job-a"); ok {
+		t.Error("pruned record still findable")
+	}
+	// Sequence numbering keeps advancing past pruned records.
+	if _, err := h.Save(JobRecord{Job: "job-d"}); err != nil {
+		t.Fatal(err)
+	}
+	if rec, ok := h.Find("job-d"); !ok || rec.Seq != 4 {
+		t.Errorf("Find(job-d) = %+v, %v; want seq 4", rec, ok)
+	}
+}
+
 func TestTrackerLifecycle(t *testing.T) {
 	tr := NewTracker()
 	t0 := time.Unix(1000, 0)
@@ -265,7 +420,18 @@ func (m *mapFS) List(dir string) []string {
 			out = append(out, p)
 		}
 	}
+	sort.Strings(out)
 	return out
+}
+
+func (m *mapFS) Delete(path string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[path]; !ok {
+		return fmt.Errorf("%s: no such file", path)
+	}
+	delete(m.files, path)
+	return nil
 }
 
 func (m *mapFS) ReadAll(path string) ([]byte, error) {
@@ -341,6 +507,94 @@ func TestRenderTimeline(t *testing.T) {
 	}
 	if empty := RenderTimeline(JobRecord{Job: "none"}, 0); !strings.Contains(empty, "no attempt records") {
 		t.Errorf("empty record render: %q", empty)
+	}
+}
+
+// TestRenderTimelineFailedAndSpeculative pins down the exact lane
+// layout of a retry-plus-speculation story: map-0001 fails on node-b,
+// retries on node-a, is speculated on node-c, and the backup loses.
+func TestRenderTimelineFailedAndSpeculative(t *testing.T) {
+	rec := JobRecord{
+		Job: "retry", MapTasks: 2, ReduceTasks: 0, WallMs: 200,
+		Attempts: []AttemptRecord{
+			{Task: "map-0000", Phase: "map", Node: "node-a", StartMs: 0, EndMs: 40, Status: "succeeded"},
+			{Task: "map-0001", Phase: "map", Node: "node-b", StartMs: 0, EndMs: 50, Status: "failed", Error: "boom"},
+			{Task: "map-0001", Phase: "map", Attempt: 1, Node: "node-a", StartMs: 60, EndMs: 200, Status: "succeeded"},
+			{Task: "map-0001", Phase: "map", Attempt: 2, Node: "node-c", StartMs: 120, EndMs: 180, Status: "killed", Backup: true},
+		},
+	}
+	out := RenderTimeline(rec, 80)
+	lines := strings.Split(out, "\n")
+
+	laneFor := func(node, marker string) string {
+		t.Helper()
+		for _, ln := range lines {
+			if strings.HasPrefix(ln, node+" ") && strings.Contains(ln, marker) {
+				return ln
+			}
+		}
+		t.Fatalf("no %s lane containing %q:\n%s", node, marker, out)
+		return ""
+	}
+	// The failed attempt renders with 'x' fill and its task/attempt label.
+	failed := laneFor("node-b", "x")
+	if !strings.Contains(failed, "map-0001/0") {
+		t.Errorf("failed attempt lane missing label: %q", failed)
+	}
+	// The killed speculative backup renders with '~' fill on its node.
+	killed := laneFor("node-c", "~")
+	if !strings.Contains(killed, "map-0001/2") {
+		t.Errorf("killed backup lane missing label: %q", killed)
+	}
+	// node-a's two attempts don't overlap, so they share a single lane.
+	if n := strings.Count(out, "node-a |"); n != 1 {
+		t.Errorf("node-a has %d lanes, want 1 (attempts are disjoint):\n%s", n, out)
+	}
+	if !strings.Contains(out, "wall 200ms") {
+		t.Errorf("header missing wall time:\n%s", out)
+	}
+	if !strings.Contains(out, "legend: = succeeded   x failed   ~ speculative loser (killed)") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+}
+
+func TestStatusServerHandleAndShutdown(t *testing.T) {
+	srv, err := NewStatusServer("127.0.0.1:0", NewTracker(), NewRegistry(), NewHistory(newMapFS()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Handle("/trace/", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprint(w, "trace-payload")
+	}))
+
+	resp, err := http.Get(srv.URL() + "/trace/j1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || string(body) != "trace-payload" {
+		t.Errorf("/trace/j1 -> %d %q", resp.StatusCode, body)
+	}
+	// Registered patterns are advertised on the index page.
+	resp, err = http.Get(srv.URL() + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "/trace/") {
+		t.Errorf("index does not advertise /trace/: %q", body)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("graceful shutdown: %v", err)
+	}
+	// The listener is released: connecting again must fail.
+	if _, err := http.Get(srv.URL() + "/"); err == nil {
+		t.Error("server still serving after Shutdown")
 	}
 }
 

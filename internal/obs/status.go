@@ -1,12 +1,14 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"strings"
+	"sync"
 	"time"
 )
 
@@ -28,6 +30,10 @@ type StatusServer struct {
 	// additional exposition lines (e.g. DFS storage gauges).
 	Extra func() string
 	srv   *http.Server
+	mux   *http.ServeMux
+
+	mu    sync.Mutex
+	extra []string // extra endpoint patterns, for the index page
 }
 
 // NewStatusServer starts serving on addr (":0" picks a free port).
@@ -50,9 +56,21 @@ func NewStatusServer(addr string, tracker *Tracker, reg *Registry, hist *History
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.mux = mux
 	s.srv = &http.Server{Handler: mux}
-	go s.srv.Serve(ln)
+	go func() { _ = s.srv.Serve(ln) }()
 	return s, nil
+}
+
+// Handle registers an extra handler on the server's mux (e.g. the
+// /trace/ and /analyze/ endpoints wired up by cmd/gepeto, which live in
+// obs/trace and so cannot be registered here without an import cycle).
+// The pattern is also advertised on the index page.
+func (s *StatusServer) Handle(pattern string, h http.Handler) {
+	s.mux.Handle(pattern, h)
+	s.mu.Lock()
+	s.extra = append(s.extra, pattern)
+	s.mu.Unlock()
 }
 
 // Addr returns the bound address, e.g. "127.0.0.1:43231".
@@ -69,8 +87,16 @@ func (s *StatusServer) URL() string {
 	return "http://" + host
 }
 
-// Close shuts the server down.
+// Close shuts the server down immediately, dropping in-flight
+// requests. Prefer Shutdown for a graceful stop.
 func (s *StatusServer) Close() error { return s.srv.Close() }
+
+// Shutdown stops accepting new connections and waits for in-flight
+// requests to finish, up to the context deadline. Safe to call more
+// than once.
+func (s *StatusServer) Shutdown(ctx context.Context) error {
+	return s.srv.Shutdown(ctx)
+}
 
 func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -86,7 +112,13 @@ func (s *StatusServer) handleIndex(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintf(w, "gepeto jobtracker status — %s\n\n", time.Now().Format(time.RFC3339))
-	fmt.Fprintln(w, "endpoints: /jobs /jobs/<name> /metrics /metrics.json /history /debug/pprof/")
+	s.mu.Lock()
+	extra := strings.Join(s.extra, " ")
+	s.mu.Unlock()
+	if extra != "" {
+		extra = " " + extra
+	}
+	fmt.Fprintln(w, "endpoints: /jobs /jobs/<name> /metrics /metrics.json /history /debug/pprof/"+extra)
 	if s.tracker != nil {
 		for _, js := range s.tracker.Jobs() {
 			fmt.Fprintf(w, "%-8s %-10s %s\n", js.Kind, js.State, js.Name)

@@ -1,0 +1,132 @@
+package trace
+
+import (
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// Collector is an obs.Sink that groups the live event stream by root
+// (an outermost pipeline span, or a standalone job) and finalises each
+// group into a Tree when its root closes. Finished trees are kept in a
+// bounded in-memory ring and, when a Store is attached, persisted
+// alongside the job history so `gepeto analyze` works post-mortem.
+//
+// Events that arrive after their root closed — the engine emits
+// AttemptKilled for abandoned speculative losers after JobFinished —
+// no longer resolve to a group and are dropped, so closed roots leak
+// nothing.
+type Collector struct {
+	mu       sync.Mutex
+	store    *Store
+	maxKept  int
+	groups   map[string][]obs.Event
+	spanRoot map[string]string // span ID → root key
+	jobRoot  map[string]string // job name → root key
+	finished []*Tree
+	seq      int
+}
+
+// jobRootPrefix keys roots that are standalone jobs rather than spans.
+const jobRootPrefix = "job\x00"
+
+// NewCollector creates a collector keeping the most recent maxKept
+// finished trees in memory (default 32 when <= 0). store may be nil.
+func NewCollector(store *Store, maxKept int) *Collector {
+	if maxKept <= 0 {
+		maxKept = 32
+	}
+	return &Collector{
+		store:    store,
+		maxKept:  maxKept,
+		groups:   make(map[string][]obs.Event),
+		spanRoot: make(map[string]string),
+		jobRoot:  make(map[string]string),
+	}
+}
+
+// Emit implements obs.Sink.
+func (c *Collector) Emit(e obs.Event) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var root string
+	switch e.Type {
+	case obs.SpanStart:
+		if r, ok := c.spanRoot[e.Parent]; ok && e.Parent != "" {
+			root = r
+		} else {
+			root = e.Span
+		}
+		c.spanRoot[e.Span] = root
+	case obs.SpanEnd:
+		r, ok := c.spanRoot[e.Span]
+		if !ok {
+			return // late event for a closed root
+		}
+		root = r
+	case obs.JobSubmitted:
+		if r, ok := c.spanRoot[e.Parent]; ok && e.Parent != "" {
+			root = r
+		} else {
+			root = jobRootPrefix + e.Job
+		}
+		c.jobRoot[e.Job] = root
+	default:
+		r, ok := c.jobRoot[e.Job]
+		if !ok {
+			return // late event for a closed root
+		}
+		root = r
+	}
+	c.groups[root] = append(c.groups[root], e)
+	if (e.Type == obs.SpanEnd && e.Span == root) ||
+		(e.Type == obs.JobFinished && root == jobRootPrefix+e.Job) {
+		c.finalizeLocked(root)
+	}
+}
+
+// finalizeLocked assembles the group into trees, persists them, and
+// releases every identity mapping pointing at the root.
+func (c *Collector) finalizeLocked(root string) {
+	events := c.groups[root]
+	delete(c.groups, root)
+	for id, r := range c.spanRoot {
+		if r == root {
+			delete(c.spanRoot, id)
+		}
+	}
+	for job, r := range c.jobRoot {
+		if r == root {
+			delete(c.jobRoot, job)
+		}
+	}
+	for _, t := range Assemble(events) {
+		c.seq++
+		t.Seq = c.seq
+		if c.store != nil {
+			if _, err := c.store.Save(t); err == nil {
+				// Store.Save assigned the persistent sequence number.
+			}
+		}
+		c.finished = append(c.finished, t)
+		if len(c.finished) > c.maxKept {
+			c.finished = c.finished[len(c.finished)-c.maxKept:]
+		}
+	}
+}
+
+// Finished returns the in-memory finished trees, oldest first.
+func (c *Collector) Finished() []*Tree {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]*Tree(nil), c.finished...)
+}
+
+// Find returns the most recent finished tree whose root name matches
+// key, that contains a job named key, or whose sequence number equals
+// the numeric form of key.
+func (c *Collector) Find(key string) (*Tree, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return findIn(c.finished, key)
+}

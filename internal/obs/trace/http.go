@@ -1,0 +1,98 @@
+package trace
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// Source finds trees by key. *Collector and *Store both implement it;
+// Multi chains them so the status server consults live traces first
+// and the persistent store second.
+type Source interface {
+	Find(key string) (*Tree, bool)
+}
+
+// Multi returns a Source consulting each non-nil source in order.
+func Multi(srcs ...Source) Source { return multiSource(srcs) }
+
+type multiSource []Source
+
+func (m multiSource) Find(key string) (*Tree, bool) {
+	for _, s := range m {
+		if s == nil {
+			continue
+		}
+		if t, ok := s.Find(key); ok {
+			return t, true
+		}
+	}
+	return nil, false
+}
+
+// TraceHandler serves assembled trees under prefix (e.g. "/trace/"):
+// the span tree as JSON by default, or Chrome trace_event JSON with
+// ?format=chrome — ready to load into Perfetto or chrome://tracing.
+func TraceHandler(prefix string, src Source) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		key := strings.TrimPrefix(r.URL.Path, prefix)
+		if key == "" {
+			http.Error(w, "usage: "+prefix+"<jobID|pipeline|seq>[?format=chrome]", http.StatusBadRequest)
+			return
+		}
+		t, ok := src.Find(key)
+		if !ok {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if r.URL.Query().Get("format") == "chrome" {
+			data, err := EncodeChrome(t)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			_, _ = w.Write(data)
+			return
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(t)
+	})
+}
+
+// AnalyzeHandler serves the bottleneck analysis under prefix (e.g.
+// "/analyze/"): JSON by default, the ASCII report with ?format=text.
+// ?slow= and ?skew= override the straggler and skew factors.
+func AnalyzeHandler(prefix string, src Source, opts Options) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		key := strings.TrimPrefix(r.URL.Path, prefix)
+		if key == "" {
+			http.Error(w, "usage: "+prefix+"<jobID|pipeline|seq>[?format=text&slow=1.5&skew=2]", http.StatusBadRequest)
+			return
+		}
+		t, ok := src.Find(key)
+		if !ok {
+			http.NotFound(w, r)
+			return
+		}
+		o := opts
+		if f, err := strconv.ParseFloat(r.URL.Query().Get("slow"), 64); err == nil {
+			o.StragglerFactor = f
+		}
+		if f, err := strconv.ParseFloat(r.URL.Query().Get("skew"), 64); err == nil {
+			o.SkewFactor = f
+		}
+		a := AnalyzeTree(t, o)
+		if r.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			WriteReport(w, t, a)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(a)
+	})
+}

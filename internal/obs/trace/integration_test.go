@@ -1,0 +1,118 @@
+package trace
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/dfs"
+	"repro/internal/mapreduce"
+	"repro/internal/obs"
+)
+
+type wordMapper struct{ mapreduce.MapperBase }
+
+func (wordMapper) Map(_ *mapreduce.TaskContext, _, value string, emit mapreduce.Emit) error {
+	for _, w := range strings.Fields(value) {
+		emit(w, "1")
+	}
+	return nil
+}
+
+type sumReducer struct{ mapreduce.ReducerBase }
+
+func (sumReducer) Reduce(_ *mapreduce.TaskContext, key string, values []string, emit mapreduce.Emit) error {
+	total := 0
+	for _, v := range values {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return err
+		}
+		total += n
+	}
+	emit(key, strconv.Itoa(total))
+	return nil
+}
+
+// TestEngineTracePhaseSumMatchesWall runs a real engine job through
+// the collector and checks the acceptance criterion end to end: the
+// critical path's per-phase durations sum to within 5% of the job's
+// recorded wall-clock (by construction they sum exactly to the span
+// wall; the 5% headroom covers event-stamping jitter against
+// Result.Wall), and the Chrome export round-trips the schema.
+func TestEngineTracePhaseSumMatchesWall(t *testing.T) {
+	c, err := cluster.NewUniform(4, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := dfs.New(c, dfs.Config{ChunkSize: 1 << 10, Replication: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := NewCollector(NewStore(fs), 0)
+	e := mapreduce.NewEngine(c, fs, mapreduce.Options{Obs: obs.NewBus(col)})
+	if err := fs.Create("in/text", []byte(strings.Repeat("the quick brown fox jumps over the lazy dog\n", 200)), ""); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(&mapreduce.Job{
+		Name:        "wordcount",
+		InputPaths:  []string{"in"},
+		OutputPath:  "out",
+		NewMapper:   func() mapreduce.Mapper { return wordMapper{} },
+		NewReducer:  func() mapreduce.Reducer { return sumReducer{} },
+		NumReducers: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tr, ok := col.Find("wordcount")
+	if !ok {
+		t.Fatal("collector did not finalize the job tree")
+	}
+	a := AnalyzeTree(tr, Options{})
+	if len(a.Jobs) != 1 {
+		t.Fatalf("analyzed jobs: %d", len(a.Jobs))
+	}
+	ja := a.Jobs[0]
+	var sum int64
+	for _, pc := range ja.Phases {
+		sum += pc.DurUs
+	}
+	wall := res.Wall.Microseconds()
+	if wall <= 0 {
+		t.Fatal("job recorded no wall time")
+	}
+	diff := sum - wall
+	if diff < 0 {
+		diff = -diff
+	}
+	if float64(diff) > 0.05*float64(wall) {
+		t.Errorf("phase durations sum to %dµs, recorded wall %dµs (off by %.1f%%, want ≤5%%)",
+			sum, wall, 100*float64(diff)/float64(wall))
+	}
+
+	// The shuffle span carries one PartStat per reducer, and the skew
+	// pass sees all the records.
+	if ja.Skew == nil || ja.Skew.Partitions != 3 {
+		t.Fatalf("skew report: %+v", ja.Skew)
+	}
+	if ja.Skew.TotalBytes != res.Counters.Value(mapreduce.CounterGroupShuffle, mapreduce.CounterShuffleBytes) {
+		t.Errorf("skew bytes = %d, want shuffle_bytes counter", ja.Skew.TotalBytes)
+	}
+
+	// The persisted tree is findable and the Chrome export validates.
+	st := NewStore(fs)
+	stored, ok := st.Find("wordcount")
+	if !ok {
+		t.Fatal("tree not persisted to the store")
+	}
+	data, err := EncodeChrome(stored)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeChrome(data); err != nil {
+		t.Errorf("persisted tree's chrome export invalid: %v", err)
+	}
+}
