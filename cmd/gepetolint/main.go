@@ -1,0 +1,112 @@
+// Command gepetolint runs the engine-invariant analyzer suite over Go
+// packages, multichecker-style:
+//
+//	gepetolint [-only a,b] [packages]
+//
+// Packages default to ./... . Diagnostics print as
+// file:line:col: [analyzer] message, and the exit status is 1 when any
+// are found, 2 on operational failure — so CI can gate on it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/loader"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: gepetolint [-only a,b] [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "Analyzers:\n")
+		for _, a := range lint.Suite() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-16s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	suite := lint.Suite()
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		byName := map[string]*analysis.Analyzer{}
+		for _, a := range suite {
+			byName[a.Name] = a
+		}
+		suite = nil
+		for _, name := range strings.Split(*only, ",") {
+			name = strings.TrimSpace(name)
+			a, ok := byName[name]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "gepetolint: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			suite = append(suite, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gepetolint: %v\n", err)
+		os.Exit(2)
+	}
+	res, err := loader.Load(cwd, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gepetolint: %v\n", err)
+		os.Exit(2)
+	}
+
+	var diags []analysis.Diagnostic
+	for _, pkg := range res.Targets() {
+		for _, a := range suite {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      res.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			if err := a.Run(pass); err != nil {
+				fmt.Fprintf(os.Stderr, "gepetolint: %s on %s: %v\n", a.Name, pkg.PkgPath, err)
+				os.Exit(2)
+			}
+			diags = append(diags, pass.Diagnostics()...)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	for _, d := range diags {
+		fmt.Println(d.String())
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "gepetolint: %d finding(s) in %d package(s)\n", len(diags), len(res.Targets()))
+		os.Exit(1)
+	}
+}

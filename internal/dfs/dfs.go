@@ -484,11 +484,16 @@ func (fs *FileSystem) Delete(path string) error {
 	return nil
 }
 
-// DeleteDir removes every file under the directory prefix.
-func (fs *FileSystem) DeleteDir(dir string) {
+// DeleteDir removes every file under the directory prefix. It keeps
+// going past individual failures and returns the first one.
+func (fs *FileSystem) DeleteDir(dir string) error {
+	var first error
 	for _, p := range fs.List(dir) {
-		_ = fs.Delete(p)
+		if err := fs.Delete(p); err != nil && first == nil {
+			first = err
+		}
 	}
+	return first
 }
 
 // ReReplicate restores the replication factor of chunks that lost

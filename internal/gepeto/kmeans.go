@@ -148,7 +148,9 @@ func KMeansMR(e *mapreduce.Engine, inputPaths []string, workDir string, opts KMe
 		if err != nil {
 			return nil, err
 		}
-		e.FS().DeleteDir(job.OutputPath)
+		if err := e.FS().DeleteDir(job.OutputPath); err != nil {
+			return nil, fmt.Errorf("kmeans: clearing iteration output: %v", err)
+		}
 		moved := maxMovement(centroids, next)
 		centroids = next
 		res.Sizes = sizes

@@ -3,6 +3,7 @@ package gepeto
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strconv"
 	"time"
 
@@ -150,7 +151,15 @@ func (m *samplingMapper) Map(ctx *mapreduce.TaskContext, _ string, t trace.Trace
 }
 
 func (m *samplingMapper) Cleanup(ctx *mapreduce.TaskContext, emit mapreduce.TypedEmit[string, trace.Trace]) error {
-	for _, st := range m.state {
+	// Emit in sorted user order, not map order: speculative attempts
+	// must produce byte-identical output.
+	users := make([]string, 0, len(m.state))
+	for u := range m.state {
+		users = append(users, u)
+	}
+	sort.Strings(users)
+	for _, u := range users {
+		st := m.state[u]
 		if !math.IsInf(st.bestDist, 1) {
 			emit(st.best.User, st.best)
 			ctx.Counter("sampling", "windows").Inc(1)

@@ -1,0 +1,71 @@
+// Package analysis is a small, dependency-free reimplementation of
+// the golang.org/x/tools/go/analysis core: an Analyzer bundles a named
+// check, a Pass hands it one type-checked package, and diagnostics are
+// collected positionally. The container this repo builds in has no
+// module proxy access, so the x/tools framework is reimplemented to
+// the subset gepetolint needs rather than vendored.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and -only filters.
+	Name string
+	// Doc is a one-paragraph description: what invariant the check
+	// enforces and why the engine needs it.
+	Doc string
+	// Run applies the check to one package, reporting findings through
+	// pass.Reportf. A returned error aborts the whole lint run (it
+	// means the analyzer itself failed, not that the code is bad).
+	Run func(*Pass) error
+}
+
+// Pass is one (analyzer, package) unit of work.
+type Pass struct {
+	// Analyzer is the check being run.
+	Analyzer *Analyzer
+	// Fset maps positions for every file in the load, shared across
+	// packages so cross-package objects still resolve.
+	Fset *token.FileSet
+	// Files are the package's parsed sources.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo holds the type-checker's facts for Files.
+	TypesInfo *types.Info
+
+	diags []Diagnostic
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	// Pos locates the finding.
+	Pos token.Position
+	// Analyzer is the reporting analyzer's name.
+	Analyzer string
+	// Message describes the violation.
+	Message string
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostics returns the findings recorded so far, in report order.
+func (p *Pass) Diagnostics() []Diagnostic { return p.diags }
+
+// String renders a diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}

@@ -1,0 +1,163 @@
+// Package emitretain flags code that retains buffers the engine
+// reuses.
+//
+// Two engine contracts create aliasing hazards. First, the reduce
+// runner may reuse the values slice it passes to Reduce between key
+// groups, so a reducer that stores the slice (or a subslice of it)
+// past the call observes later groups' data. Second, a codec's
+// Append(dst, v) receives a scratch buffer the caller will keep
+// appending to; stashing dst in a field or global aliases memory the
+// next Append call overwrites. Copying element values out is always
+// fine — only the backing array must not escape.
+package emitretain
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/engineapi"
+)
+
+// Analyzer flags retention of the Reduce values slice and of codec
+// Append scratch buffers.
+var Analyzer = &analysis.Analyzer{
+	Name: "emitretain",
+	Doc: "the values slice passed to Reduce and the dst buffer passed to codec Append " +
+		"are reused by the engine; storing or aliasing them past the call reads " +
+		"overwritten memory",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, tf := range engineapi.TaskFuncs(pass.TypesInfo, pass.Files) {
+		if v := engineapi.ReduceValuesParam(tf); v != nil {
+			checkRetention(pass, tf.Body, v,
+				"the values slice passed to Reduce is reused between key groups")
+		}
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if dst := engineapi.CodecAppendDstParam(pass.TypesInfo, fd); dst != nil {
+				checkRetention(pass, fd.Body, dst,
+					"the dst scratch buffer passed to Append is reused by the caller")
+			}
+		}
+	}
+	return nil
+}
+
+// checkRetention reports places where body lets param's backing array
+// escape the call: stores into fields, globals, containers, or
+// dereferenced pointers; capture in composite literals; appending the
+// slice itself (not its elements) to another slice; channel sends.
+// Returning the buffer is not flagged — for Append it is the contract,
+// and a Reduce-shaped function returns only an error.
+func checkRetention(pass *analysis.Pass, body *ast.BlockStmt, param *types.Var, why string) {
+	aliases := func(e ast.Expr) bool { return aliasesParam(pass.TypesInfo, e, param) }
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, rhs := range n.Rhs {
+				if aliases(rhs) && escapingLHS(pass.TypesInfo, n.Lhs[i]) {
+					pass.Reportf(n.Pos(), "%s aliases %s: %s; copy the bytes/elements instead",
+						lhsNoun(n.Lhs[i]), param.Name(), why)
+				}
+			}
+		case *ast.CompositeLit:
+			for _, el := range n.Elts {
+				v := el
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					v = kv.Value
+				}
+				if aliases(v) {
+					pass.Reportf(v.Pos(), "composite literal captures %s: %s; copy the bytes/elements instead",
+						param.Name(), why)
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "append" {
+					// append(xs, values...) copies elements: fine.
+					// append(xs, values) stores the slice header: not.
+					if !n.Ellipsis.IsValid() {
+						for _, arg := range n.Args[1:] {
+							if aliases(arg) {
+								pass.Reportf(arg.Pos(), "append stores %s as an element: %s; append %s... to copy its elements",
+									param.Name(), why, param.Name())
+							}
+						}
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if aliases(n.Value) {
+				pass.Reportf(n.Value.Pos(), "channel send of %s: %s; copy the bytes/elements instead",
+					param.Name(), why)
+			}
+		}
+		return true
+	})
+}
+
+// aliasesParam reports whether e denotes param's backing array: the
+// parameter itself or a slice expression over it. Indexing (values[i])
+// yields an element value, not the array, so it does not alias.
+func aliasesParam(info *types.Info, e ast.Expr, param *types.Var) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return info.Uses[e] == param
+	case *ast.SliceExpr:
+		return aliasesParam(info, e.X, param)
+	}
+	return false
+}
+
+// escapingLHS reports whether assigning to lhs outlives the call:
+// struct fields, package-level variables, container elements, and
+// pointer targets do; local variables do not (a local copy of the
+// header is harmless unless it is itself stored, which a later
+// assignment would flag).
+func escapingLHS(info *types.Info, lhs ast.Expr) bool {
+	switch lhs := ast.Unparen(lhs).(type) {
+	case *ast.SelectorExpr:
+		return true
+	case *ast.IndexExpr:
+		return true
+	case *ast.StarExpr:
+		return true
+	case *ast.Ident:
+		if lhs.Name == "_" {
+			return false
+		}
+		obj := info.Uses[lhs]
+		if obj == nil {
+			obj = info.Defs[lhs]
+		}
+		v, ok := obj.(*types.Var)
+		if !ok || v.Pkg() == nil {
+			return false
+		}
+		return v.Parent() == v.Pkg().Scope()
+	}
+	return false
+}
+
+func lhsNoun(lhs ast.Expr) string {
+	switch ast.Unparen(lhs).(type) {
+	case *ast.SelectorExpr:
+		return "field store"
+	case *ast.IndexExpr:
+		return "container store"
+	case *ast.StarExpr:
+		return "pointer store"
+	}
+	return "package-level store"
+}

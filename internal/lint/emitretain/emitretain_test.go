@@ -1,0 +1,12 @@
+package emitretain_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/emitretain"
+	"repro/internal/lint/linttest"
+)
+
+func TestEmitRetain(t *testing.T) {
+	linttest.Run(t, emitretain.Analyzer, "retain")
+}

@@ -1,0 +1,12 @@
+package errdrop_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/errdrop"
+	"repro/internal/lint/linttest"
+)
+
+func TestErrDrop(t *testing.T) {
+	linttest.Run(t, errdrop.Analyzer, "drop")
+}

@@ -1,0 +1,64 @@
+// Package drop exercises the errdrop analyzer: discarded errors from
+// the DFS/obs/recordio storage surface are flagged; handled errors and
+// non-storage calls are accepted.
+package drop
+
+import (
+	"strconv"
+
+	"repro/internal/dfs"
+	"repro/internal/obs"
+	"repro/internal/recordio"
+)
+
+func dropDFS(fs *dfs.FileSystem, path string) {
+	fs.Delete(path)             // want `error returned by \(\*dfs\.FileSystem\)\.Delete is discarded`
+	_ = fs.Delete(path)         // want `error returned by \(\*dfs\.FileSystem\)\.Delete is assigned to _`
+	data, _ := fs.ReadAll(path) // want `error returned by \(\*dfs\.FileSystem\)\.ReadAll is assigned to _`
+	_ = data
+	go fs.Delete(path)    // want `unobservable in a go statement`
+	defer fs.Delete(path) // want `unobservable in a defer`
+}
+
+func handleDFS(fs *dfs.FileSystem, path string) error {
+	if err := fs.Delete(path); err != nil {
+		return err
+	}
+	data, err := fs.ReadAll(path)
+	if err != nil {
+		return err
+	}
+	_ = data
+	return nil
+}
+
+func dropObs(store obs.FS, hist *obs.History, rec obs.JobRecord) {
+	store.Create("p", nil, "") // want `error returned by \(obs\.FS\)\.Create is discarded`
+	_, _ = hist.Save(rec)      // want `error returned by \(\*obs\.History\)\.Save is assigned to _`
+	id, _ := hist.Save(rec)    // want `error returned by \(\*obs\.History\)\.Save is assigned to _`
+	_ = id
+}
+
+func handleObs(store obs.FS, hist *obs.History, rec obs.JobRecord) error {
+	if err := store.Create("p", nil, ""); err != nil {
+		return err
+	}
+	id, err := hist.Save(rec)
+	_ = id
+	return err
+}
+
+func dropScan(data []byte) {
+	recordio.ScanAll(data, func(k, v string) error { return nil }) // want `error returned by recordio\.ScanAll is discarded`
+}
+
+func handleScan(data []byte) error {
+	return recordio.ScanAll(data, func(k, v string) error { return nil })
+}
+
+// otherPackages is out of scope: strconv is not a storage layer.
+func otherPackages(s string) {
+	strconv.Atoi(s)
+	n, _ := strconv.Atoi(s)
+	_ = n
+}

@@ -1,0 +1,12 @@
+package eventpairs_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/eventpairs"
+	"repro/internal/lint/linttest"
+)
+
+func TestEventPairs(t *testing.T) {
+	linttest.Run(t, eventpairs.Analyzer, "pairs")
+}

@@ -1,0 +1,117 @@
+// Package pairs exercises the eventpairs analyzer: spans/phases left
+// open on a return path are flagged; deferred closers, closer
+// providers, and straight-line pairing are accepted.
+package pairs
+
+import (
+	"errors"
+
+	"repro/internal/obs"
+)
+
+var bus obs.Bus
+
+// leakyPhase forgets the PhaseEnd on the error return: flagged.
+func leakyPhase(fail bool) error {
+	bus.Emit(obs.Event{Type: obs.PhaseStart, Job: "j", Phase: "map"})
+	if fail {
+		return errors.New("boom") // want `return without emitting obs\.PhaseEnd for the obs\.PhaseStart \("map"\)`
+	}
+	bus.Emit(obs.Event{Type: obs.PhaseEnd, Job: "j", Phase: "map"})
+	return nil
+}
+
+// leakySpan never closes at all: flagged at the start.
+func leakySpan() {
+	bus.Emit(obs.Event{Type: obs.SpanStart, Span: "s"}) // want `obs\.SpanStart is never paired with obs\.SpanEnd`
+}
+
+// pairedPhase closes the phase on both paths: accepted.
+func pairedPhase(fail bool) error {
+	bus.Emit(obs.Event{Type: obs.PhaseStart, Job: "j", Phase: "reduce"})
+	if fail {
+		bus.Emit(obs.Event{Type: obs.PhaseEnd, Job: "j", Phase: "reduce", Err: "boom"})
+		return errors.New("boom")
+	}
+	bus.Emit(obs.Event{Type: obs.PhaseEnd, Job: "j", Phase: "reduce"})
+	return nil
+}
+
+// earlyReturn exits before anything is open: accepted.
+func earlyReturn(skip bool) error {
+	if skip {
+		return nil
+	}
+	bus.Emit(obs.Event{Type: obs.PhaseStart, Job: "j", Phase: "sort"})
+	bus.Emit(obs.Event{Type: obs.PhaseEnd, Job: "j", Phase: "sort"})
+	return nil
+}
+
+// deferredClosure closes via a deferred literal reading the named
+// error, the AttackPOI idiom: accepted.
+func deferredClosure() (err error) {
+	bus.Emit(obs.Event{Type: obs.SpanStart, Span: "attack"})
+	defer func() {
+		ev := obs.Event{Type: obs.SpanEnd, Span: "attack"}
+		if err != nil {
+			ev.Err = err.Error()
+		}
+		bus.Emit(ev)
+	}()
+	if true {
+		return errors.New("boom")
+	}
+	return nil
+}
+
+// deferredEmit closes via a directly deferred Emit: accepted.
+func deferredEmit() error {
+	bus.Emit(obs.Event{Type: obs.SpanStart, Span: "d"})
+	defer bus.Emit(obs.Event{Type: obs.SpanEnd, Span: "d"})
+	return errors.New("boom")
+}
+
+// startSpan is a closer provider, the gepeto.span idiom: the Start it
+// emits is closed by the returned func, so the provider is accepted.
+func startSpan(id string) func() {
+	bus.Emit(obs.Event{Type: obs.SpanStart, Span: id})
+	return func() {
+		bus.Emit(obs.Event{Type: obs.SpanEnd, Span: id})
+	}
+}
+
+// useProvider defers the provider's closer: accepted.
+func useProvider() error {
+	defer startSpan("pipeline")()
+	return errors.New("boom")
+}
+
+// dropCloser calls the provider and throws the closer away: the
+// SpanEnd can never fire. Flagged.
+func dropCloser() {
+	startSpan("leak") // want `closer returned by this call is discarded`
+}
+
+// loopReturn leaks the phase on a return from inside a loop: flagged.
+func loopReturn(xs []int) error {
+	bus.Emit(obs.Event{Type: obs.PhaseStart, Job: "j", Phase: "scan"})
+	for _, x := range xs {
+		if x < 0 {
+			return errors.New("negative") // want `return without emitting obs\.PhaseEnd for the obs\.PhaseStart \("scan"\)`
+		}
+	}
+	bus.Emit(obs.Event{Type: obs.PhaseEnd, Job: "j", Phase: "scan"})
+	return nil
+}
+
+// identStart opens via a local event variable: still tracked, flagged
+// on the early return.
+func identStart(fail bool) error {
+	ev := obs.Event{Type: obs.SpanStart, Span: "v"}
+	bus.Emit(ev)
+	if fail {
+		return errors.New("boom") // want `return without emitting obs\.SpanEnd`
+	}
+	bus.Emit(obs.Event{Type: obs.SpanEnd, Span: "v"})
+	return nil
+}

@@ -1,0 +1,27 @@
+// Package lint assembles the gepetolint analyzer suite: the static
+// checks that enforce the MapReduce engine's correctness invariants.
+// Each analyzer guards one contract the type system cannot express —
+// task determinism under re-execution, buffer ownership across the
+// emit boundary, obs event pairing, raw-key sort order, and storage
+// error surfacing.
+package lint
+
+import (
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/emitretain"
+	"repro/internal/lint/errdrop"
+	"repro/internal/lint/eventpairs"
+	"repro/internal/lint/rawkeyorder"
+	"repro/internal/lint/taskdeterminism"
+)
+
+// Suite returns the full analyzer suite in stable order.
+func Suite() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		emitretain.Analyzer,
+		errdrop.Analyzer,
+		eventpairs.Analyzer,
+		rawkeyorder.Analyzer,
+		taskdeterminism.Analyzer,
+	}
+}

@@ -1,0 +1,169 @@
+// Package linttest runs lint analyzers over fixture packages and
+// checks their diagnostics against "// want" comment expectations —
+// the analysistest workflow, reimplemented over this repo's loader.
+//
+// Fixture layout mirrors analysistest: the test's own testdata/src
+// holds the fixture packages, and the shared internal/lint/testdata/src
+// holds stub versions of the engine packages (repro/internal/...)
+// fixtures may import. A want comment names one or more quoted
+// regexps that must each match a diagnostic reported on that line:
+//
+//	emit(k, v) // want `map iteration order`
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/loader"
+)
+
+// Run loads each fixture package from the test's testdata (plus the
+// suite-shared stub root) and verifies the analyzer's diagnostics
+// against the package's want comments.
+func Run(t *testing.T, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	var roots []string
+	for _, r := range []string{
+		filepath.Join("testdata", "src"),
+		filepath.Join("..", "testdata", "src"),
+	} {
+		if st, err := os.Stat(r); err == nil && st.IsDir() {
+			abs, err := filepath.Abs(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			roots = append(roots, abs)
+		}
+	}
+	if len(roots) == 0 {
+		t.Fatal("linttest: no testdata/src fixture root found")
+	}
+	for _, pkg := range pkgs {
+		runPkg(t, roots, a, pkg)
+	}
+}
+
+func runPkg(t *testing.T, roots []string, a *analysis.Analyzer, pkgPath string) {
+	t.Helper()
+	res, err := loader.LoadFixture(roots, pkgPath)
+	if err != nil {
+		t.Fatalf("%s: loading fixture %s: %v", a.Name, pkgPath, err)
+	}
+	var target *loader.Package
+	for _, p := range res.Packages {
+		if p.Target {
+			target = p
+		}
+	}
+	if target == nil {
+		t.Fatalf("%s: fixture %s has no target package", a.Name, pkgPath)
+	}
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      res.Fset,
+		Files:     target.Files,
+		Pkg:       target.Types,
+		TypesInfo: target.Info,
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("%s: analyzer failed on %s: %v", a.Name, pkgPath, err)
+	}
+
+	wants := collectWants(t, res, target)
+	matched := make([]bool, len(wants))
+	for _, d := range pass.Diagnostics() {
+		key := posKey{filepath.Base(d.Pos.Filename), d.Pos.Line}
+		ok := false
+		for i, w := range wants {
+			if w.posKey == key && !matched[i] && w.re.MatchString(d.Message) {
+				matched[i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("%s: unexpected diagnostic at %s:%d: %s",
+				a.Name, key.file, key.line, d.Message)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("%s: expected diagnostic matching %q at %s:%d, got none",
+				a.Name, w.re, w.file, w.line)
+		}
+	}
+}
+
+type posKey struct {
+	file string
+	line int
+}
+
+type want struct {
+	posKey
+	re *regexp.Regexp
+}
+
+// wantRx splits a want comment's payload into quoted regexps
+// (double-quoted Go strings or backquoted raw strings).
+var wantRx = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// collectWants parses `// want "re"...` comments from the target
+// package's fixture files.
+func collectWants(t *testing.T, res *loader.Result, target *loader.Package) []want {
+	t.Helper()
+	var wants []want
+	for _, f := range target.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				wants = append(wants, parseWant(t, res, c)...)
+			}
+		}
+	}
+	return wants
+}
+
+func parseWant(t *testing.T, res *loader.Result, c *ast.Comment) []want {
+	text := strings.TrimPrefix(c.Text, "//")
+	idx := strings.Index(text, "want ")
+	if idx < 0 || strings.TrimSpace(text[:idx]) != "" {
+		return nil
+	}
+	pos := res.Fset.Position(c.Pos())
+	payload := text[idx+len("want "):]
+	lits := wantRx.FindAllString(payload, -1)
+	if len(lits) == 0 {
+		t.Fatalf("%s:%d: want comment with no quoted pattern", pos.Filename, pos.Line)
+	}
+	var wants []want
+	for _, lit := range lits {
+		s, err := unquote(lit)
+		if err != nil {
+			t.Fatalf("%s:%d: bad want pattern %s: %v", pos.Filename, pos.Line, lit, err)
+		}
+		re, err := regexp.Compile(s)
+		if err != nil {
+			t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, s, err)
+		}
+		wants = append(wants, want{posKey{filepath.Base(pos.Filename), pos.Line}, re})
+	}
+	return wants
+}
+
+func unquote(lit string) (string, error) {
+	if strings.HasPrefix(lit, "`") {
+		if len(lit) < 2 {
+			return "", fmt.Errorf("unterminated raw string")
+		}
+		return lit[1 : len(lit)-1], nil
+	}
+	return strconv.Unquote(lit)
+}

@@ -1,0 +1,335 @@
+// Package loader type-checks Go packages for the lint analyzers using
+// only the standard library: `go list -deps -json` supplies the
+// package graph in dependency order (with build-tag-filtered file
+// lists), and go/types checks each package from source. Dependencies
+// are checked with IgnoreFuncBodies — the analyzers only inspect the
+// bodies of the packages named by the patterns, so everything else
+// needs just its API surface.
+//
+// A second entry point, LoadFixture, resolves packages from plain
+// directory trees (the analysistest-style testdata/src layout) plus
+// GOROOT, so analyzer fixtures can import stub versions of the
+// engine's packages without being part of the module build.
+package loader
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	// PkgPath is the import path.
+	PkgPath string
+	// Dir is the source directory.
+	Dir string
+	// Files are the parsed sources (build-tag filtered, tests excluded).
+	Files []*ast.File
+	// Types is the type-checked package (possibly incomplete if
+	// TypeErrors is non-empty).
+	Types *types.Package
+	// Info holds the checker's facts for Files.
+	Info *types.Info
+	// Target marks packages named by the load patterns — the ones the
+	// analyzers should inspect (dependencies are API-only).
+	Target bool
+	// TypeErrors collects type-checking problems (the checker continues
+	// past them, so partial information is still available).
+	TypeErrors []error
+}
+
+// Result is one complete load.
+type Result struct {
+	// Fset is shared by every package in the load.
+	Fset *token.FileSet
+	// Packages lists all loaded packages in dependency order,
+	// dependencies before dependents.
+	Packages []*Package
+}
+
+// Targets returns the packages named by the load patterns.
+func (r *Result) Targets() []*Package {
+	var out []*Package
+	for _, p := range r.Packages {
+		if p.Target {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// listPkg mirrors the subset of `go list -json` output the loader
+// consumes.
+type listPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Standard   bool
+	Imports    []string
+	ImportMap  map[string]string
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list` in dir with CGO disabled (so file lists are
+// pure-Go and type-checkable from source) and decodes the JSON stream.
+func goList(dir string, args ...string) ([]*listPkg, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", args, err, stderr.String())
+	}
+	var pkgs []*listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+const listFields = "-json=ImportPath,Name,Dir,GoFiles,Standard,Imports,ImportMap,Error"
+
+// Load lists patterns (e.g. "./...") from dir and type-checks the
+// resulting graph. Test files are not loaded; testdata directories are
+// excluded by `go list` itself.
+func Load(dir string, patterns ...string) (*Result, error) {
+	deps, err := goList(dir, append([]string{"-e", "-deps", listFields}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	named, err := goList(dir, append([]string{"-e", listFields}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	target := make(map[string]bool, len(named))
+	for _, p := range named {
+		target[p.ImportPath] = true
+	}
+
+	res := &Result{Fset: token.NewFileSet()}
+	byPath := make(map[string]*types.Package)
+	for _, lp := range deps {
+		if lp.ImportPath == "unsafe" {
+			byPath["unsafe"] = types.Unsafe
+			continue
+		}
+		if lp.Error != nil && target[lp.ImportPath] {
+			return nil, fmt.Errorf("package %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		pkg := &Package{
+			PkgPath: lp.ImportPath,
+			Dir:     lp.Dir,
+			Target:  target[lp.ImportPath],
+		}
+		if len(lp.GoFiles) == 0 {
+			// Test-only or empty package: nothing to check or inspect.
+			pkg.Types = types.NewPackage(lp.ImportPath, lp.Name)
+			byPath[lp.ImportPath] = pkg.Types
+			res.Packages = append(res.Packages, pkg)
+			continue
+		}
+		var files []*ast.File
+		for _, f := range lp.GoFiles {
+			file, err := parser.ParseFile(res.Fset, filepath.Join(lp.Dir, f), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, fmt.Errorf("package %s: %v", lp.ImportPath, err)
+			}
+			files = append(files, file)
+		}
+		pkg.Files = files
+		imp := mapImporter{pkgs: byPath, importMap: lp.ImportMap}
+		pkg.Types, pkg.Info, pkg.TypeErrors = check(res.Fset, lp.ImportPath, files, imp, pkg.Target)
+		if pkg.Target && len(pkg.TypeErrors) > 0 {
+			return nil, fmt.Errorf("package %s: %v", lp.ImportPath, pkg.TypeErrors[0])
+		}
+		byPath[lp.ImportPath] = pkg.Types
+		res.Packages = append(res.Packages, pkg)
+	}
+	return res, nil
+}
+
+// mapImporter resolves imports against already-checked packages,
+// applying the package's vendor/ImportMap renames.
+type mapImporter struct {
+	pkgs      map[string]*types.Package
+	importMap map[string]string
+}
+
+func (m mapImporter) Import(path string) (*types.Package, error) {
+	if r, ok := m.importMap[path]; ok {
+		path = r
+	}
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := m.pkgs[path]; ok {
+		return p, nil
+	}
+	return nil, fmt.Errorf("package %q not in load graph", path)
+}
+
+// check type-checks one package's files. full requests complete
+// function-body checking and analyzer-grade type info; dependencies
+// are checked API-only. The checker keeps going past errors so
+// analyzers can work with partial information on dependencies.
+func check(fset *token.FileSet, path string, files []*ast.File, imp types.Importer, full bool) (*types.Package, *types.Info, []error) {
+	var errs []error
+	conf := types.Config{
+		Importer:         imp,
+		IgnoreFuncBodies: !full,
+		Error:            func(err error) { errs = append(errs, err) },
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	pkg, _ := conf.Check(path, fset, files, info)
+	return pkg, info, errs
+}
+
+// fixture loading --------------------------------------------------
+
+// stdCache memoizes GOROOT packages across fixture loads within one
+// process; all fixture loads share fixtureFset so the cached type
+// objects keep valid positions. Fixture-root packages are memoized
+// per load only (different analyzers may resolve the same import path
+// to different stub directories).
+var (
+	stdMu       sync.Mutex
+	fixtureFset = token.NewFileSet()
+	stdCache    = map[string]*types.Package{}
+)
+
+// fixtureLoad is the state of one LoadFixture call.
+type fixtureLoad struct {
+	res     *Result
+	roots   []string
+	target  string
+	local   map[string]*types.Package
+	loading map[string]bool
+}
+
+// LoadFixture type-checks the package at import path pkgPath, resolving
+// imports first against the given fixture roots (each laid out as
+// root/<import path>/*.go) and then against GOROOT sources. Only the
+// named package gets full body checking; everything else is API-only.
+func LoadFixture(roots []string, pkgPath string) (*Result, error) {
+	stdMu.Lock()
+	defer stdMu.Unlock()
+	fl := &fixtureLoad{
+		res:     &Result{Fset: fixtureFset},
+		roots:   roots,
+		target:  pkgPath,
+		local:   map[string]*types.Package{},
+		loading: map[string]bool{},
+	}
+	if _, err := fl.pkg(pkgPath); err != nil {
+		return nil, err
+	}
+	return fl.res, nil
+}
+
+// fixtureDir resolves an import path to a source directory: fixture
+// roots first, then GOROOT/src and GOROOT/src/vendor.
+func fixtureDir(roots []string, path string) (string, error) {
+	rel := filepath.FromSlash(path)
+	for _, root := range roots {
+		dir := filepath.Join(root, rel)
+		if st, err := os.Stat(dir); err == nil && st.IsDir() {
+			return dir, nil
+		}
+	}
+	goroot := build.Default.GOROOT
+	for _, dir := range []string{
+		filepath.Join(goroot, "src", rel),
+		filepath.Join(goroot, "src", "vendor", rel),
+	} {
+		if st, err := os.Stat(dir); err == nil && st.IsDir() {
+			return dir, nil
+		}
+	}
+	return "", fmt.Errorf("import %q not found under fixture roots or GOROOT", path)
+}
+
+// pkg loads one package (and, recursively, its imports). Callers hold
+// stdMu.
+func (fl *fixtureLoad) pkg(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := fl.local[path]; ok {
+		return p, nil
+	}
+	if p, ok := stdCache[path]; ok && path != fl.target {
+		return p, nil
+	}
+	if fl.loading[path] {
+		return nil, fmt.Errorf("import cycle through %q", path)
+	}
+	fl.loading[path] = true
+	defer delete(fl.loading, path)
+
+	dir, err := fixtureDir(fl.roots, path)
+	if err != nil {
+		return nil, err
+	}
+	bp, err := build.Default.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("package %s: %v", path, err)
+	}
+	var files []*ast.File
+	for _, f := range bp.GoFiles {
+		file, err := parser.ParseFile(fl.res.Fset, filepath.Join(dir, f), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("package %s: %v", path, err)
+		}
+		files = append(files, file)
+	}
+	full := path == fl.target
+	imp := importerFunc(func(ipath string) (*types.Package, error) { return fl.pkg(ipath) })
+	tpkg, info, errs := check(fl.res.Fset, path, files, imp, full)
+	if full && len(errs) > 0 {
+		return nil, fmt.Errorf("package %s: %v", path, errs[0])
+	}
+	fl.res.Packages = append(fl.res.Packages, &Package{
+		PkgPath: path, Dir: dir, Files: files,
+		Types: tpkg, Info: info, Target: full, TypeErrors: errs,
+	})
+	fl.local[path] = tpkg
+	if !full && strings.HasPrefix(dir, build.Default.GOROOT+string(filepath.Separator)) {
+		stdCache[path] = tpkg
+	}
+	return tpkg, nil
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

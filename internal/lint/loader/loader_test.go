@@ -1,0 +1,97 @@
+package loader
+
+import (
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// repoRoot walks up from this file to the module root.
+func repoRoot(t *testing.T) string {
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("no caller info")
+	}
+	return filepath.Clean(filepath.Join(filepath.Dir(file), "..", "..", ".."))
+}
+
+func TestLoadEngine(t *testing.T) {
+	start := time.Now()
+	res, err := Load(repoRoot(t), "./internal/mapreduce")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	t.Logf("loaded %d packages in %v", len(res.Packages), time.Since(start))
+	targets := res.Targets()
+	if len(targets) != 1 {
+		t.Fatalf("got %d targets, want 1", len(targets))
+	}
+	mr := targets[0]
+	if mr.PkgPath != "repro/internal/mapreduce" {
+		t.Fatalf("target = %s", mr.PkgPath)
+	}
+	if len(mr.Files) == 0 || mr.Types == nil || mr.Info == nil {
+		t.Fatalf("target not fully loaded: files=%d", len(mr.Files))
+	}
+	if mr.Types.Scope().Lookup("Engine") == nil {
+		t.Fatal("mapreduce.Engine not found in type info")
+	}
+	// Dependencies carry API-level types: obs.Event must resolve.
+	var sawObs bool
+	for _, p := range res.Packages {
+		if p.PkgPath == "repro/internal/obs" {
+			sawObs = true
+			if p.Types.Scope().Lookup("Event") == nil {
+				t.Fatal("obs.Event not found in dependency type info")
+			}
+			if p.Target {
+				t.Fatal("obs should be a dependency, not a target")
+			}
+		}
+	}
+	if !sawObs {
+		t.Fatal("repro/internal/obs not in load graph")
+	}
+}
+
+func TestLoadAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-repo load")
+	}
+	res, err := Load(repoRoot(t), "./...")
+	if err != nil {
+		t.Fatalf("Load ./...: %v", err)
+	}
+	var targets int
+	for _, p := range res.Packages {
+		if p.Target {
+			targets++
+			for _, terr := range p.TypeErrors {
+				t.Errorf("%s: type error: %v", p.PkgPath, terr)
+			}
+		}
+	}
+	if targets < 15 {
+		t.Fatalf("only %d target packages loaded", targets)
+	}
+}
+
+func TestLoadFixture(t *testing.T) {
+	res, err := LoadFixture([]string{"testdata/src"}, "fixload")
+	if err != nil {
+		t.Fatalf("LoadFixture: %v", err)
+	}
+	var target *Package
+	for _, p := range res.Packages {
+		if p.Target {
+			target = p
+		}
+	}
+	if target == nil || target.PkgPath != "fixload" {
+		t.Fatalf("target missing: %+v", target)
+	}
+	if target.Types.Scope().Lookup("UsesStub") == nil {
+		t.Fatal("fixture decl not type-checked")
+	}
+}

@@ -1,0 +1,14 @@
+// Package fixload exercises fixture loading: a stub import resolved
+// from the fixture root plus a stdlib import resolved from GOROOT.
+package fixload
+
+import (
+	"time"
+
+	"fixstub"
+)
+
+// UsesStub proves cross-package types resolve in fixture loads.
+func UsesStub() time.Duration {
+	return time.Duration(fixstub.Value)
+}

@@ -1,0 +1,5 @@
+// Package fixstub is a fixture-root dependency for loader tests.
+package fixstub
+
+// Value is referenced by the fixload fixture.
+const Value = 42

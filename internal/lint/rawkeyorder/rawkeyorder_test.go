@@ -1,0 +1,12 @@
+package rawkeyorder_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/rawkeyorder"
+)
+
+func TestRawKeyOrder(t *testing.T) {
+	linttest.Run(t, rawkeyorder.Analyzer, "keyorder")
+}

@@ -1,0 +1,12 @@
+package taskdeterminism_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/taskdeterminism"
+)
+
+func TestTaskDeterminism(t *testing.T) {
+	linttest.Run(t, taskdeterminism.Analyzer, "taskdet")
+}

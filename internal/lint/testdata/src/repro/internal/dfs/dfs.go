@@ -1,0 +1,23 @@
+// Package dfs is the fixture stub of the distributed file system.
+package dfs
+
+// FileSystem mirrors the DFS client surface the analyzers model.
+type FileSystem struct{}
+
+// Create mirrors FileSystem.Create.
+func (fs *FileSystem) Create(path string, data []byte, localNode string) error { return nil }
+
+// Delete mirrors FileSystem.Delete.
+func (fs *FileSystem) Delete(path string) error { return nil }
+
+// ReadAll mirrors FileSystem.ReadAll.
+func (fs *FileSystem) ReadAll(path string) ([]byte, error) { return nil, nil }
+
+// List mirrors FileSystem.List.
+func (fs *FileSystem) List(dir string) []string { return nil }
+
+// DeleteDir mirrors FileSystem.DeleteDir.
+func (fs *FileSystem) DeleteDir(dir string) {}
+
+// Size mirrors FileSystem.Size.
+func (fs *FileSystem) Size(path string) (int64, error) { return 0, nil }

@@ -142,7 +142,11 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 	// was written by this job, and leaving partial output behind would
 	// make a rerun of the same job fail on that very check.
 	fail := func(err error) (*Result, error) {
-		e.fs.DeleteDir(job.OutputPath)
+		if derr := e.fs.DeleteDir(job.OutputPath); derr != nil {
+			// A rerun would now trip the output-exists check; make the
+			// stuck cleanup part of the reported failure.
+			err = fmt.Errorf("%v (cleaning partial output: %v)", err, derr)
+		}
 		bus.Emit(obs.Event{
 			Type: obs.JobFinished, Job: job.Name, Parent: job.Parent,
 			Dur: time.Since(start), Err: err.Error(),
@@ -162,8 +166,11 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 			Type: obs.JobFinished, Job: job.Name, Parent: job.Parent, Dur: res.Wall,
 		})
 		if e.opts.History != nil {
-			// History is diagnostics: a full store must not fail the job.
-			_, _ = e.opts.History.Save(res.HistoryRecord())
+			// History is diagnostics: a full store must not fail the
+			// job, but a failed store must not vanish either.
+			if _, herr := e.opts.History.Save(res.HistoryRecord()); herr != nil {
+				res.Counters.Get(CounterGroupEngine, CounterHistorySaveErrors).Inc(1)
+			}
 		}
 		return res
 	}
@@ -265,6 +272,12 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 		return commit, nil
 	}, reports)
 	if err != nil {
+		// Close the phase even on failure: an unpaired PhaseStart reads
+		// as a still-running phase to the tracker and timeline.
+		bus.Emit(obs.Event{
+			Type: obs.PhaseEnd, Job: job.Name, Phase: "map",
+			Dur: time.Since(mapStart), Err: err.Error(),
+		})
 		return fail(fmt.Errorf("mapreduce: job %s: %v", job.Name, err))
 	}
 	res.MapWall = time.Since(mapStart)
@@ -395,6 +408,10 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 		return commit, nil
 	}, reduceReports)
 	if err != nil {
+		bus.Emit(obs.Event{
+			Type: obs.PhaseEnd, Job: job.Name, Phase: "reduce",
+			Dur: time.Since(reduceStart), Err: err.Error(),
+		})
 		return fail(fmt.Errorf("mapreduce: job %s: %v", job.Name, err))
 	}
 	res.ReduceWall = time.Since(reduceStart)

@@ -310,6 +310,8 @@ const (
 	CounterGroupScheduler = "scheduler"
 	// CounterGroupShuffle groups shuffle metrics.
 	CounterGroupShuffle = "shuffle"
+	// CounterGroupEngine groups engine-internal diagnostics.
+	CounterGroupEngine = "engine"
 
 	CounterMapInputRecords    = "map_input_records"
 	CounterMapOutputRecords   = "map_output_records"
@@ -325,6 +327,11 @@ const (
 
 	CounterSpeculativeLaunched = "speculative_launched"
 	CounterSpeculativeWasted   = "speculative_wasted"
+
+	// CounterHistorySaveErrors counts job-history stores that failed.
+	// History is diagnostics — a full store must not fail the job — but
+	// the failure has to stay visible somewhere.
+	CounterHistorySaveErrors = "history_save_errors"
 
 	CounterShuffleBytes = "shuffle_bytes"
 	// CounterShuffleRunsMerged counts the pre-sorted map-output runs

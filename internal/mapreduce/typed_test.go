@@ -3,6 +3,7 @@ package mapreduce
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"strings"
 	"testing"
 
@@ -377,5 +378,100 @@ func TestTypedDecodeErrorFailsTask(t *testing.T) {
 	}
 	if _, err := e.Run(tj.Build()); err == nil {
 		t.Fatal("want decode error to fail the job")
+	}
+}
+
+// cleanupMapper buffers word counts during Map and flushes them only
+// in Cleanup, in sorted order — the canonical in-mapper-combining
+// shape whose Cleanup emissions must flow through the typed lowering
+// (encoding, partitioning, spill) exactly like Map-time emissions.
+type cleanupMapper struct {
+	TypedMapperBase[string, int64]
+	counts map[string]int64
+}
+
+func (m *cleanupMapper) Setup(*TaskContext) error {
+	m.counts = map[string]int64{}
+	return nil
+}
+
+func (m *cleanupMapper) Map(_ *TaskContext, _, line string, _ TypedEmit[string, int64]) error {
+	for _, w := range strings.Fields(line) {
+		m.counts[w]++
+	}
+	return nil
+}
+
+func (m *cleanupMapper) Cleanup(_ *TaskContext, emit TypedEmit[string, int64]) error {
+	words := make([]string, 0, len(m.counts))
+	for w := range m.counts {
+		words = append(words, w)
+	}
+	sort.Strings(words)
+	for _, w := range words {
+		emit(w, m.counts[w])
+	}
+	return nil
+}
+
+// cleanupReducer sums values per key and emits one extra record from
+// Cleanup counting the groups it saw, exercising the typed reducer's
+// Cleanup emission path (which encodes through the output codecs).
+type cleanupReducer struct {
+	TypedReducerBase[string, int64]
+	groups int64
+}
+
+func (r *cleanupReducer) Reduce(_ *TaskContext, key string, values []int64, emit TypedEmit[string, int64]) error {
+	var sum int64
+	for _, v := range values {
+		sum += v
+	}
+	emit(key, sum)
+	r.groups++
+	return nil
+}
+
+func (r *cleanupReducer) Cleanup(_ *TaskContext, emit TypedEmit[string, int64]) error {
+	emit("~groups", r.groups)
+	return nil
+}
+
+// TestTypedCleanupEmission checks that records emitted from typed
+// Mapper.Cleanup and Reducer.Cleanup reach the output with correct
+// encodings: the mapper emits everything from Cleanup, and the
+// reducer appends a Cleanup summary record.
+func TestTypedCleanupEmission(t *testing.T) {
+	e := newTestEngine(t, 64)
+	writeInput(t, e, "in/f", strings.Repeat("alpha beta beta gamma\n", 30))
+	tj := &TypedJob[string, string, string, int64, string, int64]{
+		Name:       "typed-cleanup",
+		InputPaths: []string{"in/f"},
+		OutputPath: "out",
+		Mapper: func() TypedMapper[string, string, string, int64] {
+			return &cleanupMapper{}
+		},
+		Reducer: func() TypedReducer[string, int64, string, int64] {
+			return &cleanupReducer{}
+		},
+		InputKey:    recordio.RawString{},
+		InputValue:  recordio.RawString{},
+		MapKey:      recordio.RawString{},
+		MapValue:    recordio.Int64{},
+		OutputKey:   recordio.RawString{},
+		OutputValue: recordio.Int64{},
+		NumReducers: 2,
+	}
+	if _, err := e.Run(tj.Build()); err != nil {
+		t.Fatal(err)
+	}
+	got := readTypedCounts(t, e, "out")
+	if got["alpha"] != 30 || got["beta"] != 60 || got["gamma"] != 30 {
+		t.Fatalf("mapper Cleanup emissions lost or miscounted: %v", got)
+	}
+	// Each reducer's Cleanup adds its group count; summed across the
+	// two reducers this is the number of distinct words.
+	if got["~groups"] != 3 {
+		t.Fatalf("reducer Cleanup emission: got %d groups, want 3", got["~groups"])
 	}
 }

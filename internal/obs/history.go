@@ -91,6 +91,9 @@ type History struct {
 	fs      FS
 	seq     int // next sequence number; 0 = not yet initialised
 	maxJobs int // 0 = unbounded
+
+	pruneErrs    int   // prune deletions that failed
+	lastPruneErr error // most recent prune failure
 }
 
 // NewHistory creates a history store over the given backend.
@@ -151,8 +154,9 @@ func (h *History) Save(rec JobRecord) (string, error) {
 }
 
 // pruneLocked enforces maxJobs by deleting the lowest-sequence records.
-// Mirror backends may miss some paths; those errors are ignored — the
-// next prune retries.
+// Mirror backends may miss some paths; a failed deletion must not fail
+// the Save that triggered it (the next prune retries), so failures are
+// recorded for PruneErrors instead.
 func (h *History) pruneLocked() {
 	if h.maxJobs <= 0 {
 		return
@@ -161,9 +165,21 @@ func (h *History) pruneLocked() {
 	// List is sorted and names embed a zero-padded sequence number, so
 	// lexical order is sequence order.
 	for len(paths) > h.maxJobs {
-		_ = h.fs.Delete(paths[0])
+		if err := h.fs.Delete(paths[0]); err != nil {
+			h.pruneErrs++
+			h.lastPruneErr = err
+		}
 		paths = paths[1:]
 	}
+}
+
+// PruneErrors reports how many prune deletions have failed so far and
+// the most recent failure, so operators can notice a store that is no
+// longer honouring its maxJobs bound.
+func (h *History) PruneErrors() (int, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.pruneErrs, h.lastPruneErr
 }
 
 // List returns every stored record ordered by sequence number.
@@ -252,29 +268,58 @@ func (d dirFS) Delete(path string) error {
 	return os.Remove(d.local(path))
 }
 
-// teeFS writes to both backends and reads from their union (primary
+// TeeFS writes to both backends and reads from their union (primary
 // wins), so records live in the simulated DFS for in-process diffing
-// and in a local directory for post-mortem inspection.
-type teeFS struct {
+// and in a local directory for post-mortem inspection. Mirror (the
+// secondary backend) failures never fail the caller but are recorded
+// for MirrorErrors.
+type TeeFS struct {
 	primary, secondary FS
+
+	mu            sync.Mutex
+	mirrorErrs    int
+	lastMirrorErr error
 }
 
 // Tee combines two backends: Create writes to both, List merges, and
 // ReadAll falls back from primary to secondary.
-func Tee(primary, secondary FS) FS { return teeFS{primary, secondary} }
+func Tee(primary, secondary FS) *TeeFS {
+	return &TeeFS{primary: primary, secondary: secondary}
+}
 
-func (t teeFS) Create(path string, data []byte, localNode string) error {
+// noteMirrorErr records a secondary-backend failure.
+func (t *TeeFS) noteMirrorErr(err error) {
+	t.mu.Lock()
+	t.mirrorErrs++
+	t.lastMirrorErr = err
+	t.mu.Unlock()
+}
+
+// MirrorErrors reports how many secondary-backend operations have
+// failed and the most recent failure, so a silently broken mirror is
+// still observable.
+func (t *TeeFS) MirrorErrors() (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.mirrorErrs, t.lastMirrorErr
+}
+
+// Create implements FS.
+func (t *TeeFS) Create(path string, data []byte, localNode string) error {
 	if err := t.primary.Create(path, data, localNode); err != nil {
 		return err
 	}
 	// The secondary may already hold the path from an earlier process;
 	// renumbering via List makes that rare, but don't fail the job on
 	// a mirror collision.
-	_ = t.secondary.Create(path, data, localNode)
+	if err := t.secondary.Create(path, data, localNode); err != nil {
+		t.noteMirrorErr(err)
+	}
 	return nil
 }
 
-func (t teeFS) List(dir string) []string {
+// List implements FS.
+func (t *TeeFS) List(dir string) []string {
 	seen := make(map[string]bool)
 	var out []string
 	for _, p := range append(t.primary.List(dir), t.secondary.List(dir)...) {
@@ -287,17 +332,21 @@ func (t teeFS) List(dir string) []string {
 	return out
 }
 
-func (t teeFS) ReadAll(path string) ([]byte, error) {
+// ReadAll implements FS.
+func (t *TeeFS) ReadAll(path string) ([]byte, error) {
 	if data, err := t.primary.ReadAll(path); err == nil {
 		return data, nil
 	}
 	return t.secondary.ReadAll(path)
 }
 
-func (t teeFS) Delete(path string) error {
+// Delete implements FS.
+func (t *TeeFS) Delete(path string) error {
 	err := t.primary.Delete(path)
 	// The mirror may legitimately lack the path (or hold extras from an
-	// earlier process); deleting there is best-effort.
-	_ = t.secondary.Delete(path)
+	// earlier process); deleting there is best-effort but recorded.
+	if serr := t.secondary.Delete(path); serr != nil {
+		t.noteMirrorErr(serr)
+	}
 	return err
 }

@@ -25,6 +25,9 @@ type Store struct {
 	fs        obs.FS
 	seq       int // next sequence number; 0 = not yet initialised
 	maxTraces int // 0 = unbounded
+
+	pruneErrs    int   // prune deletions that failed
+	lastPruneErr error // most recent prune failure
 }
 
 // NewStore creates a trace store over the given backend.
@@ -78,11 +81,26 @@ func (s *Store) Save(t *Tree) (string, error) {
 	if s.maxTraces > 0 {
 		paths := s.fs.List(TraceDir)
 		for len(paths) > s.maxTraces {
-			_ = s.fs.Delete(paths[0])
+			// A failed prune must not fail the save that triggered it
+			// (the next prune retries), but it is recorded for
+			// PruneErrors rather than dropped.
+			if err := s.fs.Delete(paths[0]); err != nil {
+				s.pruneErrs++
+				s.lastPruneErr = err
+			}
 			paths = paths[1:]
 		}
 	}
 	return p, nil
+}
+
+// PruneErrors reports how many prune deletions have failed so far and
+// the most recent failure, so a store that no longer honours its
+// maxTraces bound is observable.
+func (s *Store) PruneErrors() (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pruneErrs, s.lastPruneErr
 }
 
 // List returns every stored tree ordered by sequence number,
