@@ -12,6 +12,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -43,12 +44,23 @@ func corpus(b *testing.B) (*trace.Dataset, *geolife.GroundTruth) {
 	return benchCorpus, benchTruth
 }
 
-// uniq generates process-unique DFS directory names.
-var uniqCounter int
+// uniq generates process-unique DFS directory names. The counter is
+// atomic so benchmarks stay race-free under b.RunParallel or -race.
+var uniqCounter atomic.Int64
 
 func uniq(prefix string) string {
-	uniqCounter++
-	return fmt.Sprintf("%s-%04d", prefix, uniqCounter)
+	return fmt.Sprintf("%s-%04d", prefix, uniqCounter.Add(1))
+}
+
+// reportRecordsPerSec standardizes throughput reporting across the
+// end-to-end pipeline benchmarks: input records processed per wall
+// second, the same unit as the records_per_sec field of
+// internal/obs/perf trajectory records. records is the per-iteration
+// input volume.
+func reportRecordsPerSec(b *testing.B, records int64) {
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(records)*float64(b.N)/secs, "records/sec")
+	}
 }
 
 // newBenchToolkit deploys the standard 7-node testbed with the given
@@ -84,6 +96,7 @@ func BenchmarkTableI_Sampling(b *testing.B) {
 				kept = res.Counters.Value("task", "map_output_records")
 			}
 			b.ReportMetric(float64(ds.NumTraces())/float64(kept), "collapse-ratio")
+			reportRecordsPerSec(b, int64(ds.NumTraces()))
 		})
 	}
 }
@@ -123,6 +136,7 @@ func BenchmarkSamplingJobScaling(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+			reportRecordsPerSec(b, int64(ds.NumTraces()))
 		})
 	}
 }
@@ -157,6 +171,7 @@ func BenchmarkTableIII_KMeans(b *testing.B) {
 							b.Fatal(err)
 						}
 					}
+					reportRecordsPerSec(b, int64(ds.NumTraces()))
 				})
 			}
 		}
@@ -173,7 +188,7 @@ func BenchmarkKMeansCombinerAblation(b *testing.B) {
 			name = "with-combiner"
 		}
 		b.Run(name, func(b *testing.B) {
-			tk, _ := newBenchToolkit(b, 2<<20)
+			tk, ds := newBenchToolkit(b, 2<<20)
 			b.ResetTimer()
 			var shuffle int64
 			for i := 0; i < b.N; i++ {
@@ -186,6 +201,7 @@ func BenchmarkKMeansCombinerAblation(b *testing.B) {
 				shuffle = res.IterationResults[0].Counters.Value("shuffle", "shuffle_bytes")
 			}
 			b.ReportMetric(float64(shuffle), "shuffle-bytes")
+			reportRecordsPerSec(b, int64(ds.NumTraces()))
 		})
 	}
 }
@@ -193,7 +209,7 @@ func BenchmarkKMeansCombinerAblation(b *testing.B) {
 // BenchmarkFig4_KMeansWorkflow times a full convergence run (the
 // Fig. 4 loop: one MapReduce job per iteration until stable).
 func BenchmarkFig4_KMeansWorkflow(b *testing.B) {
-	tk, _ := newBenchToolkit(b, 2<<20)
+	tk, ds := newBenchToolkit(b, 2<<20)
 	b.ResetTimer()
 	var iters int
 	for i := 0; i < b.N; i++ {
@@ -206,15 +222,18 @@ func BenchmarkFig4_KMeansWorkflow(b *testing.B) {
 		iters = res.Iterations
 	}
 	b.ReportMetric(float64(iters), "iterations")
+	reportRecordsPerSec(b, int64(ds.NumTraces()))
 }
 
 // BenchmarkFig5_Preprocess measures the two pipelined map-only jobs of
 // DJ-Cluster's preprocessing phase on the 1-min-sampled corpus.
 func BenchmarkFig5_Preprocess(b *testing.B) {
 	tk, _ := newBenchToolkit(b, 1<<20)
-	if _, err := tk.Sample("data", "sampled", time.Minute, gepeto.SampleUpperLimit); err != nil {
+	sres, err := tk.Sample("data", "sampled", time.Minute, gepeto.SampleUpperLimit)
+	if err != nil {
 		b.Fatal(err)
 	}
+	sampled := sres.Counters.Value("task", "map_output_records")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s1, s2 := uniq("f1"), uniq("f2")
@@ -225,6 +244,7 @@ func BenchmarkFig5_Preprocess(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+	reportRecordsPerSec(b, sampled)
 }
 
 // BenchmarkTableIV_Preprocess measures preprocessing on each sampled
@@ -233,9 +253,11 @@ func BenchmarkTableIV_Preprocess(b *testing.B) {
 	for _, window := range []time.Duration{time.Minute, 5 * time.Minute, 10 * time.Minute} {
 		b.Run(window.String(), func(b *testing.B) {
 			tk, _ := newBenchToolkit(b, 1<<20)
-			if _, err := tk.Sample("data", "sampled", window, gepeto.SampleUpperLimit); err != nil {
+			sres, err := tk.Sample("data", "sampled", window, gepeto.SampleUpperLimit)
+			if err != nil {
 				b.Fatal(err)
 			}
+			sampled := sres.Counters.Value("task", "map_output_records")
 			b.ResetTimer()
 			var keep float64
 			for i := 0; i < b.N; i++ {
@@ -249,6 +271,7 @@ func BenchmarkTableIV_Preprocess(b *testing.B) {
 				keep = float64(out) / float64(in)
 			}
 			b.ReportMetric(keep*100, "keep-%")
+			reportRecordsPerSec(b, sampled)
 		})
 	}
 }
@@ -257,9 +280,11 @@ func BenchmarkTableIV_Preprocess(b *testing.B) {
 // (Algs. 4-5 plus preprocessing and R-tree build).
 func BenchmarkDJClusterPhases(b *testing.B) {
 	tk, _ := newBenchToolkit(b, 1<<20)
-	if _, err := tk.Sample("data", "sampled", time.Minute, gepeto.SampleUpperLimit); err != nil {
+	sres, err := tk.Sample("data", "sampled", time.Minute, gepeto.SampleUpperLimit)
+	if err != nil {
 		b.Fatal(err)
 	}
+	sampled := sres.Counters.Value("task", "map_output_records")
 	b.ResetTimer()
 	var clusters int
 	for i := 0; i < b.N; i++ {
@@ -270,6 +295,7 @@ func BenchmarkDJClusterPhases(b *testing.B) {
 		clusters = len(res.Clusters)
 	}
 	b.ReportMetric(float64(clusters), "clusters")
+	reportRecordsPerSec(b, sampled)
 }
 
 // BenchmarkFig6_RTreeBuild measures the three-phase MapReduce R-tree
@@ -286,6 +312,7 @@ func BenchmarkFig6_RTreeBuild(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+			reportRecordsPerSec(b, int64(ds.NumTraces()))
 		})
 	}
 	b.Run("sequential-bulkload", func(b *testing.B) {
@@ -299,6 +326,7 @@ func BenchmarkFig6_RTreeBuild(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			rtree.BulkLoad(entries, rtree.DefaultMaxEntries)
 		}
+		reportRecordsPerSec(b, int64(len(entries)))
 	})
 }
 
@@ -330,6 +358,7 @@ func BenchmarkSeqVsMR_Sampling(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			gepeto.SampleSequential(ds, time.Minute, gepeto.SampleUpperLimit)
 		}
+		reportRecordsPerSec(b, int64(ds.NumTraces()))
 	})
 	b.Run("mapreduce", func(b *testing.B) {
 		tk, _ := newBenchToolkit(b, 1<<20)
@@ -339,6 +368,7 @@ func BenchmarkSeqVsMR_Sampling(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
+		reportRecordsPerSec(b, int64(ds.NumTraces()))
 	})
 }
 
@@ -399,18 +429,20 @@ func BenchmarkPOIAttackEndToEnd(b *testing.B) {
 		recall = privacy.EvaluatePOIAttack(pois, truth, 50).POIRecall
 	}
 	b.ReportMetric(recall*100, "poi-recall-%")
+	reportRecordsPerSec(b, int64(ds.NumTraces()))
 }
 
 // BenchmarkSocialLinkDiscovery measures the §II co-location attack as
 // two chained MapReduce jobs over the shared corpus.
 func BenchmarkSocialLinkDiscovery(b *testing.B) {
-	tk, _ := newBenchToolkit(b, 1<<20)
+	tk, ds := newBenchToolkit(b, 1<<20)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := privacy.DiscoverSocialLinksMR(tk.Engine(), []string{"data"}, uniq("soc"), privacy.SocialOptions{}); err != nil {
 			b.Fatal(err)
 		}
 	}
+	reportRecordsPerSec(b, int64(ds.NumTraces()))
 }
 
 // BenchmarkMMCPrediction measures next-place prediction evaluation
@@ -662,7 +694,7 @@ func BenchmarkShuffleRecords(b *testing.B) {
 // map-side spill sort, parallel per-partition merge and streaming
 // reduce.
 func BenchmarkShuffleJob(b *testing.B) {
-	tk, _ := newBenchToolkit(b, 256<<10)
+	tk, ds := newBenchToolkit(b, 256<<10)
 	b.ResetTimer()
 	var bytes int64
 	for i := 0; i < b.N; i++ {
@@ -675,6 +707,7 @@ func BenchmarkShuffleJob(b *testing.B) {
 		bytes = res.IterationResults[0].Counters.Value("shuffle", "shuffle_bytes")
 	}
 	b.ReportMetric(float64(bytes), "shuffle-bytes")
+	reportRecordsPerSec(b, int64(ds.NumTraces()))
 }
 
 // BenchmarkEngine measures the observability layer's overhead on a
@@ -711,6 +744,7 @@ func BenchmarkEngine(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+			reportRecordsPerSec(b, int64(ds.NumTraces()))
 		})
 	}
 }

@@ -1,0 +1,139 @@
+// The perf subcommand runs the performance-trajectory suite of
+// internal/obs/perf: a pinned registry of seeded workloads measured
+// for wall time, throughput, alloc/GC deltas, engine counters and
+// per-phase attribution, written as a schema-versioned BENCH_<NNNN>.json
+// record.
+//
+//	benchtab perf                          # run suite, write next BENCH_*.json
+//	benchtab perf -compare BENCH_0006.json # diff against a baseline, exit 1 on regression
+//	benchtab perf -list                    # list workload names
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/obs/perf"
+)
+
+// runPerf implements `benchtab perf`. It returns the process exit
+// code: 0 clean, 1 regression found, 2 usage or runtime error.
+func runPerf(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchtab perf", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	scale := fs.Int("scale", perf.DefaultScale, "corpus shrink factor (1 = full 2.03M traces)")
+	seed := fs.Int64("seed", 1, "master seed for every workload")
+	dir := fs.String("dir", ".", "directory holding the BENCH_*.json trajectory")
+	out := fs.String("out", "", "explicit record path (default: next BENCH_<NNNN>.json in -dir)")
+	compareWith := fs.String("compare", "", "baseline record to diff against; exit 1 on regression")
+	threshold := fs.Float64("threshold", perf.DefaultThreshold, "relative slowdown tolerated before flagging a regression")
+	slack := fs.Int64("slack", perf.DefaultSlackUs, "absolute per-workload grace in microseconds added to the regression bound")
+	only := fs.String("workloads", "", "comma-separated workload subset (default: all)")
+	list := fs.Bool("list", false, "list workload names and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, w := range perf.Workloads() {
+			fmt.Fprintf(stdout, "%-24s %s\n", w.Name, w.Desc)
+		}
+		return 0
+	}
+
+	opts := perf.SuiteOptions{
+		Scale: *scale,
+		Seed:  *seed,
+		Logf:  func(format string, a ...any) { fmt.Fprintf(stderr, format+"\n", a...) },
+	}
+	if *only != "" {
+		for _, name := range strings.Split(*only, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				opts.Only = append(opts.Only, name)
+			}
+		}
+	}
+	rec, err := perf.RunSuite(opts)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+
+	path := *out
+	if path == "" {
+		if path, err = perf.NextPath(*dir); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	}
+	if err := perf.WriteRecord(path, rec); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	fmt.Fprintf(stderr, "wrote %s (%d workloads, suite wall %.0fms)\n",
+		path, len(rec.Workloads), rec.SuiteWallMs)
+	writeRecordTable(stdout, rec)
+
+	if *compareWith == "" {
+		return 0
+	}
+	old, err := perf.ReadRecord(*compareWith)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	cmp := perf.Compare(old, rec, perf.CompareOptions{Threshold: *threshold, SlackUs: *slack})
+	if err := cmp.WriteMarkdown(stdout); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	if len(cmp.Regressions()) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// writeRecordTable renders one record as the markdown table the
+// EXPERIMENTS report uses, so a bare `benchtab perf` is readable
+// without a baseline.
+func writeRecordTable(w io.Writer, rec *perf.Record) {
+	fmt.Fprintf(w, "### Perf record %s — scale 1/%d, seed %d, %s %s/%s\n\n",
+		recordName(rec), rec.Scale, rec.Seed, rec.Env.GoVersion, rec.Env.GOOS, rec.Env.GOARCH)
+	fmt.Fprintln(w, "| workload | wall | records | rec/s | alloc | GC | top phase |")
+	fmt.Fprintln(w, "|---|---:|---:|---:|---:|---:|---|")
+	for i := range rec.Workloads {
+		wr := &rec.Workloads[i]
+		top := wr.TopPhase()
+		topCell := "—"
+		if top.Phase != "" {
+			topCell = fmt.Sprintf("%s %.0f%%", top.Phase, top.Pct)
+		}
+		fmt.Fprintf(w, "| %s | %.1fms | %d | %.0f | %s | %d | %s |\n",
+			wr.Name, wr.WallMs(), wr.Records, wr.RecordsPerSec,
+			byteSize(wr.AllocBytes), wr.GCRuns, topCell)
+	}
+	fmt.Fprintln(w)
+}
+
+func recordName(rec *perf.Record) string {
+	if rec.ID != "" {
+		return rec.ID
+	}
+	return "(unsaved)"
+}
+
+// byteSize renders a byte count with a binary-unit suffix.
+func byteSize(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

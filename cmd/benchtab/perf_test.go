@@ -1,0 +1,97 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs/perf"
+)
+
+// TestPerfSubcommandWritesAndCompares exercises the acceptance path:
+// two back-to-back suite runs whose -compare passes within the default
+// noise threshold. A reduced scale and workload subset keep it quick.
+func TestPerfSubcommandWritesAndCompares(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-dir", dir, "-scale", "1024", "-workloads", "sampling,mmc-attack,shuffle-merge"}
+
+	var out1, err1 strings.Builder
+	if code := runPerf(args, &out1, &err1); code != 0 {
+		t.Fatalf("first run exit %d\nstderr: %s", code, err1.String())
+	}
+	first := filepath.Join(dir, "BENCH_0001.json")
+	if _, err := os.Stat(first); err != nil {
+		t.Fatalf("first record not written: %v", err)
+	}
+	if !strings.Contains(out1.String(), "| sampling |") {
+		t.Fatalf("summary table missing:\n%s", out1.String())
+	}
+
+	var out2, err2 strings.Builder
+	code := runPerf(append(args, "-compare", first), &out2, &err2)
+	if code != 0 {
+		t.Fatalf("compare run exit %d\nstdout: %s\nstderr: %s", code, out2.String(), err2.String())
+	}
+	if _, err := os.Stat(filepath.Join(dir, "BENCH_0002.json")); err != nil {
+		t.Fatalf("second record not auto-numbered: %v", err)
+	}
+	if !strings.Contains(out2.String(), "No regressions beyond the noise threshold.") {
+		t.Fatalf("compare output missing all-clear:\n%s", out2.String())
+	}
+
+	rec, err := perf.ReadRecord(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.ID != "BENCH_0001" || len(rec.Workloads) != 3 {
+		t.Fatalf("record contents wrong: %+v", rec)
+	}
+}
+
+func TestPerfSubcommandCompareFlagsRegression(t *testing.T) {
+	dir := t.TempDir()
+	// A fabricated baseline so fast the real run must regress past it.
+	base := &perf.Record{
+		Schema: perf.SchemaVersion, Scale: 1024, Seed: 1,
+		Workloads: []perf.WorkloadResult{
+			{Name: "shuffle-merge", WallUs: 1, Records: 1, RecordsPerSec: 1e12},
+		},
+	}
+	basePath := filepath.Join(dir, "BENCH_0001.json")
+	if err := perf.WriteRecord(basePath, base); err != nil {
+		t.Fatal(err)
+	}
+
+	var out, errb strings.Builder
+	code := runPerf([]string{"-dir", dir, "-scale", "1024", "-workloads", "shuffle-merge",
+		"-threshold", "0.01", "-slack", "1", "-compare", basePath}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (regression)\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "**REGRESSION**") {
+		t.Fatalf("regression banner missing:\n%s", out.String())
+	}
+}
+
+func TestPerfSubcommandList(t *testing.T) {
+	var out, errb strings.Builder
+	if code := runPerf([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	for _, name := range perf.WorkloadNames() {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list missing %s:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestPerfSubcommandBadFlags(t *testing.T) {
+	var out, errb strings.Builder
+	if code := runPerf([]string{"-nope"}, &out, &errb); code != 2 {
+		t.Fatalf("bad flag exit %d, want 2", code)
+	}
+	if code := runPerf([]string{"-workloads", "no-such-workload"}, &out, &errb); code != 2 {
+		t.Fatalf("unknown workload exit %d, want 2", code)
+	}
+}

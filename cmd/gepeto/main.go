@@ -34,6 +34,7 @@ import (
 	"repro/internal/gepeto"
 	"repro/internal/mapreduce"
 	"repro/internal/obs"
+	"repro/internal/obs/perf"
 	obstrace "repro/internal/obs/trace"
 	"repro/internal/privacy"
 	"repro/internal/trace"
@@ -180,6 +181,9 @@ func deployAndLoad(nodes, racks, slots int, chunkMB int64, inDir string) (*core.
 		src := obstrace.Multi(collector, store)
 		srv.Handle("/trace/", obstrace.TraceHandler("/trace/", src))
 		srv.Handle("/analyze/", obstrace.AnalyzeHandler("/analyze/", src, obstrace.Options{}))
+		// Latest BENCH_*.json trajectory record, so a deployed cluster
+		// exposes the perf point its build was measured at.
+		srv.Handle("/perf", perf.Handler("."))
 		stopSampler := obs.StartRuntimeSampler(reg, time.Second)
 		fmt.Fprintf(os.Stderr, "status server listening on %s\n", srv.URL())
 		// Drain the server gracefully both on normal teardown and on

@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistogramPrometheusExposition pins the exposition contract for
+// histograms: cumulative buckets in ascending le order, an explicit
+// +Inf bucket, then _sum and _count, with label values escaped the
+// Prometheus way (backslash, quote, newline).
+func TestHistogramPrometheusExposition(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("req_seconds", "Request latency.", []float64{0.1, 1, 10}, Labels{
+		"path": `a"b\c` + "\nd",
+	})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	out := sb.String()
+
+	wantLines := []string{
+		`# HELP req_seconds Request latency.`,
+		`# TYPE req_seconds histogram`,
+		`req_seconds_bucket{path="a\"b\\c\nd",le="0.1"} 1`,
+		`req_seconds_bucket{path="a\"b\\c\nd",le="1"} 3`,
+		`req_seconds_bucket{path="a\"b\\c\nd",le="10"} 4`,
+		`req_seconds_bucket{path="a\"b\\c\nd",le="+Inf"} 5`,
+		`req_seconds_sum{path="a\"b\\c\nd"} 56.05`,
+		`req_seconds_count{path="a\"b\\c\nd"} 5`,
+	}
+	// Order matters: buckets ascending, then sum, then count.
+	rest := out
+	for _, want := range wantLines {
+		idx := strings.Index(rest, want)
+		if idx < 0 {
+			t.Fatalf("exposition missing or out of order: %q\nremaining:\n%s\nfull:\n%s", want, rest, out)
+		}
+		rest = rest[idx+len(want):]
+	}
+}
+
+// TestHistogramExpositionOrdersSeries checks that families and series
+// render in deterministic sorted order regardless of registration
+// order, for both text exposition and the JSON snapshot.
+func TestHistogramExpositionOrdersSeries(t *testing.T) {
+	reg := NewRegistry()
+	// Register intentionally out of alphabetical order.
+	reg.Histogram("zz_seconds", "", []float64{1}, Labels{"phase": "reduce"}).Observe(2)
+	reg.Histogram("zz_seconds", "", []float64{1}, Labels{"phase": "map"}).Observe(0.5)
+	reg.Counter("aa_total", "", nil).Inc()
+
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	out := sb.String()
+	aa := strings.Index(out, "aa_total")
+	mapSeries := strings.Index(out, `zz_seconds_bucket{phase="map",le="1"}`)
+	reduceSeries := strings.Index(out, `zz_seconds_bucket{phase="reduce",le="1"}`)
+	if !(aa >= 0 && aa < mapSeries && mapSeries < reduceSeries) {
+		t.Fatalf("series out of sorted order (aa=%d map=%d reduce=%d):\n%s", aa, mapSeries, reduceSeries, out)
+	}
+
+	snap := reg.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot has %d points, want 3", len(snap))
+	}
+	if snap[0].Name != "aa_total" || snap[1].Labels["phase"] != "map" || snap[2].Labels["phase"] != "reduce" {
+		t.Fatalf("snapshot order wrong: %+v", snap)
+	}
+	if snap[2].Count != 1 || snap[2].Sum != 2 {
+		t.Fatalf("histogram point wrong: %+v", snap[2])
+	}
+	// The snapshot must stay JSON-serializable with stable output.
+	j1, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, _ := json.Marshal(reg.Snapshot())
+	if string(j1) != string(j2) {
+		t.Fatalf("snapshot not deterministic:\n%s\n%s", j1, j2)
+	}
+}
+
+// TestHistogramConcurrentObserveAndExpose is the -race test: writers
+// Observe while readers render the exposition and snapshot. The final
+// count must equal the writes, proving no update was lost or torn.
+func TestHistogramConcurrentObserveAndExpose(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("conc_seconds", "", []float64{0.5}, nil)
+
+	const writers, perWriter = 8, 2000
+	var wg sync.WaitGroup
+	stopReaders := make(chan struct{})
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stopReaders:
+					return
+				default:
+					var sb strings.Builder
+					reg.WritePrometheus(&sb)
+					reg.Snapshot()
+				}
+			}
+		}()
+	}
+	var writerWg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writerWg.Add(1)
+		go func(w int) {
+			defer writerWg.Done()
+			for i := 0; i < perWriter; i++ {
+				h.Observe(float64(i%2) + 0.25)
+			}
+		}(w)
+	}
+	writerWg.Wait()
+	close(stopReaders)
+	wg.Wait()
+
+	if got := h.Count(); got != writers*perWriter {
+		t.Fatalf("lost observations: count %d, want %d", got, writers*perWriter)
+	}
+}
+
+// TestRuntimeSamplerMonotonicGauges covers the monotonic counters the
+// sampler exports so scrapers can derive rates: cumulative allocation
+// and user CPU time must be populated and never decrease between
+// samples.
+func TestRuntimeSamplerMonotonicGauges(t *testing.T) {
+	reg := NewRegistry()
+	stop := StartRuntimeSampler(reg, 100*time.Millisecond)
+	defer stop()
+
+	totalAlloc := reg.Gauge("go_total_alloc_bytes", "", nil)
+	mallocs := reg.Gauge("go_mallocs_total", "", nil)
+	cpuUser := reg.Gauge("go_cpu_user_ns", "", nil)
+
+	first := totalAlloc.Value()
+	if first <= 0 {
+		t.Fatalf("go_total_alloc_bytes = %d after first sample, want > 0", first)
+	}
+	if mallocs.Value() <= 0 {
+		t.Fatalf("go_mallocs_total = %d after first sample, want > 0", mallocs.Value())
+	}
+	if cpuUser.Value() < 0 {
+		t.Fatalf("go_cpu_user_ns = %d, want >= 0", cpuUser.Value())
+	}
+
+	// Allocate until the next tick observes growth; cumulative counters
+	// must ratchet, unlike go_heap_alloc_bytes which may shrink.
+	deadline := time.Now().Add(5 * time.Second)
+	var sink [][]byte
+	for totalAlloc.Value() == first {
+		sink = append(sink, make([]byte, 1<<16))
+		if len(sink) > 512 {
+			sink = sink[:0]
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("go_total_alloc_bytes never advanced")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := totalAlloc.Value(); got < first {
+		t.Fatalf("go_total_alloc_bytes went backwards: %d -> %d", first, got)
+	}
+
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	for _, name := range []string{"go_total_alloc_bytes", "go_mallocs_total", "go_cpu_user_ns"} {
+		if !strings.Contains(sb.String(), name) {
+			t.Errorf("exposition missing %s", name)
+		}
+	}
+}

@@ -1,0 +1,215 @@
+package perf
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// CompareOptions tune the regression diff.
+type CompareOptions struct {
+	// Threshold is the relative slowdown tolerated before a workload is
+	// flagged as a regression (0.40 → 40% slower). Zero means
+	// DefaultThreshold.
+	Threshold float64
+	// SlackUs is an absolute grace added on top of the relative
+	// threshold, absorbing scheduler jitter on sub-millisecond
+	// workloads. Zero means DefaultSlackUs.
+	SlackUs int64
+}
+
+// DefaultThreshold is the relative wall-time slowdown tolerated by
+// default. Suite workloads at the published scale run tens to hundreds
+// of milliseconds, where run-to-run noise of 10–20% is routine on a
+// shared machine; 40% keeps back-to-back runs quiet while still
+// catching the step changes a real regression produces.
+const DefaultThreshold = 0.40
+
+// DefaultSlackUs is the absolute grace (5ms) added to every per-
+// workload bound, so microsecond-scale workloads are not flagged over
+// scheduling noise larger than their whole runtime.
+const DefaultSlackUs = 5_000
+
+func (o CompareOptions) withDefaults() CompareOptions {
+	if o.Threshold <= 0 {
+		o.Threshold = DefaultThreshold
+	}
+	if o.SlackUs <= 0 {
+		o.SlackUs = DefaultSlackUs
+	}
+	return o
+}
+
+// Comparison is the result of diffing a new record against an old one.
+type Comparison struct {
+	Old, New  *Record
+	Threshold float64
+	SlackUs   int64
+	// Rows is one entry per workload present in either record, old
+	// record order first, then new-only workloads.
+	Rows []CompareRow
+}
+
+// CompareRow is one workload's delta.
+type CompareRow struct {
+	Name string
+	// Old/New are nil when the workload exists on only one side.
+	Old, New *WorkloadResult
+	// WallDelta is (new-old)/old wall time; only meaningful when both
+	// sides exist and ran at the same scale.
+	WallDelta float64
+	// ThroughputDelta is (new-old)/old records/sec, the scale-robust
+	// basis used when the two records ran at different scales.
+	ThroughputDelta float64
+	// SameScale records whether the wall comparison is apples-to-apples.
+	SameScale bool
+	// Regressed marks the row as exceeding the noise threshold.
+	Regressed bool
+	// Note explains non-comparable rows ("added", "removed",
+	// "scale differs: throughput basis").
+	Note string
+}
+
+// Regressions returns the rows flagged as regressed.
+func (c *Comparison) Regressions() []CompareRow {
+	var out []CompareRow
+	for _, r := range c.Rows {
+		if r.Regressed {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Compare diffs new against old workload by workload. When both
+// records ran at the same scale and seed the wall time is compared
+// directly (new must stay under old·(1+threshold)+slack); when the
+// scales differ, records/sec throughput is compared instead, since
+// wall times at different corpus sizes are incommensurable.
+func Compare(old, new *Record, opts CompareOptions) *Comparison {
+	opts = opts.withDefaults()
+	cmp := &Comparison{Old: old, New: new, Threshold: opts.Threshold, SlackUs: opts.SlackUs}
+	sameScale := old.Scale == new.Scale && old.Seed == new.Seed
+	seen := make(map[string]bool)
+	for i := range old.Workloads {
+		ow := &old.Workloads[i]
+		seen[ow.Name] = true
+		row := CompareRow{Name: ow.Name, Old: ow, New: new.Workload(ow.Name), SameScale: sameScale}
+		if row.New == nil {
+			row.Note = "removed"
+			cmp.Rows = append(cmp.Rows, row)
+			continue
+		}
+		if ow.WallUs > 0 {
+			row.WallDelta = float64(row.New.WallUs-ow.WallUs) / float64(ow.WallUs)
+		}
+		if ow.RecordsPerSec > 0 {
+			row.ThroughputDelta = (row.New.RecordsPerSec - ow.RecordsPerSec) / ow.RecordsPerSec
+		}
+		if sameScale {
+			bound := int64(float64(ow.WallUs)*(1+opts.Threshold)) + opts.SlackUs
+			row.Regressed = row.New.WallUs > bound
+		} else {
+			row.Note = "scale differs: throughput basis"
+			// Slack translated to a throughput ratio: a workload whose
+			// old wall was within the slack is never flagged.
+			row.Regressed = row.ThroughputDelta < -opts.Threshold && ow.WallUs > opts.SlackUs
+		}
+		cmp.Rows = append(cmp.Rows, row)
+	}
+	for i := range new.Workloads {
+		nw := &new.Workloads[i]
+		if !seen[nw.Name] {
+			cmp.Rows = append(cmp.Rows, CompareRow{Name: nw.Name, New: nw, Note: "added", SameScale: sameScale})
+		}
+	}
+	return cmp
+}
+
+// WriteMarkdown renders the comparison as a markdown summary table with
+// per-workload wall, throughput and top-phase columns, flagging
+// regressions.
+func (c *Comparison) WriteMarkdown(w io.Writer) error {
+	oldID, newID := recordLabel(c.Old), recordLabel(c.New)
+	if _, err := fmt.Fprintf(w, "### Perf compare: %s → %s (threshold %.0f%%)\n\n",
+		oldID, newID, c.Threshold*100); err != nil {
+		return err
+	}
+	if c.Old.Scale != c.New.Scale || c.Old.Seed != c.New.Seed {
+		fmt.Fprintf(w, "_Scales differ (old 1/%d seed %d, new 1/%d seed %d): comparing records/sec throughput, not wall time._\n\n",
+			c.Old.Scale, c.Old.Seed, c.New.Scale, c.New.Seed)
+	}
+	fmt.Fprintln(w, "| workload | old wall | new wall | Δ wall | old rec/s | new rec/s | Δ rec/s | top phase | status |")
+	fmt.Fprintln(w, "|---|---:|---:|---:|---:|---:|---:|---|---|")
+	for _, r := range c.Rows {
+		fmt.Fprintf(w, "| %s | %s | %s | %s | %s | %s | %s | %s | %s |\n",
+			r.Name,
+			wallCell(r.Old), wallCell(r.New), deltaCell(r.Old != nil && r.New != nil && r.Old.WallUs > 0, r.WallDelta),
+			rateCell(r.Old), rateCell(r.New), deltaCell(r.Old != nil && r.New != nil && r.Old.RecordsPerSec > 0, r.ThroughputDelta),
+			topPhaseCell(r.New), statusCell(r))
+	}
+	fmt.Fprintln(w)
+	if regs := c.Regressions(); len(regs) > 0 {
+		names := make([]string, len(regs))
+		for i, r := range regs {
+			names[i] = r.Name
+		}
+		fmt.Fprintf(w, "**REGRESSION** in %d workload(s): %s\n", len(regs), strings.Join(names, ", "))
+	} else {
+		fmt.Fprintln(w, "No regressions beyond the noise threshold.")
+	}
+	return nil
+}
+
+func recordLabel(r *Record) string {
+	if r.ID != "" {
+		return r.ID
+	}
+	if r.Env.GitCommit != "" {
+		return r.Env.GitCommit
+	}
+	return "(unsaved)"
+}
+
+func wallCell(w *WorkloadResult) string {
+	if w == nil {
+		return "—"
+	}
+	return fmt.Sprintf("%.1fms", w.WallMs())
+}
+
+func rateCell(w *WorkloadResult) string {
+	if w == nil {
+		return "—"
+	}
+	return fmt.Sprintf("%.0f", w.RecordsPerSec)
+}
+
+func deltaCell(ok bool, delta float64) string {
+	if !ok {
+		return "—"
+	}
+	return fmt.Sprintf("%+.1f%%", delta*100)
+}
+
+func topPhaseCell(w *WorkloadResult) string {
+	if w == nil {
+		return "—"
+	}
+	top := w.TopPhase()
+	if top.Phase == "" {
+		return "—"
+	}
+	return fmt.Sprintf("%s %.0f%%", top.Phase, top.Pct)
+}
+
+func statusCell(r CompareRow) string {
+	switch {
+	case r.Regressed:
+		return "**REGRESSED**"
+	case r.Note != "":
+		return r.Note
+	default:
+		return "ok"
+	}
+}

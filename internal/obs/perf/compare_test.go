@@ -1,0 +1,150 @@
+package perf
+
+import (
+	"strings"
+	"testing"
+)
+
+func twoRecords() (*Record, *Record) {
+	old := &Record{
+		Schema: SchemaVersion, ID: "BENCH_0001", Scale: 64, Seed: 1,
+		Workloads: []WorkloadResult{
+			{Name: "sampling", WallUs: 100_000, Records: 1000, RecordsPerSec: 10_000},
+			{Name: "kmeans-iter", WallUs: 200_000, Records: 1000, RecordsPerSec: 5_000,
+				Phases: []Phase{{Phase: "shuffle", DurUs: 150_000, Pct: 75}}},
+			{Name: "gone", WallUs: 50_000, Records: 10, RecordsPerSec: 200},
+		},
+	}
+	new := &Record{
+		Schema: SchemaVersion, ID: "BENCH_0002", Scale: 64, Seed: 1,
+		Workloads: []WorkloadResult{
+			{Name: "sampling", WallUs: 110_000, Records: 1000, RecordsPerSec: 9_090,
+				Phases: []Phase{{Phase: "map", DurUs: 80_000, Pct: 73}}},
+			{Name: "kmeans-iter", WallUs: 500_000, Records: 1000, RecordsPerSec: 2_000,
+				Phases: []Phase{{Phase: "shuffle", DurUs: 400_000, Pct: 80}}},
+			{Name: "fresh", WallUs: 1_000, Records: 5, RecordsPerSec: 5_000},
+		},
+	}
+	return old, new
+}
+
+func TestCompareFlagsRegression(t *testing.T) {
+	old, new := twoRecords()
+	cmp := Compare(old, new, CompareOptions{})
+	if cmp.Threshold != DefaultThreshold || cmp.SlackUs != DefaultSlackUs {
+		t.Fatalf("defaults not applied: %+v", cmp)
+	}
+	byName := map[string]CompareRow{}
+	for _, r := range cmp.Rows {
+		byName[r.Name] = r
+	}
+	// 10% slower is inside the 40% threshold.
+	if r := byName["sampling"]; r.Regressed || r.WallDelta < 0.09 || r.WallDelta > 0.11 {
+		t.Fatalf("sampling row wrong: %+v", r)
+	}
+	// 2.5x slower is a regression.
+	if r := byName["kmeans-iter"]; !r.Regressed {
+		t.Fatalf("kmeans-iter not flagged: %+v", r)
+	}
+	if r := byName["gone"]; r.Note != "removed" || r.Regressed {
+		t.Fatalf("removed row wrong: %+v", r)
+	}
+	if r := byName["fresh"]; r.Note != "added" || r.Regressed {
+		t.Fatalf("added row wrong: %+v", r)
+	}
+	if regs := cmp.Regressions(); len(regs) != 1 || regs[0].Name != "kmeans-iter" {
+		t.Fatalf("Regressions() = %+v", regs)
+	}
+}
+
+func TestCompareSelfIsQuiet(t *testing.T) {
+	old, _ := twoRecords()
+	if regs := Compare(old, old, CompareOptions{}).Regressions(); len(regs) != 0 {
+		t.Fatalf("self-compare regressed: %+v", regs)
+	}
+}
+
+func TestCompareSlackAbsorbsTinyWalls(t *testing.T) {
+	old := &Record{Schema: SchemaVersion, Scale: 64, Seed: 1,
+		Workloads: []WorkloadResult{{Name: "tiny", WallUs: 200, RecordsPerSec: 1e6}}}
+	new := &Record{Schema: SchemaVersion, Scale: 64, Seed: 1,
+		Workloads: []WorkloadResult{{Name: "tiny", WallUs: 4_000, RecordsPerSec: 5e4}}}
+	// 20x slower, but still under the 5ms absolute slack: noise, not signal.
+	if regs := Compare(old, new, CompareOptions{}).Regressions(); len(regs) != 0 {
+		t.Fatalf("slack did not absorb micro-wall jitter: %+v", regs)
+	}
+	// With slack disabled to 1us, the same delta is a regression.
+	if regs := Compare(old, new, CompareOptions{SlackUs: 1}).Regressions(); len(regs) != 1 {
+		t.Fatalf("regression not flagged without slack: %+v", regs)
+	}
+}
+
+func TestCompareCrossScaleUsesThroughput(t *testing.T) {
+	old := &Record{Schema: SchemaVersion, Scale: 64, Seed: 1,
+		Workloads: []WorkloadResult{
+			{Name: "a", WallUs: 400_000, Records: 32_000, RecordsPerSec: 80_000},
+			{Name: "b", WallUs: 400_000, Records: 32_000, RecordsPerSec: 80_000},
+		}}
+	new := &Record{Schema: SchemaVersion, Scale: 256, Seed: 1,
+		Workloads: []WorkloadResult{
+			// Wall is 4x smaller because the corpus is 4x smaller;
+			// throughput holds, so no regression.
+			{Name: "a", WallUs: 100_000, Records: 8_000, RecordsPerSec: 80_000},
+			// Throughput collapsed 60%: regression even though wall shrank.
+			{Name: "b", WallUs: 260_000, Records: 8_000, RecordsPerSec: 30_769},
+		}}
+	cmp := Compare(old, new, CompareOptions{})
+	regs := cmp.Regressions()
+	if len(regs) != 1 || regs[0].Name != "b" {
+		t.Fatalf("cross-scale compare wrong: %+v", regs)
+	}
+	for _, r := range cmp.Rows {
+		if r.SameScale {
+			t.Fatalf("row %s marked SameScale across scales", r.Name)
+		}
+		if !strings.Contains(r.Note, "throughput") {
+			t.Fatalf("row %s missing throughput note: %+v", r.Name, r)
+		}
+	}
+}
+
+func TestWriteMarkdown(t *testing.T) {
+	old, new := twoRecords()
+	var sb strings.Builder
+	if err := Compare(old, new, CompareOptions{}).WriteMarkdown(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"BENCH_0001 → BENCH_0002",
+		"threshold 40%",
+		"| workload | old wall | new wall |",
+		"| sampling | 100.0ms | 110.0ms | +10.0% |",
+		"**REGRESSED**",
+		"shuffle 80%",
+		"**REGRESSION** in 1 workload(s): kmeans-iter",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+
+	sb.Reset()
+	if err := Compare(old, old, CompareOptions{}).WriteMarkdown(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "No regressions beyond the noise threshold.") {
+		t.Errorf("quiet compare missing all-clear line:\n%s", sb.String())
+	}
+
+	// Cross-scale compares must announce the throughput basis.
+	crossOld := &Record{Schema: SchemaVersion, Scale: 64, Seed: 1}
+	crossNew := &Record{Schema: SchemaVersion, Scale: 256, Seed: 1}
+	sb.Reset()
+	if err := Compare(crossOld, crossNew, CompareOptions{}).WriteMarkdown(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Scales differ") {
+		t.Errorf("cross-scale markdown missing basis note:\n%s", sb.String())
+	}
+}

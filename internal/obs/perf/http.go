@@ -1,0 +1,32 @@
+package perf
+
+import (
+	"net/http"
+	"os"
+)
+
+// Handler serves the latest BENCH_*.json record from dir at its mount
+// point — wired into the status server as /perf so a deployed cluster
+// exposes the trajectory point it was built from. Responds 404 when
+// the directory holds no records yet.
+func Handler(dir string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		latest, err := LatestPath(dir)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		if latest == "" {
+			http.Error(w, "no BENCH_*.json records", http.StatusNotFound)
+			return
+		}
+		data, err := os.ReadFile(latest)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Perf-Record", latest)
+		w.Write(data)
+	})
+}

@@ -1,0 +1,248 @@
+// Package perf is the performance-trajectory harness: it executes a
+// pinned registry of named, seeded workloads (the paper's sampling,
+// k-means, DJ-Cluster preprocessing and R-tree pipelines plus the MMC
+// attack and a shuffle micro-benchmark) and captures, per workload,
+// machine-readable measurements — wall time, record/byte throughput,
+// alloc and GC deltas from runtime.MemStats, the engine's job counters
+// (shuffle spill/merge volume, DFS I/O), and a per-phase wall
+// attribution reconstructed with the internal/obs/trace critical-path
+// analyzer. Records serialize to schema-versioned BENCH_<NNNN>.json
+// files at the repo root, so every PR can append one point to the
+// trajectory and `benchtab perf -compare` can diff two points with a
+// noise threshold instead of eyeballing table wall-clocks.
+//
+// The paper's argument is exactly this kind of table (sampling §V,
+// k-means Table III, DJ-Cluster §VII, R-tree Fig. 6); the harness
+// makes the reproduction's own performance story durable and
+// diffable rather than anecdotal.
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// SchemaVersion identifies the record layout. Bump it on any
+// incompatible change to Record; Compare refuses to diff records of
+// different schema versions.
+const SchemaVersion = 1
+
+// Record is one point on the performance trajectory: a full suite run
+// at one scale on one machine.
+type Record struct {
+	// Schema is the record layout version (SchemaVersion at write time).
+	Schema int `json:"schema"`
+	// ID is the record's file stem ("BENCH_0006"), assigned when the
+	// record is written to an auto-numbered path.
+	ID string `json:"id,omitempty"`
+	// CreatedUnixMs is the suite start time.
+	CreatedUnixMs int64 `json:"created_unix_ms"`
+	// Scale is the corpus shrink factor the suite ran at (benchtab
+	// convention: scale 1 is the paper's full 2.03M-trace corpus).
+	Scale int `json:"scale"`
+	// Seed is the master seed every workload derives from.
+	Seed int64 `json:"seed"`
+	// Env describes the machine and toolchain the suite ran on.
+	Env Environment `json:"env"`
+	// SuiteWallMs is the wall time of the whole suite, setup included.
+	SuiteWallMs float64 `json:"suite_wall_ms"`
+	// Workloads are the per-workload measurements, registry order.
+	Workloads []WorkloadResult `json:"workloads"`
+}
+
+// Environment pins the context a record was measured in, so a compare
+// across machines can be discounted appropriately.
+type Environment struct {
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	// GitCommit is the repo HEAD at measurement time ("" when the
+	// working directory is not a git checkout).
+	GitCommit string `json:"git_commit,omitempty"`
+}
+
+// CaptureEnv snapshots the current process environment. dir is where
+// to resolve the git commit from ("." for the working directory).
+func CaptureEnv(dir string) Environment {
+	env := Environment{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+	}
+	out, err := exec.Command("git", "-C", dir, "rev-parse", "--short", "HEAD").Output()
+	if err == nil {
+		env.GitCommit = strings.TrimSpace(string(out))
+	}
+	return env
+}
+
+// WorkloadResult is one workload's measurement inside a record.
+type WorkloadResult struct {
+	// Name is the pinned registry name ("kmeans-iter").
+	Name string `json:"name"`
+	// Desc is the human summary carried for readers of the raw JSON.
+	Desc string `json:"desc,omitempty"`
+	// WallUs is the measured-section wall time in microseconds (setup
+	// — cluster deployment, corpus upload — is excluded).
+	WallUs int64 `json:"wall_us"`
+	// Records and Bytes are the logical volume the measured section
+	// processed; RecordsPerSec is the derived throughput.
+	Records       int64   `json:"records"`
+	Bytes         int64   `json:"bytes,omitempty"`
+	RecordsPerSec float64 `json:"records_per_sec"`
+	// AllocBytes/Mallocs/GCRuns/GCPauseNs are runtime.MemStats deltas
+	// across the measured section (TotalAlloc, Mallocs, NumGC,
+	// PauseTotalNs).
+	AllocBytes int64 `json:"alloc_bytes"`
+	Mallocs    int64 `json:"mallocs"`
+	GCRuns     int64 `json:"gc_runs"`
+	GCPauseNs  int64 `json:"gc_pause_ns"`
+	// Counters are the engine job counters summed over every job the
+	// measured section ran, flattened as "group.name" — including
+	// shuffle.shuffle_spilled_records, shuffle.shuffle_runs_merged and
+	// the dfs.* I/O attribution.
+	Counters map[string]int64 `json:"counters,omitempty"`
+	// Phases attributes the measured wall per phase. For MapReduce
+	// workloads it is reconstructed from the critical-path analyzer
+	// (map/shuffle/reduce/driver); sequential workloads report their
+	// stopwatch-tiled stages. Durations sum to WallUs within the
+	// analyzer's 5% invariant, so a regression names its phase.
+	Phases []Phase `json:"phases,omitempty"`
+}
+
+// Phase is one slice of a workload's wall-clock attribution.
+type Phase struct {
+	// Phase names the slice ("map", "shuffle", "reduce", "driver", or
+	// a workload-defined stage like "link").
+	Phase string `json:"phase"`
+	// DurUs is the attributed wall time in microseconds.
+	DurUs int64 `json:"dur_us"`
+	// Pct is DurUs as a percentage of the workload wall.
+	Pct float64 `json:"pct"`
+}
+
+// Workload returns the named workload result, or nil.
+func (r *Record) Workload(name string) *WorkloadResult {
+	for i := range r.Workloads {
+		if r.Workloads[i].Name == name {
+			return &r.Workloads[i]
+		}
+	}
+	return nil
+}
+
+// WallMs returns the workload wall in milliseconds.
+func (w *WorkloadResult) WallMs() float64 { return float64(w.WallUs) / 1e3 }
+
+// TopPhase returns the phase holding the largest share of the wall.
+func (w *WorkloadResult) TopPhase() Phase {
+	var top Phase
+	for _, p := range w.Phases {
+		if p.DurUs > top.DurUs {
+			top = p
+		}
+	}
+	return top
+}
+
+// benchFileRe pins the trajectory file naming: BENCH_0006.json.
+var benchFileRe = regexp.MustCompile(`^BENCH_(\d{4})\.json$`)
+
+// Seq extracts the sequence number from a BENCH_<NNNN>.json base name,
+// or -1 when the name is not a trajectory record.
+func Seq(name string) int {
+	m := benchFileRe.FindStringSubmatch(filepath.Base(name))
+	if m == nil {
+		return -1
+	}
+	var n int
+	fmt.Sscanf(m[1], "%d", &n)
+	return n
+}
+
+// LatestPath returns the highest-numbered BENCH_*.json in dir ("" when
+// the directory holds none).
+func LatestPath(dir string) (string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", err
+	}
+	best, bestSeq := "", -1
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if s := Seq(e.Name()); s > bestSeq {
+			bestSeq = s
+			best = filepath.Join(dir, e.Name())
+		}
+	}
+	return best, nil
+}
+
+// NextPath returns the next free auto-numbered record path in dir
+// (BENCH_0001.json when dir holds no records yet).
+func NextPath(dir string) (string, error) {
+	latest, err := LatestPath(dir)
+	if err != nil {
+		return "", err
+	}
+	next := 1
+	if latest != "" {
+		next = Seq(latest) + 1
+	}
+	return filepath.Join(dir, fmt.Sprintf("BENCH_%04d.json", next)), nil
+}
+
+// WriteRecord writes the record as indented JSON. When path matches
+// the BENCH_<NNNN>.json convention the record's ID is set to the file
+// stem first.
+func WriteRecord(path string, r *Record) error {
+	if Seq(path) >= 0 {
+		base := filepath.Base(path)
+		r.ID = strings.TrimSuffix(base, filepath.Ext(base))
+	}
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("perf: encode record: %v", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadRecord loads a record, rejecting unknown schema versions.
+func ReadRecord(path string) (*Record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Record
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("perf: %s: %v", path, err)
+	}
+	if r.Schema != SchemaVersion {
+		return nil, fmt.Errorf("perf: %s: schema %d, this build reads %d", path, r.Schema, SchemaVersion)
+	}
+	return &r, nil
+}
+
+// counterKeys returns the sorted keys of a counter map, for
+// deterministic rendering.
+func counterKeys(m map[string]int64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,154 @@
+package perf
+
+import (
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleRecord(scale int) *Record {
+	return &Record{
+		Schema: SchemaVersion,
+		Scale:  scale,
+		Seed:   1,
+		Env:    Environment{GoVersion: "go1.22", GOMAXPROCS: 4, NumCPU: 4, GOOS: "linux", GOARCH: "amd64"},
+		Workloads: []WorkloadResult{
+			{
+				Name: "sampling", WallUs: 100_000, Records: 1000, RecordsPerSec: 10_000,
+				Counters: map[string]int64{"shuffle.shuffle_bytes": 42},
+				Phases:   []Phase{{Phase: "map", DurUs: 60_000, Pct: 60}, {Phase: "reduce", DurUs: 40_000, Pct: 40}},
+			},
+			{Name: "kmeans-iter", WallUs: 200_000, Records: 1000, RecordsPerSec: 5_000},
+		},
+	}
+}
+
+func TestSeq(t *testing.T) {
+	cases := map[string]int{
+		"BENCH_0006.json":          6,
+		"/repo/BENCH_0123.json":    123,
+		"BENCH_6.json":             -1,
+		"BENCH_0006.json.bak":      -1,
+		"NOTBENCH_0006.json":       -1,
+		"bench_0006.json":          -1,
+		"BENCH_0000.json":          0,
+		"subdir/BENCH_9999.json":   9999,
+		"BENCH_00067.json":         -1,
+		"BENCH_0006.json/anything": -1,
+	}
+	for name, want := range cases {
+		if got := Seq(name); got != want {
+			t.Errorf("Seq(%q) = %d, want %d", name, got, want)
+		}
+	}
+}
+
+func TestPathsAndRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+
+	latest, err := LatestPath(dir)
+	if err != nil || latest != "" {
+		t.Fatalf("LatestPath(empty) = %q, %v; want \"\", nil", latest, err)
+	}
+	next, err := NextPath(dir)
+	if err != nil || filepath.Base(next) != "BENCH_0001.json" {
+		t.Fatalf("NextPath(empty) = %q, %v; want BENCH_0001.json", next, err)
+	}
+
+	rec := sampleRecord(64)
+	p6 := filepath.Join(dir, "BENCH_0006.json")
+	if err := WriteRecord(p6, rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.ID != "BENCH_0006" {
+		t.Fatalf("WriteRecord assigned ID %q, want BENCH_0006", rec.ID)
+	}
+	// Decoys must not confuse the numbering.
+	os.WriteFile(filepath.Join(dir, "BENCH_0010.json.bak"), []byte("{}"), 0o644)
+	os.WriteFile(filepath.Join(dir, "readme.md"), []byte("x"), 0o644)
+
+	latest, err = LatestPath(dir)
+	if err != nil || latest != p6 {
+		t.Fatalf("LatestPath = %q, %v; want %q", latest, err, p6)
+	}
+	next, err = NextPath(dir)
+	if err != nil || filepath.Base(next) != "BENCH_0007.json" {
+		t.Fatalf("NextPath = %q, %v; want BENCH_0007.json", next, err)
+	}
+
+	got, err := ReadRecord(p6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != "BENCH_0006" || got.Scale != 64 || len(got.Workloads) != 2 {
+		t.Fatalf("round trip mangled record: %+v", got)
+	}
+	w := got.Workload("sampling")
+	if w == nil || w.Counters["shuffle.shuffle_bytes"] != 42 || len(w.Phases) != 2 {
+		t.Fatalf("round trip lost workload detail: %+v", w)
+	}
+	if got.Workload("nope") != nil {
+		t.Fatal("Workload(nope) should be nil")
+	}
+}
+
+func TestReadRecordRejectsSchemaMismatch(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "BENCH_0001.json")
+	rec := sampleRecord(64)
+	rec.Schema = SchemaVersion + 1
+	if err := WriteRecord(p, rec); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadRecord(p); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("ReadRecord accepted schema mismatch: %v", err)
+	}
+}
+
+func TestTopPhase(t *testing.T) {
+	w := &WorkloadResult{Phases: []Phase{
+		{Phase: "map", DurUs: 10},
+		{Phase: "shuffle", DurUs: 30, Pct: 50},
+		{Phase: "reduce", DurUs: 20},
+	}}
+	if top := w.TopPhase(); top.Phase != "shuffle" {
+		t.Fatalf("TopPhase = %+v, want shuffle", top)
+	}
+	if top := (&WorkloadResult{}).TopPhase(); top.Phase != "" {
+		t.Fatalf("TopPhase on empty = %+v", top)
+	}
+}
+
+func TestHandler(t *testing.T) {
+	dir := t.TempDir()
+	h := Handler(dir)
+
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/perf", nil))
+	if rr.Code != 404 {
+		t.Fatalf("empty dir: status %d, want 404", rr.Code)
+	}
+
+	if err := WriteRecord(filepath.Join(dir, "BENCH_0001.json"), sampleRecord(64)); err != nil {
+		t.Fatal(err)
+	}
+	newer := sampleRecord(32)
+	if err := WriteRecord(filepath.Join(dir, "BENCH_0002.json"), newer); err != nil {
+		t.Fatal(err)
+	}
+
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/perf", nil))
+	if rr.Code != 200 {
+		t.Fatalf("status %d, want 200", rr.Code)
+	}
+	if ct := rr.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type %q", ct)
+	}
+	body := rr.Body.String()
+	if !strings.Contains(body, `"id": "BENCH_0002"`) || !strings.Contains(body, `"scale": 32`) {
+		t.Fatalf("handler did not serve the latest record:\n%s", body)
+	}
+}

@@ -1,0 +1,232 @@
+package perf
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/mapreduce"
+	"repro/internal/obs"
+	obstrace "repro/internal/obs/trace"
+)
+
+// SuiteOptions configure one suite run.
+type SuiteOptions struct {
+	// Scale is the corpus shrink factor (default DefaultScale).
+	Scale int
+	// Seed is the master seed (default 1).
+	Seed int64
+	// Only, when non-empty, restricts the run to the named workloads
+	// (registry order is preserved; unknown names are an error).
+	Only []string
+	// Env overrides the environment block (zero value → CaptureEnv(".")).
+	Env Environment
+	// Logf receives progress lines ("running kmeans-iter..."); nil is
+	// silent.
+	Logf func(format string, args ...any)
+}
+
+// DefaultScale is the shrink factor records are published at: the
+// paper178 corpus divided by 64 (~32k traces), small enough that the
+// whole suite runs in seconds yet every job still spans multiple
+// chunks, tasks and reduce partitions.
+const DefaultScale = 64
+
+func (o SuiteOptions) withDefaults() SuiteOptions {
+	if o.Scale <= 0 {
+		o.Scale = DefaultScale
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Env == (Environment{}) {
+		o.Env = CaptureEnv(".")
+	}
+	return o
+}
+
+// RunSuite executes the pinned workload registry and returns the
+// trajectory record. Each workload runs with a fresh trace collector
+// on its own bus; its measured section is bracketed by a pipeline span
+// so the critical-path analyzer can attribute the wall per phase.
+func RunSuite(opts SuiteOptions) (*Record, error) {
+	opts = opts.withDefaults()
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	selected, err := selectWorkloads(opts.Only)
+	if err != nil {
+		return nil, err
+	}
+	rec := &Record{
+		Schema:        SchemaVersion,
+		CreatedUnixMs: time.Now().UnixMilli(),
+		Scale:         opts.Scale,
+		Seed:          opts.Seed,
+		Env:           opts.Env,
+	}
+	suiteStart := time.Now()
+	for _, w := range selected {
+		logf("running %s...", w.Name)
+		wr, err := runWorkload(w, opts)
+		if err != nil {
+			return nil, fmt.Errorf("perf: workload %s: %v", w.Name, err)
+		}
+		rec.Workloads = append(rec.Workloads, wr)
+	}
+	rec.SuiteWallMs = float64(time.Since(suiteStart).Microseconds()) / 1e3
+	return rec, nil
+}
+
+// selectWorkloads resolves the Only filter against the registry.
+func selectWorkloads(only []string) ([]Workload, error) {
+	all := Workloads()
+	if len(only) == 0 {
+		return all, nil
+	}
+	want := make(map[string]bool, len(only))
+	for _, n := range only {
+		want[n] = true
+	}
+	var out []Workload
+	for _, w := range all {
+		if want[w.Name] {
+			out = append(out, w)
+			delete(want, w.Name)
+		}
+	}
+	for n := range want {
+		return nil, fmt.Errorf("perf: unknown workload %q (have %v)", n, WorkloadNames())
+	}
+	return out, nil
+}
+
+// runWorkload measures one workload: fixture setup outside the clock,
+// then MemStats deltas, wall time and the span-bracketed trace around
+// the measured section.
+func runWorkload(w Workload, opts SuiteOptions) (WorkloadResult, error) {
+	collector := obstrace.NewCollector(nil, 4)
+	rc := &RunContext{
+		Scale: opts.Scale,
+		Seed:  opts.Seed,
+		Span:  "perf:" + w.Name,
+		Bus:   obs.NewBus(collector),
+	}
+	run, err := w.Setup(rc)
+	if err != nil {
+		return WorkloadResult{}, fmt.Errorf("setup: %v", err)
+	}
+
+	// Settle the heap so the MemStats delta belongs to the measured
+	// section, not to fixture garbage collected mid-run.
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+
+	rc.Bus.Emit(obs.Event{Type: obs.SpanStart, Span: rc.Span, Detail: w.Desc})
+	start := time.Now()
+	stats, runErr := run()
+	wall := time.Since(start)
+	end := obs.Event{Type: obs.SpanEnd, Span: rc.Span}
+	if runErr != nil {
+		end.Err = runErr.Error()
+	}
+	rc.Bus.Emit(end)
+	if runErr != nil {
+		return WorkloadResult{}, runErr
+	}
+	runtime.ReadMemStats(&after)
+
+	wr := WorkloadResult{
+		Name:       w.Name,
+		Desc:       w.Desc,
+		WallUs:     wall.Microseconds(),
+		Records:    stats.Records,
+		Bytes:      stats.Bytes,
+		AllocBytes: int64(after.TotalAlloc - before.TotalAlloc),
+		Mallocs:    int64(after.Mallocs - before.Mallocs),
+		GCRuns:     int64(after.NumGC - before.NumGC),
+		GCPauseNs:  int64(after.PauseTotalNs - before.PauseTotalNs),
+		Counters:   sumCounters(stats.Results),
+	}
+	if wall > 0 {
+		wr.RecordsPerSec = float64(stats.Records) / wall.Seconds()
+	}
+	wr.Phases = stats.Phases
+	if wr.Phases == nil {
+		wr.Phases = attributePhases(collector, rc.Span)
+	}
+	finishPhases(&wr)
+	return wr, nil
+}
+
+// sumCounters folds every job's counters into one flat "group.name"
+// map — the shuffle spill/merge counters and the per-job DFS I/O
+// attribution land here.
+func sumCounters(results []*mapreduce.Result) map[string]int64 {
+	if len(results) == 0 {
+		return nil
+	}
+	out := make(map[string]int64)
+	for _, res := range results {
+		if res == nil || res.Counters == nil {
+			continue
+		}
+		for group, names := range res.Counters.Snapshot() {
+			for name, v := range names {
+				out[group+"."+name] += v
+			}
+		}
+	}
+	return out
+}
+
+// attributePhases reconstructs the workload's per-phase wall from its
+// finished trace tree: the critical-path analyzer attributes each
+// job's wall exactly (map/shuffle/reduce/driver tiling the job), and
+// the gaps between sequential jobs — centroid updates, phase-3 R-tree
+// merging, split computation — are driver time. The returned slices
+// sum to the tree wall, which brackets the measured section.
+func attributePhases(collector *obstrace.Collector, span string) []Phase {
+	tree, ok := collector.Find(span)
+	if !ok {
+		return nil
+	}
+	analysis := obstrace.AnalyzeTree(tree, obstrace.Options{})
+	totals := make(map[string]int64)
+	var order []string
+	add := func(phase string, durUs int64) {
+		if _, seen := totals[phase]; !seen {
+			order = append(order, phase)
+		}
+		totals[phase] += durUs
+	}
+	var jobWallUs int64
+	for _, job := range analysis.Jobs {
+		jobWallUs += job.WallUs
+		for _, pc := range job.Phases {
+			add(pc.Phase, pc.DurUs)
+		}
+	}
+	// The workloads run their jobs sequentially, so the tree wall not
+	// covered by any job is driver time between jobs.
+	if gap := tree.WallUs() - jobWallUs; gap > 0 {
+		add("driver", gap)
+	}
+	phases := make([]Phase, 0, len(order))
+	for _, name := range order {
+		phases = append(phases, Phase{Phase: name, DurUs: totals[name]})
+	}
+	return phases
+}
+
+// finishPhases merges any duplicate "driver" entries to the end and
+// computes percentages against the recorded wall.
+func finishPhases(wr *WorkloadResult) {
+	for i := range wr.Phases {
+		if wr.WallUs > 0 {
+			wr.Phases[i].Pct = 100 * float64(wr.Phases[i].DurUs) / float64(wr.WallUs)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package perf
+
+import (
+	"math"
+	"testing"
+)
+
+// suiteOnce runs the full suite at a reduced scale once per test
+// binary; several tests inspect the same record.
+var suiteRecord *Record
+
+func runSuiteOnce(t *testing.T) *Record {
+	t.Helper()
+	if suiteRecord != nil {
+		return suiteRecord
+	}
+	rec, err := RunSuite(SuiteOptions{
+		Scale: 256, Seed: 1,
+		Env:  Environment{GoVersion: "test"},
+		Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	suiteRecord = rec
+	return rec
+}
+
+func TestRunSuiteCoversRegistry(t *testing.T) {
+	rec := runSuiteOnce(t)
+	names := WorkloadNames()
+	if len(rec.Workloads) != len(names) {
+		t.Fatalf("suite produced %d workloads, registry has %d", len(rec.Workloads), len(names))
+	}
+	for i, name := range names {
+		w := rec.Workloads[i]
+		if w.Name != name {
+			t.Errorf("workload %d = %q, want registry order %q", i, w.Name, name)
+		}
+		if w.WallUs <= 0 {
+			t.Errorf("%s: wall %dus, want > 0", name, w.WallUs)
+		}
+		if w.Records <= 0 {
+			t.Errorf("%s: records %d, want > 0", name, w.Records)
+		}
+		if w.RecordsPerSec <= 0 {
+			t.Errorf("%s: records/sec %f, want > 0", name, w.RecordsPerSec)
+		}
+		if w.AllocBytes <= 0 {
+			t.Errorf("%s: alloc delta %d, want > 0", name, w.AllocBytes)
+		}
+	}
+	if rec.Schema != SchemaVersion || rec.Scale != 256 || rec.Seed != 1 {
+		t.Fatalf("record header wrong: %+v", rec)
+	}
+	if rec.SuiteWallMs <= 0 {
+		t.Fatalf("suite wall %f", rec.SuiteWallMs)
+	}
+}
+
+// TestPhaseAttributionSumsToWall pins the acceptance invariant: every
+// workload's phase attributions sum to within 5% of its recorded wall,
+// whether they came from the critical-path analyzer or a stopwatch.
+func TestPhaseAttributionSumsToWall(t *testing.T) {
+	rec := runSuiteOnce(t)
+	for _, w := range rec.Workloads {
+		if len(w.Phases) == 0 {
+			t.Errorf("%s: no phase attribution", w.Name)
+			continue
+		}
+		var sum int64
+		var pctSum float64
+		for _, p := range w.Phases {
+			if p.DurUs < 0 {
+				t.Errorf("%s: phase %s has negative duration %d", w.Name, p.Phase, p.DurUs)
+			}
+			sum += p.DurUs
+			pctSum += p.Pct
+		}
+		if diff := math.Abs(float64(sum-w.WallUs)) / float64(w.WallUs); diff > 0.05 {
+			t.Errorf("%s: phases sum to %dus vs wall %dus (%.1f%% off, limit 5%%)",
+				w.Name, sum, w.WallUs, diff*100)
+		}
+		if math.Abs(pctSum-100) > 5 {
+			t.Errorf("%s: phase percentages sum to %.1f, want ~100", w.Name, pctSum)
+		}
+	}
+}
+
+// TestSuiteCounters checks the engine counters the issue names land in
+// the record: shuffle spill/merge activity and DFS I/O.
+func TestSuiteCounters(t *testing.T) {
+	rec := runSuiteOnce(t)
+	for _, name := range []string{"sampling", "kmeans-iter", "djcluster-preprocess", "rtree-build"} {
+		w := rec.Workload(name)
+		if w == nil {
+			t.Fatalf("workload %s missing", name)
+		}
+		if w.Counters["dfs.dfs_bytes_read"] <= 0 {
+			t.Errorf("%s: dfs.dfs_bytes_read = %d, want > 0 (have %v)",
+				name, w.Counters["dfs.dfs_bytes_read"], counterKeys(w.Counters))
+		}
+		if w.Counters["task.map_input_records"] <= 0 {
+			t.Errorf("%s: task.map_input_records = %d, want > 0", name, w.Counters["task.map_input_records"])
+		}
+	}
+	with := rec.Workload("kmeans-iter")
+	without := rec.Workload("kmeans-iter-nocombiner")
+	const spilled = "shuffle.shuffle_spilled_records"
+	if with.Counters[spilled] <= 0 || without.Counters[spilled] <= 0 {
+		t.Fatalf("spill counters missing: with=%d without=%d", with.Counters[spilled], without.Counters[spilled])
+	}
+	// The combiner ablation is the whole point of the paired workloads:
+	// without a combiner every map output record crosses the shuffle.
+	if without.Counters[spilled] <= with.Counters[spilled] {
+		t.Errorf("combiner ablation invisible in spill counter: with=%d without=%d",
+			with.Counters[spilled], without.Counters[spilled])
+	}
+}
+
+// TestSuiteSelfCompare mirrors the acceptance criterion: a suite
+// record compared against a record of the same code at the same scale
+// passes within the default noise threshold. Comparing the record to
+// itself makes that deterministic in a unit test; the CI smoke step
+// does the two-real-runs version.
+func TestSuiteSelfCompare(t *testing.T) {
+	rec := runSuiteOnce(t)
+	cmp := Compare(rec, rec, CompareOptions{})
+	if regs := cmp.Regressions(); len(regs) != 0 {
+		t.Fatalf("self-compare flagged regressions: %+v", regs)
+	}
+}
+
+func TestRunSuiteOnlyFilter(t *testing.T) {
+	rec, err := RunSuite(SuiteOptions{
+		Scale: 2048, Seed: 1,
+		Only: []string{"shuffle-merge", "mmc-attack"},
+		Env:  Environment{GoVersion: "test"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Workloads) != 2 || rec.Workloads[0].Name != "mmc-attack" || rec.Workloads[1].Name != "shuffle-merge" {
+		t.Fatalf("Only filter broke registry order: %+v", rec.Workloads)
+	}
+	if _, err := RunSuite(SuiteOptions{Only: []string{"nope"}, Env: Environment{GoVersion: "test"}}); err == nil {
+		t.Fatal("unknown workload name accepted")
+	}
+}

@@ -1,0 +1,388 @@
+package perf
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/geolife"
+	"repro/internal/gepeto"
+	"repro/internal/mapreduce"
+	"repro/internal/obs"
+	"repro/internal/privacy"
+	"repro/internal/recordio"
+	"repro/internal/trace"
+)
+
+// RunContext is what a workload sees: the suite scale and seed, the
+// observability bus every engine must be built on (the runner attaches
+// the trace collector to it), and the pipeline span ID bracketing the
+// measured section — jobs run inside the measured section must set
+// Parent to it so their causal trace lands in the workload's tree and
+// the critical-path analyzer can attribute the wall per phase.
+type RunContext struct {
+	// Scale is the corpus shrink factor (benchtab convention).
+	Scale int
+	// Seed is the master seed; workloads must derive all randomness
+	// from it so two runs at the same (scale, seed) are comparable.
+	Seed int64
+	// Span is the measured-section span ID ("perf:<workload>").
+	Span string
+	// Bus carries lifecycle events into the runner's trace collector.
+	Bus *obs.Bus
+}
+
+// Stats is what a workload's measured section reports back.
+type Stats struct {
+	// Records and Bytes are the logical input volume processed.
+	Records int64
+	Bytes   int64
+	// Results are the MapReduce jobs the measured section ran; the
+	// runner folds their counters into the record.
+	Results []*mapreduce.Result
+	// Phases, when non-nil, is a manual stopwatch attribution tiling
+	// the measured wall (sequential workloads). Nil means "derive the
+	// attribution from the trace collector's critical-path analysis".
+	Phases []Phase
+}
+
+// RunFunc is a workload's measured section.
+type RunFunc func() (Stats, error)
+
+// Workload is one pinned suite entry. Setup builds the fixture —
+// cluster deployment, corpus generation, DFS upload — outside the
+// measured section and returns the section to measure.
+type Workload struct {
+	// Name is the stable registry name records and compares key on.
+	Name string
+	// Desc is a one-line human summary.
+	Desc string
+	// Setup prepares the fixture and returns the measured section.
+	Setup func(rc *RunContext) (RunFunc, error)
+}
+
+// Workloads returns the pinned suite, registry order. Names are part
+// of the record format: renaming one orphans its trajectory history.
+func Workloads() []Workload {
+	return []Workload{
+		{
+			Name:  "sampling",
+			Desc:  "§V down-sampling job, 1-min window, upper-limit technique",
+			Setup: setupSampling,
+		},
+		{
+			Name:  "kmeans-iter",
+			Desc:  "one §VI k-means iteration (k=11, squared Euclidean, combiner on)",
+			Setup: setupKMeans(true),
+		},
+		{
+			Name:  "kmeans-iter-nocombiner",
+			Desc:  "combiner ablation partner of kmeans-iter (every map record crosses the shuffle)",
+			Setup: setupKMeans(false),
+		},
+		{
+			Name:  "djcluster-preprocess",
+			Desc:  "Fig. 5 preprocessing pipeline: speed filter + dedup over the 1-min-sampled corpus",
+			Setup: setupPreprocess,
+		},
+		{
+			Name:  "rtree-build",
+			Desc:  "Fig. 6 three-phase MapReduce R-tree construction (z-order curve)",
+			Setup: setupRTree,
+		},
+		{
+			Name:  "mmc-attack",
+			Desc:  "§VIII MMC de-anonymization: build per-user models, link pseudonymous halves",
+			Setup: setupMMCAttack,
+		},
+		{
+			Name:  "shuffle-merge",
+			Desc:  "shuffle micro-bench: typed encode, spill sort, k-way merge, decode",
+			Setup: setupShuffleMerge,
+		},
+	}
+}
+
+// WorkloadNames lists the registry names, for -list and filters.
+func WorkloadNames() []string {
+	ws := Workloads()
+	names := make([]string, len(ws))
+	for i, w := range ws {
+		names[i] = w.Name
+	}
+	return names
+}
+
+// scaledChunk shrinks a full-scale chunk size by the suite scale,
+// keeping chunk counts (and so task counts) at their full-scale
+// values — the same convention cmd/benchtab uses.
+func scaledChunk(chunkMB int64, scale int) int64 {
+	chunk := chunkMB << 20 / int64(scale)
+	if chunk < 64<<10 {
+		chunk = 64 << 10
+	}
+	return chunk
+}
+
+// newToolkit deploys the paper's standard 7-node testbed on the
+// workload's bus so every engine event reaches the trace collector.
+func newToolkit(rc *RunContext, chunkMB int64) (*core.Toolkit, error) {
+	return core.NewToolkit(core.ClusterConfig{
+		Nodes: 7, Racks: 2, SlotsPerNode: 4,
+		ChunkSize: scaledChunk(chunkMB, rc.Scale),
+		Seed:      rc.Seed,
+		Obs:       rc.Bus,
+	})
+}
+
+// uploadCorpus generates the paper178-shaped corpus at the suite scale
+// and uploads it as two concatenated record files.
+func uploadCorpus(tk *core.Toolkit, rc *RunContext) (*trace.Dataset, error) {
+	ds := geolife.Generate(geolife.Scaled(rc.Seed, rc.Scale))
+	if err := geolife.WriteRecordsConcat(tk.FS(), "data", ds, 2); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}
+
+// dirBytes sums the stored size of a DFS directory.
+func dirBytes(tk *core.Toolkit, dir string) int64 {
+	var total int64
+	for _, f := range tk.FS().List(dir) {
+		if sz, err := tk.FS().Size(f); err == nil {
+			total += sz
+		}
+	}
+	return total
+}
+
+func setupSampling(rc *RunContext) (RunFunc, error) {
+	tk, err := newToolkit(rc, 64)
+	if err != nil {
+		return nil, err
+	}
+	ds, err := uploadCorpus(tk, rc)
+	if err != nil {
+		return nil, err
+	}
+	in := dirBytes(tk, "data")
+	return func() (Stats, error) {
+		job := gepeto.SamplingJob("perf-sampling", []string{"data"}, "out", time.Minute, gepeto.SampleUpperLimit)
+		job.Parent = rc.Span
+		res, err := tk.Engine().Run(job)
+		if err != nil {
+			return Stats{}, err
+		}
+		return Stats{
+			Records: int64(ds.NumTraces()),
+			Bytes:   in,
+			Results: []*mapreduce.Result{res},
+		}, nil
+	}, nil
+}
+
+func setupKMeans(useCombiner bool) func(rc *RunContext) (RunFunc, error) {
+	return func(rc *RunContext) (RunFunc, error) {
+		tk, err := newToolkit(rc, 64)
+		if err != nil {
+			return nil, err
+		}
+		ds, err := uploadCorpus(tk, rc)
+		if err != nil {
+			return nil, err
+		}
+		in := dirBytes(tk, "data")
+		return func() (Stats, error) {
+			res, err := gepeto.KMeansMR(tk.Engine(), []string{"data"}, "kmeans-work", gepeto.KMeansOptions{
+				K: 11, Distance: geo.MetricSquaredEuclidean, MaxIter: 1,
+				Seed: rc.Seed, UseCombiner: useCombiner, Parent: rc.Span,
+			})
+			if err != nil {
+				return Stats{}, err
+			}
+			return Stats{
+				Records: int64(ds.NumTraces()),
+				Bytes:   in,
+				Results: res.IterationResults,
+			}, nil
+		}, nil
+	}
+}
+
+func setupPreprocess(rc *RunContext) (RunFunc, error) {
+	tk, err := newToolkit(rc, 64)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := uploadCorpus(tk, rc); err != nil {
+		return nil, err
+	}
+	// Sampling is fixture, not the measured pipeline.
+	sres, err := tk.Sample("data", "sampled", time.Minute, gepeto.SampleUpperLimit)
+	if err != nil {
+		return nil, err
+	}
+	sampled := sres.Counters.Value(mapreduce.CounterGroupTask, mapreduce.CounterMapOutputRecords)
+	in := dirBytes(tk, "sampled")
+	return func() (Stats, error) {
+		speed := gepeto.SpeedFilterJob("perf-speed", []string{"sampled"}, "pre1", 2.0)
+		dedup := gepeto.DedupJob("perf-dedup", []string{"pre1"}, "pre2", 1.0)
+		speed.Parent, dedup.Parent = rc.Span, rc.Span
+		results, err := tk.Engine().RunPipeline(speed, dedup)
+		if err != nil {
+			return Stats{}, err
+		}
+		return Stats{Records: sampled, Bytes: in, Results: results}, nil
+	}, nil
+}
+
+func setupRTree(rc *RunContext) (RunFunc, error) {
+	tk, err := newToolkit(rc, 64)
+	if err != nil {
+		return nil, err
+	}
+	ds, err := uploadCorpus(tk, rc)
+	if err != nil {
+		return nil, err
+	}
+	in := dirBytes(tk, "data")
+	return func() (Stats, error) {
+		_, results, err := gepeto.BuildRTreeMR(tk.Engine(), []string{"data"}, "rtree-work", gepeto.RTreeBuildOptions{
+			Curve: "zorder", Seed: rc.Seed, Parent: rc.Span,
+		})
+		if err != nil {
+			return Stats{}, err
+		}
+		return Stats{Records: int64(ds.NumTraces()), Bytes: in, Results: results}, nil
+	}, nil
+}
+
+func setupMMCAttack(rc *RunContext) (RunFunc, error) {
+	ds, truth := geolife.GenerateWithTruth(geolife.Scaled(rc.Seed, rc.Scale))
+	users := len(ds.Trails)
+	if users > 8 {
+		users = 8
+	}
+	var records int64
+	for u := 0; u < users; u++ {
+		records += int64(len(ds.Trails[u].Traces))
+	}
+	return func() (Stats, error) {
+		start := time.Now()
+		var known, anon []*privacy.MMC
+		truthMap := map[string]string{}
+		for u := 0; u < users; u++ {
+			tr := &ds.Trails[u]
+			half := len(tr.Traces) / 2
+			k, err := privacy.BuildMMC(&trace.Trail{User: tr.User, Traces: tr.Traces[:half]}, truth.POIs(tr.User), 50)
+			if err != nil {
+				return Stats{}, err
+			}
+			a, err := privacy.BuildMMC(&trace.Trail{User: "anon-" + tr.User, Traces: tr.Traces[half:]}, truth.POIs(tr.User), 50)
+			if err != nil {
+				return Stats{}, err
+			}
+			known = append(known, k)
+			anon = append(anon, a)
+			truthMap[a.User] = tr.User
+		}
+		built := time.Now()
+		res := privacy.LinkByMMC(known, anon, truthMap)
+		if res.Total != users {
+			return Stats{}, fmt.Errorf("mmc-attack: linked %d of %d users", res.Total, users)
+		}
+		linked := time.Now()
+		return Stats{
+			Records: records,
+			Phases: []Phase{
+				{Phase: "build-models", DurUs: built.Sub(start).Microseconds()},
+				{Phase: "link", DurUs: linked.Sub(built).Microseconds()},
+			},
+		}, nil
+	}, nil
+}
+
+func setupShuffleMerge(rc *RunContext) (RunFunc, error) {
+	// Map output sized so the full-scale run shuffles ~2M records,
+	// shrinking with the suite scale like the corpus does.
+	const maps = 16
+	recs := 2_000_000 / rc.Scale / maps
+	if recs < 500 {
+		recs = 500
+	}
+	// Deterministic unsorted emission, keyed to collide across runs.
+	rng := newSplitMix(uint64(rc.Seed))
+	var kbuf, vbuf []byte
+	raw := make([][]mapreduce.KV, maps)
+	var bytes int64
+	for m := range raw {
+		run := make([]mapreduce.KV, 0, recs)
+		for r := 0; r < recs; r++ {
+			id := int64(rng.next() % 3000)
+			kbuf = (recordio.Int64{}).Append(kbuf[:0], id)
+			vbuf = (recordio.PointSumCodec{}).Append(vbuf[:0], recordio.PointSum{
+				LatSum: 39 + float64(rng.next()%1000)/1000,
+				LonSum: 116 + float64(rng.next()%1000)/1000,
+				N:      1,
+			})
+			kv := mapreduce.KV{Key: string(kbuf), Value: string(vbuf)}
+			bytes += int64(len(kv.Key) + len(kv.Value))
+			run = append(run, kv)
+		}
+		raw[m] = run
+	}
+	return func() (Stats, error) {
+		start := time.Now()
+		// Spill sort: each map task stable-sorts its run at commit.
+		runs := make([][]mapreduce.KV, maps)
+		for m := range raw {
+			run := append([]mapreduce.KV(nil), raw[m]...)
+			sort.SliceStable(run, func(i, j int) bool { return run[i].Key < run[j].Key })
+			runs[m] = run
+		}
+		sorted := time.Now()
+		merged := mapreduce.MergeRuns(runs)
+		if len(merged) != maps*recs {
+			return Stats{}, fmt.Errorf("shuffle-merge: merged %d records, want %d", len(merged), maps*recs)
+		}
+		mergedAt := time.Now()
+		// Decode every merged value, the reduce-side record lifecycle.
+		var sum float64
+		for _, kv := range merged {
+			ps, err := (recordio.PointSumCodec{}).Decode(kv.Value)
+			if err != nil {
+				return Stats{}, err
+			}
+			sum += ps.LatSum
+		}
+		if sum == 0 {
+			return Stats{}, fmt.Errorf("shuffle-merge: decode produced no data")
+		}
+		done := time.Now()
+		return Stats{
+			Records: int64(maps * recs),
+			Bytes:   bytes,
+			Phases: []Phase{
+				{Phase: "spill-sort", DurUs: sorted.Sub(start).Microseconds()},
+				{Phase: "merge", DurUs: mergedAt.Sub(sorted).Microseconds()},
+				{Phase: "decode", DurUs: done.Sub(mergedAt).Microseconds()},
+			},
+		}, nil
+	}, nil
+}
+
+// splitMix is a tiny deterministic PRNG (SplitMix64), so the shuffle
+// workload needs no math/rand state and stays identical across runs.
+type splitMix struct{ state uint64 }
+
+func newSplitMix(seed uint64) *splitMix { return &splitMix{state: seed + 0x9E3779B97F4A7C15} }
+
+func (s *splitMix) next() uint64 {
+	s.state += 0x9E3779B97F4A7C15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"runtime"
+	"runtime/metrics"
 	"sync"
 	"time"
 )
@@ -28,6 +29,14 @@ func StartRuntimeSampler(reg *Registry, interval time.Duration) (stop func()) {
 	nextGC := reg.Gauge("go_next_gc_bytes", "Heap size target of the next GC cycle.", nil)
 	gcRuns := reg.Gauge("go_gc_runs_total", "Completed GC cycles.", nil)
 	gcPause := reg.Gauge("go_gc_pause_total_ns", "Cumulative GC stop-the-world pause time.", nil)
+	// Monotonic counters, so a scraper can derive rates between two
+	// samples (allocation rate, CPU burn) instead of only seeing the
+	// instantaneous heap shape.
+	totalAlloc := reg.Gauge("go_total_alloc_bytes", "Cumulative bytes allocated on the heap (monotonic).", nil)
+	mallocs := reg.Gauge("go_mallocs_total", "Cumulative heap objects allocated (monotonic).", nil)
+	cpuUser := reg.Gauge("go_cpu_user_ns", "Cumulative CPU time spent running user Go code (monotonic).", nil)
+
+	cpuSample := []metrics.Sample{{Name: "/cpu/classes/user:cpu-seconds"}}
 
 	sample := func() {
 		var ms runtime.MemStats
@@ -38,6 +47,12 @@ func StartRuntimeSampler(reg *Registry, interval time.Duration) (stop func()) {
 		nextGC.Set(int64(ms.NextGC))
 		gcRuns.Set(int64(ms.NumGC))
 		gcPause.Set(int64(ms.PauseTotalNs))
+		totalAlloc.Set(int64(ms.TotalAlloc))
+		mallocs.Set(int64(ms.Mallocs))
+		metrics.Read(cpuSample)
+		if cpuSample[0].Value.Kind() == metrics.KindFloat64 {
+			cpuUser.Set(int64(cpuSample[0].Value.Float64() * 1e9))
+		}
 	}
 	sample()
 
