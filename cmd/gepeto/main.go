@@ -32,6 +32,7 @@ import (
 	"repro/internal/geo"
 	"repro/internal/geolife"
 	"repro/internal/gepeto"
+	"repro/internal/gepeto/synth"
 	"repro/internal/mapreduce"
 	"repro/internal/obs"
 	"repro/internal/obs/perf"
@@ -51,6 +52,8 @@ func main() {
 	switch cmd {
 	case "generate":
 		err = cmdGenerate(args)
+	case "synth":
+		err = cmdSynth(args)
 	case "sample":
 		err = cmdSample(args)
 	case "kmeans":
@@ -95,6 +98,8 @@ func usage() {
 
 commands:
   generate   synthesize a GeoLife-like dataset (+ ground-truth JSON)
+  synth      stream a million-user MMC-driven corpus into DFS, optionally
+             running k-means over it under a bounded shuffle budget
   sample     down-sample a dataset (map-only MapReduce job, paper §V)
   kmeans     MapReduced k-means clustering (paper §VI)
   djcluster  MapReduced DJ-Cluster density clustering (paper §VII)
@@ -150,6 +155,26 @@ var obsCfg struct {
 // and graceful shutdown on SIGINT. The returned closer tears all of it
 // down (always safe to call).
 func deployAndLoad(nodes, racks, slots int, chunkMB int64, inDir string) (*core.Toolkit, *trace.Dataset, func(), error) {
+	tk, closer, err := deploy(nodes, racks, slots, chunkMB)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	ds, err := geolife.ReadRecordsLocal(inDir)
+	if err != nil {
+		closer()
+		return nil, nil, nil, err
+	}
+	if err := tk.Upload(ds, "input"); err != nil {
+		closer()
+		return nil, nil, nil, err
+	}
+	return tk, ds, closer, nil
+}
+
+// deploy builds the simulated cluster and observability wiring without
+// loading any dataset — commands that generate their input directly in
+// DFS (gepeto synth) use it to skip the in-memory local load.
+func deploy(nodes, racks, slots int, chunkMB int64) (*core.Toolkit, func(), error) {
 	cfg := core.ClusterConfig{
 		Nodes: nodes, Racks: racks, SlotsPerNode: slots, ChunkSize: chunkMB << 20,
 		HistoryDir: obsCfg.historyDir,
@@ -169,13 +194,13 @@ func deployAndLoad(nodes, racks, slots int, chunkMB int64, inDir string) (*core.
 	}
 	tk, err := core.NewToolkit(cfg)
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, nil, err
 	}
 	closer := func() {}
 	if obsCfg.status != "" {
 		srv, err := obs.NewStatusServer(obsCfg.status, tracker, reg, tk.History())
 		if err != nil {
-			return nil, nil, nil, err
+			return nil, nil, err
 		}
 		srv.Extra = dfsGauges(tk)
 		src := obstrace.Multi(collector, store)
@@ -209,16 +234,7 @@ func deployAndLoad(nodes, racks, slots int, chunkMB int64, inDir string) (*core.
 			shutdown()
 		}
 	}
-	ds, err := geolife.ReadRecordsLocal(inDir)
-	if err != nil {
-		closer()
-		return nil, nil, nil, err
-	}
-	if err := tk.Upload(ds, "input"); err != nil {
-		closer()
-		return nil, nil, nil, err
-	}
-	return tk, ds, closer, nil
+	return tk, closer, nil
 }
 
 // dfsGauges appends the file system's storage and I/O state to each
@@ -291,6 +307,76 @@ func cmdGenerate(args []string) error {
 	}
 	fmt.Printf("generated %d traces for %d users into %s in %v\n",
 		ds.NumTraces(), len(ds.Trails), *out, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// cmdSynth is the memory-wall workflow: fit MMC templates on a GeoLife
+// sample, stream N synthetic users into DFS as RCIO blocks (no full
+// corpus in memory), and optionally run a k-means iteration over them
+// with a spill-forcing shuffle budget, printing the spill counters
+// that prove the external shuffle engaged.
+func cmdSynth(args []string) error {
+	fs := flag.NewFlagSet("synth", flag.ExitOnError)
+	users := fs.Int("users", 100_000, "synthetic users to generate")
+	perUser := fs.Int("per-user", 8, "traces per user")
+	seed := fs.Int64("seed", 1, "generator seed (equal seeds give equal bytes)")
+	templates := fs.Int("templates", 12, "GeoLife sample users the MMC templates are fitted on")
+	out := fs.String("out", "synth", "DFS directory for the generated RCIO block files")
+	run := fs.String("run", "", `optional pipeline over the corpus: "kmeans" (one iteration)`)
+	k := fs.Int("k", 11, "clusters for -run kmeans")
+	iters := fs.Int("maxiter", 1, "iterations for -run kmeans")
+	budgetMB := fs.Float64("shuffle-budget-mb", 0,
+		"MaxShuffleBytes per map task in MiB (0 = unbounded in-memory shuffle)")
+	compress := fs.Bool("compress-spill", true, "DEFLATE-compress spill run files")
+	combiner := fs.Bool("combiner", true, "enable the k-means combiner (applied in-spill too)")
+	nodes, racks, slots, chunkMB := clusterFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tk, closeObs, err := deploy(*nodes, *racks, *slots, *chunkMB)
+	if err != nil {
+		return err
+	}
+	defer closeObs()
+	stats, err := synth.ToDFS(tk.FS(), *out, synth.Options{
+		Users: *users, TracesPerUser: *perUser, Seed: *seed, TemplateUsers: *templates,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("synth: %d users, %d traces in %d RCIO files (%.1f MiB) — fit %v, generate %v\n",
+		stats.Users, stats.Traces, stats.Files, float64(stats.Bytes)/(1<<20),
+		stats.FitWall.Round(time.Millisecond), stats.GenWall.Round(time.Millisecond))
+	if *run == "" {
+		return nil
+	}
+	if *run != "kmeans" {
+		return fmt.Errorf("unknown -run pipeline %q", *run)
+	}
+	budget := int64(*budgetMB * (1 << 20))
+	res, err := tk.KMeans(*out, gepeto.KMeansOptions{
+		K: *k, MaxIter: *iters, UseCombiner: *combiner, Seed: *seed,
+		MaxShuffleBytes: budget, CompressSpill: *compress,
+	})
+	if err != nil {
+		return err
+	}
+	var total time.Duration
+	var spillFiles, spillBytes, spilled, shuffleBytes int64
+	for _, ir := range res.IterationResults {
+		total += ir.Wall
+		spillFiles += ir.Counters.Value(mapreduce.CounterGroupShuffle, mapreduce.CounterShuffleSpillFiles)
+		spillBytes += ir.Counters.Value(mapreduce.CounterGroupShuffle, mapreduce.CounterShuffleSpillBytes)
+		spilled += ir.Counters.Value(mapreduce.CounterGroupShuffle, mapreduce.CounterShuffleSpilledRecords)
+		shuffleBytes += ir.Counters.Value(mapreduce.CounterGroupShuffle, mapreduce.CounterShuffleBytes)
+	}
+	fmt.Printf("kmeans: %d iterations in %v (budget %g MiB/task)\n",
+		res.Iterations, total.Round(time.Millisecond), *budgetMB)
+	fmt.Printf("shuffle: %d records into runs, %d bytes; spill files %d, spill bytes on DFS %d\n",
+		spilled, shuffleBytes, spillFiles, spillBytes)
+	if budget > 0 && spillFiles == 0 {
+		fmt.Println("note: budget never tripped — no map task exceeded it")
+	}
 	return nil
 }
 

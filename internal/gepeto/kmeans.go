@@ -46,6 +46,13 @@ type KMeansOptions struct {
 	// Parent is the enclosing observability span, when the clustering
 	// runs inside a larger pipeline ("" for a standalone run).
 	Parent string
+	// MaxShuffleBytes bounds each map task's in-memory shuffle buffer;
+	// over budget, runs spill to DFS and reducers stream an external
+	// merge (see mapreduce.Job.MaxShuffleBytes). 0 keeps the
+	// all-in-memory shuffle.
+	MaxShuffleBytes int64
+	// CompressSpill DEFLATE-compresses spill run files.
+	CompressSpill bool
 }
 
 func (o KMeansOptions) withDefaults() KMeansOptions {
@@ -121,15 +128,17 @@ func KMeansMR(e *mapreduce.Engine, inputPaths []string, workDir string, opts KMe
 			Reducer: func() mapreduce.TypedReducer[int64, recordio.PointSum, int64, recordio.PointSum] {
 				return kmeansReducer{}
 			},
-			InputKey:    recordio.RawString{},
-			InputValue:  recordio.TraceValue{},
-			MapKey:      recordio.Int64{},
-			MapValue:    recordio.PointSumCodec{},
-			OutputKey:   recordio.Int64{},
-			OutputValue: recordio.PointSumCodec{},
-			NumReducers: reducersFor(e, opts.K),
-			Conf:        map[string]string{confKMeansDistance: opts.Distance.String()},
-			Cache:       map[string][]byte{cacheCentroids: marshalCentroids(centroids)},
+			InputKey:        recordio.RawString{},
+			InputValue:      recordio.TraceValue{},
+			MapKey:          recordio.Int64{},
+			MapValue:        recordio.PointSumCodec{},
+			OutputKey:       recordio.Int64{},
+			OutputValue:     recordio.PointSumCodec{},
+			NumReducers:     reducersFor(e, opts.K),
+			Conf:            map[string]string{confKMeansDistance: opts.Distance.String()},
+			Cache:           map[string][]byte{cacheCentroids: marshalCentroids(centroids)},
+			MaxShuffleBytes: opts.MaxShuffleBytes,
+			CompressSpill:   opts.CompressSpill,
 		}
 		if opts.UseCombiner {
 			tj.Combiner = func() mapreduce.TypedReducer[int64, recordio.PointSum, int64, recordio.PointSum] {

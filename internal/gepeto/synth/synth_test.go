@@ -1,0 +1,153 @@
+package synth
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/dfs"
+	"repro/internal/recordio"
+	"repro/internal/trace"
+)
+
+func newFS(t *testing.T) *dfs.FileSystem {
+	t.Helper()
+	c, err := cluster.NewUniform(4, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := dfs.New(c, dfs.Config{ChunkSize: 1 << 20, Replication: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+// corpusDigest generates a corpus and returns per-file content hashes
+// keyed by path, plus the run's stats.
+func corpusDigest(t *testing.T, opts Options) (map[string][32]byte, *Stats) {
+	t.Helper()
+	fs := newFS(t)
+	stats, err := ToDFS(fs, "synth", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	digests := map[string][32]byte{}
+	for _, path := range fs.List("synth") {
+		data, err := fs.ReadAll(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		digests[path] = sha256.Sum256(data)
+	}
+	return digests, stats
+}
+
+// TestGeneratorDeterministicAcrossRunsAndWorkers is the generator's
+// core contract: equal options give byte-identical corpora, and the
+// Workers knob (the GOMAXPROCS default) affects wall clock only.
+func TestGeneratorDeterministicAcrossRunsAndWorkers(t *testing.T) {
+	base := Options{Users: 600, TracesPerUser: 6, Seed: 42, TemplateUsers: 4, FileTraces: 512}
+	first, stats := corpusDigest(t, base)
+	if stats.Files < 2 {
+		t.Fatalf("fixture writes %d files; need several to exercise scheduling", stats.Files)
+	}
+	for _, workers := range []int{1, 3, 16} {
+		opts := base
+		opts.Workers = workers
+		got, gotStats := corpusDigest(t, opts)
+		if len(got) != len(first) {
+			t.Fatalf("workers=%d: %d files, want %d", workers, len(got), len(first))
+		}
+		for path, want := range first {
+			if got[path] != want {
+				t.Fatalf("workers=%d: %s differs from the single-options baseline", workers, path)
+			}
+		}
+		if gotStats.Traces != stats.Traces || gotStats.Bytes != stats.Bytes {
+			t.Fatalf("workers=%d: stats %+v, want %+v", workers, gotStats, stats)
+		}
+	}
+}
+
+// TestGeneratorSeedChangesBytes guards against the opposite failure:
+// a different seed must actually produce a different corpus.
+func TestGeneratorSeedChangesBytes(t *testing.T) {
+	a, _ := corpusDigest(t, Options{Users: 200, TracesPerUser: 6, Seed: 1, TemplateUsers: 4})
+	b, _ := corpusDigest(t, Options{Users: 200, TracesPerUser: 6, Seed: 2, TemplateUsers: 4})
+	same := true
+	for path, d := range a {
+		if b[path] != d {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 1 and 2 generated identical corpora")
+	}
+}
+
+// TestGeneratorCorpusShape decodes the corpus and checks the promised
+// shape: every user present, exactly TracesPerUser traces each, times
+// non-decreasing per user, all points within the Beijing box's
+// vicinity, and file count matching FileTraces batching.
+func TestGeneratorCorpusShape(t *testing.T) {
+	fs := newFS(t)
+	opts := Options{Users: 300, TracesPerUser: 7, Seed: 9, TemplateUsers: 4, FileTraces: 700}
+	stats, err := ToDFS(fs, "synth", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFiles := 3 // ceil(300 / (700/7 = 100 users per file))
+	if stats.Files != wantFiles || stats.Users != 300 {
+		t.Fatalf("stats = %+v, want %d files over 300 users", stats, wantFiles)
+	}
+	if stats.Traces != int64(opts.Users*opts.TracesPerUser) {
+		t.Fatalf("generated %d traces, want %d", stats.Traces, opts.Users*opts.TracesPerUser)
+	}
+	perUser := map[string][]trace.Trace{}
+	files := fs.List("synth")
+	sort.Strings(files)
+	if len(files) != wantFiles {
+		t.Fatalf("DFS holds %d files: %v", len(files), files)
+	}
+	for _, path := range files {
+		data, err := fs.ReadAll(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := recordio.ScanAll(data, func(key, value string) error {
+			tr, err := recordio.DecodeTraceValue(value)
+			if err != nil {
+				return err
+			}
+			perUser[tr.User] = append(perUser[tr.User], tr)
+			return nil
+		}); err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+	}
+	if len(perUser) != opts.Users {
+		t.Fatalf("corpus holds %d users, want %d", len(perUser), opts.Users)
+	}
+	for u := 0; u < opts.Users; u++ {
+		user := fmt.Sprintf("s%07d", u)
+		traces := perUser[user]
+		if len(traces) != opts.TracesPerUser {
+			t.Fatalf("user %s has %d traces, want %d", user, len(traces), opts.TracesPerUser)
+		}
+		var last time.Time
+		for i, tr := range traces {
+			if tr.Time.Before(last) {
+				t.Fatalf("user %s trace %d goes back in time", user, i)
+			}
+			last = tr.Time
+			if tr.Point.Lat < 38 || tr.Point.Lat > 42 || tr.Point.Lon < 114 || tr.Point.Lon > 119 {
+				t.Fatalf("user %s trace %d far outside Beijing: %+v", user, i, tr.Point)
+			}
+		}
+	}
+}

@@ -89,9 +89,12 @@ func (l *attemptLog) snapshot() []obs.AttemptRecord {
 	return append([]obs.AttemptRecord(nil), l.recs...)
 }
 
-// mapOutput is one map task's partitioned intermediate output.
+// mapOutput is one map task's partitioned intermediate output: per
+// partition either an in-memory sorted run, or — when the task spilled
+// under Job.MaxShuffleBytes — a list of file-backed sorted runs.
 type mapOutput struct {
-	parts [][]KV // indexed by reducer partition
+	parts    [][]KV       // indexed by reducer partition; nil entries when spilled
+	fileRuns [][]spillRun // per-partition spill runs, nil unless the task spilled
 }
 
 // Run executes one job to completion and returns its result.
@@ -136,12 +139,27 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 		Type: obs.JobSubmitted, Job: job.Name, Parent: job.Parent, Time: start,
 		Detail: fmt.Sprintf("maps=%d reducers=%d", len(splits), numReducers),
 	})
+	// cleanupSpills removes the job's external-shuffle run files at job
+	// end. Cleanup is best-effort — a stuck delete must not change the
+	// job's outcome — but failures are counted, never dropped.
+	// Background speculative reduce losers may still be streaming a
+	// spill file here; their read error is discarded with the rest of
+	// the losing attempt.
+	cleanupSpills := func() {
+		if job.MaxShuffleBytes <= 0 || mapOnly {
+			return
+		}
+		if derr := e.fs.DeleteDir(spillDir(job)); derr != nil {
+			res.Counters.Get(CounterGroupShuffle, CounterShuffleSpillCleanupErrors).Inc(1)
+		}
+	}
 	// fail reports the job's failure on the bus before returning it.
 	// Any part files already committed are removed first — the output-
 	// exists check at submission guarantees everything under OutputPath
 	// was written by this job, and leaving partial output behind would
 	// make a rerun of the same job fail on that very check.
 	fail := func(err error) (*Result, error) {
+		cleanupSpills()
 		if derr := e.fs.DeleteDir(job.OutputPath); derr != nil {
 			// A rerun would now trip the output-exists check; make the
 			// stuck cleanup part of the reported failure.
@@ -156,6 +174,7 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 	// complete finalises a successful result: attempt records, the
 	// job's share of DFS I/O, the finish event, and the history record.
 	complete := func() *Result {
+		cleanupSpills()
 		res.Wall = time.Since(start)
 		io1 := e.fs.IOStats()
 		res.Counters.Get(CounterGroupDFS, CounterDFSBytesRead).Inc(io1.BytesRead - io0.BytesRead)
@@ -194,18 +213,13 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 			JobName: job.Name, TaskID: taskID, Attempt: attempt, Node: node,
 			conf: job.Conf, cache: job.Cache, counters: res.Counters,
 		}
-		nParts := numReducers
-		if mapOnly {
-			nParts = 1
-		}
-		out := &mapOutput{parts: make([][]KV, nParts)}
-		emit := func(k, v string) {
-			p := 0
-			if !mapOnly {
-				p = partition(k, numReducers)
-			}
-			out.parts[p] = append(out.parts[p], KV{k, v})
-		}
+		// The spiller owns the partitioned output buffer: with
+		// MaxShuffleBytes unset it reduces to the legacy commit-time
+		// sort+combine (Hadoop's map-side spill sort — the shuffle then
+		// only merges pre-sorted runs and the reducers never re-sort);
+		// with a budget it additionally writes sorted+combined run
+		// files to DFS whenever the buffer trips the budget.
+		sp := newMapSpiller(e, job, ctx, taskID, attempt, node, mapOnly, numReducers, partition)
 		m := job.NewMapper()
 		if err := m.Setup(ctx); err != nil {
 			return nil, fmt.Errorf("%s setup: %v", taskID, err)
@@ -213,58 +227,33 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 		var records int64
 		err := readSplit(e.fs, splits[i], func(key, value string) error {
 			records++
-			return m.Map(ctx, key, value, emit)
+			return m.Map(ctx, key, value, sp.emit)
 		})
 		if err != nil {
 			return nil, fmt.Errorf("%s: %v", taskID, err)
 		}
-		if err := m.Cleanup(ctx, emit); err != nil {
+		if err := m.Cleanup(ctx, sp.emit); err != nil {
 			return nil, fmt.Errorf("%s cleanup: %v", taskID, err)
 		}
-		var outRecords int64
-		for _, p := range out.parts {
-			outRecords += int64(len(p))
-		}
-
-		// Map-side combine: the combiner sees the raw emission-order
-		// partition (sorted only to form its groups, as any reduce is).
-		var combineIn, combineOut int64
-		if job.NewCombiner != nil && !mapOnly {
-			for p := range out.parts {
-				sortRun(out.parts[p], job.KeyCompare)
-				combined, err := runReduce(ctx, job.NewCombiner(), &sliceIter{kvs: out.parts[p]}, nil, job.KeyCompare)
-				if err != nil {
-					return nil, fmt.Errorf("%s combiner: %v", taskID, err)
-				}
-				combineIn += int64(len(out.parts[p]))
-				combineOut += int64(len(combined))
-				out.parts[p] = combined
-			}
-		}
-		// Sort each partition at commit time (Hadoop's map-side spill
-		// sort): the shuffle then only merges pre-sorted runs and the
-		// reducers never re-sort. The cost lands here, inside the
-		// parallel map phase. With a combiner the partitions are
-		// already nearly sorted (combine emits in group order), so the
-		// stable sort is close to a verification pass.
-		var spilled int64
-		if !mapOnly {
-			for p := range out.parts {
-				sortRun(out.parts[p], job.KeyCompare)
-				spilled += int64(len(out.parts[p]))
-			}
+		out, err := sp.finish()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", taskID, err)
 		}
 		// Only the winning attempt commits its output and counters
 		// (speculative losers are discarded).
 		commit := func() {
 			ctx.Counter(CounterGroupTask, CounterMapInputRecords).Inc(records)
-			ctx.Counter(CounterGroupTask, CounterMapOutputRecords).Inc(outRecords)
+			ctx.Counter(CounterGroupTask, CounterMapOutputRecords).Inc(sp.added)
 			if job.NewCombiner != nil && !mapOnly {
-				ctx.Counter(CounterGroupTask, CounterCombineInput).Inc(combineIn)
-				ctx.Counter(CounterGroupTask, CounterCombineOutput).Inc(combineOut)
+				ctx.Counter(CounterGroupTask, CounterCombineInput).Inc(sp.combineIn)
+				ctx.Counter(CounterGroupTask, CounterCombineOutput).Inc(sp.combineOut)
 			}
 			if !mapOnly {
-				ctx.Counter(CounterGroupShuffle, CounterShuffleSpilledRecords).Inc(spilled)
+				ctx.Counter(CounterGroupShuffle, CounterShuffleSpilledRecords).Inc(sp.sorted)
+				if sp.files > 0 {
+					ctx.Counter(CounterGroupShuffle, CounterShuffleSpillFiles).Inc(sp.files)
+					ctx.Counter(CounterGroupShuffle, CounterShuffleSpillBytes).Inc(sp.fileBytes)
+				}
 			}
 			outputs[i] = out
 			reports[i].Records = records
@@ -302,21 +291,42 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 	// parallel across partitions bounded by the cluster's task slots.
 	shuffleStart := time.Now()
 	res.ReduceTasks = numReducers
-	runsPerPart := make([][][]KV, numReducers)
+	// Collect every map task's runs per partition, in (map task, spill
+	// sequence) order — the order the merges' tie-break relies on for
+	// stability. Map outputs are released as the shuffle takes
+	// ownership, so outputs and merged partitions are never both
+	// retained (peak shuffle memory used to be ~2× intermediate data).
+	sources := make([][]shuffleSource, numReducers)
+	external := make([]bool, numReducers)
 	var totalRuns int64
-	for _, out := range outputs {
-		for p := range out.parts {
+	for i, out := range outputs {
+		for p := 0; p < numReducers; p++ {
 			if len(out.parts[p]) > 0 {
-				runsPerPart[p] = append(runsPerPart[p], out.parts[p])
+				sources[p] = append(sources[p], shuffleSource{mem: out.parts[p]})
 				totalRuns++
 			}
+			if out.fileRuns != nil {
+				for _, fr := range out.fileRuns[p] {
+					sources[p] = append(sources[p], shuffleSource{file: fr})
+					external[p] = true
+					totalRuns++
+				}
+			}
 		}
+		outputs[i] = nil
 	}
 	bus.Emit(obs.Event{
 		Type: obs.PhaseStart, Job: job.Name, Phase: "shuffle", Time: shuffleStart,
 		Detail: fmt.Sprintf("partitions=%d runs=%d", numReducers, totalRuns),
 	})
+	// Partitions whose runs all sit in memory are merged eagerly as
+	// before, bounded by the cluster's task slots; partitions with any
+	// file-backed run defer their merge to the reduce attempts, which
+	// stream it (extPartition.iter) instead of materialising it.
 	reduceInputs := make([][]KV, numReducers)
+	extParts := make([]*extPartition, numReducers)
+	runCounts := make([]int64, numReducers)
+	recCounts := make([]int64, numReducers)
 	partBytes := make([]int64, numReducers)
 	partDur := make([]time.Duration, numReducers)
 	slots := e.cluster.TotalSlots()
@@ -326,20 +336,47 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 	sem := make(chan struct{}, slots)
 	var mergeWG sync.WaitGroup
 	for p := 0; p < numReducers; p++ {
+		runCounts[p] = int64(len(sources[p]))
+		if external[p] {
+			ext := &extPartition{sources: sources[p]}
+			for _, s := range sources[p] {
+				if s.file.path != "" {
+					ext.records += s.file.records
+					ext.bytes += s.file.bytes
+					continue
+				}
+				ext.records += int64(len(s.mem))
+				for _, kv := range s.mem {
+					ext.bytes += int64(len(kv.Key) + len(kv.Value))
+				}
+			}
+			extParts[p] = ext
+			recCounts[p] = ext.records
+			partBytes[p] = ext.bytes
+			continue
+		}
 		mergeWG.Add(1)
 		sem <- struct{}{}
 		go func(p int) {
 			defer mergeWG.Done()
 			defer func() { <-sem }()
 			mergeStart := time.Now()
-			merged := mergeRuns(runsPerPart[p], job.KeyCompare)
+			runs := make([][]KV, len(sources[p]))
+			for i, s := range sources[p] {
+				runs[i] = s.mem
+			}
+			merged := mergeRuns(runs, job.KeyCompare)
 			var b int64
 			for _, kv := range merged {
 				b += int64(len(kv.Key) + len(kv.Value))
 			}
 			reduceInputs[p] = merged
+			recCounts[p] = int64(len(merged))
 			partBytes[p] = b
 			partDur[p] = time.Since(mergeStart)
+			// Release the run slices: merged now holds (or, for a lone
+			// run, aliases) the partition's data.
+			sources[p] = nil
 		}(p)
 	}
 	mergeWG.Wait()
@@ -356,8 +393,8 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 		for p := 0; p < numReducers; p++ {
 			parts[p] = obs.PartStat{
 				Part:    p,
-				Runs:    int64(len(runsPerPart[p])),
-				Records: int64(len(reduceInputs[p])),
+				Runs:    runCounts[p],
+				Records: recCounts[p],
 				Bytes:   partBytes[p],
 				DurUs:   partDur[p].Microseconds(),
 			}
@@ -365,7 +402,7 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 	}
 	bus.Emit(obs.Event{
 		Type: obs.PhaseEnd, Job: job.Name, Phase: "shuffle", Dur: res.ShuffleWall,
-		Value: shuffleBytes, Detail: shuffleDetail(runsPerPart, reduceInputs, partBytes),
+		Value: shuffleBytes, Detail: shuffleDetail(runCounts, recCounts, partBytes),
 		Parts: parts,
 	})
 
@@ -389,21 +426,39 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 			JobName: job.Name, TaskID: taskID, Attempt: attempt, Node: node,
 			conf: job.Conf, cache: job.Cache, counters: res.Counters,
 		}
-		// The merged partition is consumed through a streaming group
-		// iterator; each attempt gets its own cursor over the shared
-		// read-only slice, so concurrent speculative attempts need no
-		// defensive copy and nobody re-sorts.
-		var groups int64
-		out, err := runReduce(ctx, job.NewReducer(), &sliceIter{kvs: reduceInputs[r]}, &groups, job.KeyCompare)
+		// The partition is consumed through a streaming group iterator;
+		// each attempt gets its own cursor — over the shared read-only
+		// merged slice, or, for an external partition, a fresh k-way
+		// merge with its own file cursors — so concurrent speculative
+		// attempts need no defensive copy and nobody re-sorts.
+		var groups, inRecords int64
+		var out []KV
+		var err error
+		if ext := extParts[r]; ext != nil {
+			it, ierr := ext.iter(e.fs, job.KeyCompare)
+			if ierr != nil {
+				return nil, fmt.Errorf("%s: %v", taskID, ierr)
+			}
+			out, err = runReduce(ctx, job.NewReducer(), it, &groups, job.KeyCompare)
+			if err == nil {
+				// The merge stream has no error channel; a spill-file
+				// read failure ends it early and surfaces here.
+				err = it.Err()
+			}
+			inRecords = ext.records
+		} else {
+			out, err = runReduce(ctx, job.NewReducer(), &sliceIter{kvs: reduceInputs[r]}, &groups, job.KeyCompare)
+			inRecords = int64(len(reduceInputs[r]))
+		}
 		if err != nil {
 			return nil, fmt.Errorf("%s: %v", taskID, err)
 		}
 		commit := func() {
-			ctx.Counter(CounterGroupTask, CounterReduceInputRecords).Inc(int64(len(reduceInputs[r])))
+			ctx.Counter(CounterGroupTask, CounterReduceInputRecords).Inc(inRecords)
 			ctx.Counter(CounterGroupTask, CounterReduceOutput).Inc(int64(len(out)))
 			ctx.Counter(CounterGroupTask, CounterReduceInputGroups).Inc(groups)
 			partFiles[r] = out
-			reduceReports[r].Records = int64(len(reduceInputs[r]))
+			reduceReports[r].Records = inRecords
 		}
 		return commit, nil
 	}, reduceReports)
@@ -465,18 +520,18 @@ func runReduce(ctx *TaskContext, red Reducer, it kvIter, groupCount *int64, cmp 
 // shuffleDetail renders the per-partition merge summary carried on the
 // shuffle PhaseEnd event: runs merged, records and bytes per reduce
 // partition, capped so huge reducer counts stay readable.
-func shuffleDetail(runs [][][]KV, merged [][]KV, bytes []int64) string {
+func shuffleDetail(runs, records, bytes []int64) string {
 	const maxParts = 16
 	var sb strings.Builder
-	for p := range merged {
+	for p := range records {
 		if p == maxParts {
-			fmt.Fprintf(&sb, " …(+%d partitions)", len(merged)-maxParts)
+			fmt.Fprintf(&sb, " …(+%d partitions)", len(records)-maxParts)
 			break
 		}
 		if p > 0 {
 			sb.WriteByte(' ')
 		}
-		fmt.Fprintf(&sb, "p%d:runs=%d,records=%d,bytes=%d", p, len(runs[p]), len(merged[p]), bytes[p])
+		fmt.Fprintf(&sb, "p%d:runs=%d,records=%d,bytes=%d", p, runs[p], records[p], bytes[p])
 	}
 	return sb.String()
 }

@@ -150,6 +150,17 @@ type Job struct {
 	// MaxAttempts is how many times a failed task is retried on
 	// another node before the job fails (default 3).
 	MaxAttempts int
+	// MaxShuffleBytes bounds the raw key+value bytes a map task
+	// buffers in memory before sorting, combining and spilling the
+	// buffer to DFS as external run files; the reduce side then
+	// streams a k-way merge over the spilled runs instead of holding
+	// merged partitions in memory. 0 (the default) keeps the
+	// all-in-memory shuffle. Ignored by map-only jobs.
+	MaxShuffleBytes int64
+	// CompressSpill writes spill run files in the DEFLATE-compressed
+	// recordio block format (version 2) instead of plain record
+	// files. Only consulted when MaxShuffleBytes is set.
+	CompressSpill bool
 	// Parent is an optional observability span ID grouping this job
 	// into a pipeline trace (set by the k-means, DJ-Cluster and R-tree
 	// drivers); it is carried on the job's lifecycle events.
@@ -340,6 +351,16 @@ const (
 	// CounterShuffleSpilledRecords counts the records sorted into runs
 	// by map tasks at commit time (Hadoop's "Spilled Records").
 	CounterShuffleSpilledRecords = "shuffle_spilled_records"
+	// CounterShuffleSpillFiles counts the external run files written to
+	// DFS by map tasks whose buffer tripped Job.MaxShuffleBytes.
+	CounterShuffleSpillFiles = "shuffle_spill_files"
+	// CounterShuffleSpillBytes counts the on-DFS bytes of those run
+	// files (post-compression when Job.CompressSpill is set).
+	CounterShuffleSpillBytes = "shuffle_spill_bytes"
+	// CounterShuffleSpillCleanupErrors counts spill-directory deletions
+	// that failed at job end; cleanup is best-effort but must be
+	// visible.
+	CounterShuffleSpillCleanupErrors = "shuffle_spill_cleanup_errors"
 
 	// CounterGroupDFS groups the file-system I/O attributed to the job
 	// (the delta of the DFS's global I/O stats across the run; with

@@ -170,6 +170,107 @@ func mergeRuns(runs [][]KV, cmp func(a, b string) int) []KV {
 	return out
 }
 
+// pullFunc yields the successive records of one sorted run — the
+// file-backed generalisation of a runCursor. ok=false ends the run
+// cleanly; an error (a failed spill-file read) aborts the merge.
+type pullFunc func() (KV, bool, error)
+
+// pullCursor is one pull-based run's position inside the merge heap.
+// ord breaks key ties by run input order, exactly like runCursor, so
+// the external merge stays stable across runs.
+type pullCursor struct {
+	next pullFunc
+	cur  KV
+	ord  int
+}
+
+// pullHeap is runHeap over pull cursors.
+type pullHeap struct {
+	cursors []*pullCursor
+	cmp     func(a, b string) int
+}
+
+func (h *pullHeap) Len() int { return len(h.cursors) }
+
+func (h *pullHeap) Less(i, j int) bool {
+	ci, cj := h.cursors[i], h.cursors[j]
+	ki, kj := ci.cur.Key, cj.cur.Key
+	if h.cmp == nil {
+		if ki != kj {
+			return ki < kj
+		}
+	} else if c := h.cmp(ki, kj); c != 0 {
+		return c < 0
+	}
+	return ci.ord < cj.ord
+}
+
+func (h *pullHeap) Swap(i, j int) { h.cursors[i], h.cursors[j] = h.cursors[j], h.cursors[i] }
+
+func (h *pullHeap) Push(x any) { h.cursors = append(h.cursors, x.(*pullCursor)) }
+
+func (h *pullHeap) Pop() any {
+	old := h.cursors
+	n := len(old)
+	x := old[n-1]
+	old[n-1] = nil
+	h.cursors = old[:n-1]
+	return x
+}
+
+// extMergeIter streams the k-way merge of pull-based sorted runs —
+// the external shuffle's counterpart of mergeIter, where runs live in
+// DFS spill files instead of slices. kvIter.next has no error channel,
+// so a run read error stops the stream immediately and is surfaced
+// through Err; callers must check Err after draining and before
+// committing any result derived from the stream.
+type extMergeIter struct {
+	h   pullHeap
+	err error
+}
+
+// newExtMergeIter primes one record from every run. Runs must already
+// be sorted under cmp; empty runs are skipped.
+func newExtMergeIter(pulls []pullFunc, cmp func(a, b string) int) (*extMergeIter, error) {
+	h := pullHeap{cursors: make([]*pullCursor, 0, len(pulls)), cmp: cmp}
+	for ord, pull := range pulls {
+		kv, ok, err := pull()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			continue
+		}
+		h.cursors = append(h.cursors, &pullCursor{next: pull, cur: kv, ord: ord})
+	}
+	heap.Init(&h)
+	return &extMergeIter{h: h}, nil
+}
+
+func (m *extMergeIter) next() (KV, bool) {
+	if m.err != nil || len(m.h.cursors) == 0 {
+		return KV{}, false
+	}
+	c := m.h.cursors[0]
+	kv := c.cur
+	nkv, ok, err := c.next()
+	switch {
+	case err != nil:
+		m.err = err
+		m.h.cursors = nil
+	case ok:
+		c.cur = nkv
+		heap.Fix(&m.h, 0)
+	default:
+		heap.Pop(&m.h)
+	}
+	return kv, true
+}
+
+// Err reports the first run read error, if any. A non-nil Err means
+// the stream ended early and everything consumed from it is suspect.
+func (m *extMergeIter) Err() error { return m.err }
+
 // groupIter turns a sorted kv stream into (key, values) groups, the
 // unit a Reducer consumes. It buffers only one group at a time. Group
 // boundaries fall where the comparator (nil = byte equality) says two

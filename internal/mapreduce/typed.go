@@ -127,21 +127,27 @@ type TypedJob[KI, VI, KM, VM, KO, VO any] struct {
 	Cache       map[string][]byte
 	MaxAttempts int
 	Parent      string
+	// MaxShuffleBytes and CompressSpill configure the memory-bounded
+	// external shuffle; see the Job fields of the same names.
+	MaxShuffleBytes int64
+	CompressSpill   bool
 }
 
 // Build lowers the typed job onto the untyped engine Job.
 func (tj *TypedJob[KI, VI, KM, VM, KO, VO]) Build() *Job {
 	job := &Job{
-		Name:         tj.Name,
-		InputPaths:   tj.InputPaths,
-		OutputPath:   tj.OutputPath,
-		NumReducers:  tj.NumReducers,
-		Conf:         tj.Conf,
-		Cache:        tj.Cache,
-		MaxAttempts:  tj.MaxAttempts,
-		Parent:       tj.Parent,
-		KeyCompare:   tj.KeyCompare,
-		BinaryOutput: !tj.TextOutput,
+		Name:            tj.Name,
+		InputPaths:      tj.InputPaths,
+		OutputPath:      tj.OutputPath,
+		NumReducers:     tj.NumReducers,
+		Conf:            tj.Conf,
+		Cache:           tj.Cache,
+		MaxAttempts:     tj.MaxAttempts,
+		Parent:          tj.Parent,
+		KeyCompare:      tj.KeyCompare,
+		BinaryOutput:    !tj.TextOutput,
+		MaxShuffleBytes: tj.MaxShuffleBytes,
+		CompressSpill:   tj.CompressSpill,
 	}
 	if tj.Mapper != nil {
 		job.NewMapper = func() Mapper {

@@ -109,6 +109,11 @@ func Compare(old, new *Record, opts CompareOptions) *Comparison {
 		if sameScale {
 			bound := int64(float64(ow.WallUs)*(1+opts.Threshold)) + opts.SlackUs
 			row.Regressed = row.New.WallUs > bound
+		} else if ow.RecordsPerSec <= 0 {
+			// A baseline without recorded throughput cannot anchor a
+			// cross-scale comparison; say so instead of letting the zero
+			// delta read as "ok".
+			row.Note = "scale differs: no baseline throughput, not comparable"
 		} else {
 			row.Note = "scale differs: throughput basis"
 			// Slack translated to a throughput ratio: a workload whose

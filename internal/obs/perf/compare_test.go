@@ -108,6 +108,35 @@ func TestCompareCrossScaleUsesThroughput(t *testing.T) {
 	}
 }
 
+func TestCompareCrossScaleNoBaselineThroughput(t *testing.T) {
+	// A baseline row with zero recorded throughput used to sail through
+	// the cross-scale compare as "ok" (delta 0 never trips the
+	// threshold). It must be called out as non-comparable instead.
+	old := &Record{Schema: SchemaVersion, Scale: 64, Seed: 1,
+		Workloads: []WorkloadResult{
+			{Name: "mute", WallUs: 400_000, Records: 0, RecordsPerSec: 0},
+		}}
+	new := &Record{Schema: SchemaVersion, Scale: 256, Seed: 1,
+		Workloads: []WorkloadResult{
+			{Name: "mute", WallUs: 900_000, Records: 8_000, RecordsPerSec: 8_888},
+		}}
+	cmp := Compare(old, new, CompareOptions{})
+	if regs := cmp.Regressions(); len(regs) != 0 {
+		t.Fatalf("non-comparable row flagged as regression: %+v", regs)
+	}
+	row := cmp.Rows[0]
+	if !strings.Contains(row.Note, "no baseline throughput") {
+		t.Fatalf("missing explicit non-comparable note: %+v", row)
+	}
+	var sb strings.Builder
+	if err := cmp.WriteMarkdown(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "no baseline throughput") {
+		t.Fatalf("markdown hides the non-comparable note:\n%s", sb.String())
+	}
+}
+
 func TestWriteMarkdown(t *testing.T) {
 	old, new := twoRecords()
 	var sb strings.Builder

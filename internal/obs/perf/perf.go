@@ -26,6 +26,7 @@ import (
 	"regexp"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -156,18 +157,25 @@ func (w *WorkloadResult) TopPhase() Phase {
 	return top
 }
 
-// benchFileRe pins the trajectory file naming: BENCH_0006.json.
-var benchFileRe = regexp.MustCompile(`^BENCH_(\d{4})\.json$`)
+// benchFileRe pins the trajectory file naming: BENCH_0006.json —
+// exactly four digits up to 9999, then the padding widens naturally
+// (BENCH_10000.json), so the counter keeps working past four digits.
+// Five-plus digits with a leading zero violate the %04d convention
+// and stay unparsable.
+var benchFileRe = regexp.MustCompile(`^BENCH_(\d{4}|[1-9]\d{4,})\.json$`)
 
 // Seq extracts the sequence number from a BENCH_<NNNN>.json base name,
-// or -1 when the name is not a trajectory record.
+// or -1 when the name is not a trajectory record (including numbers
+// too large to represent — such files are skipped, never clobbered).
 func Seq(name string) int {
 	m := benchFileRe.FindStringSubmatch(filepath.Base(name))
 	if m == nil {
 		return -1
 	}
-	var n int
-	fmt.Sscanf(m[1], "%d", &n)
+	n, err := strconv.Atoi(m[1])
+	if err != nil || n < 0 {
+		return -1
+	}
 	return n
 }
 
@@ -192,7 +200,11 @@ func LatestPath(dir string) (string, error) {
 }
 
 // NextPath returns the next free auto-numbered record path in dir
-// (BENCH_0001.json when dir holds no records yet).
+// (BENCH_0001.json when dir holds no records yet). The returned path
+// is verified unoccupied — files whose names Seq cannot parse (say a
+// hand-renamed BENCH_010000000000000000000.json) no longer poison the
+// counter into handing out a path that already exists, and WriteRecord
+// never silently overwrites a trajectory point.
 func NextPath(dir string) (string, error) {
 	latest, err := LatestPath(dir)
 	if err != nil {
@@ -202,7 +214,15 @@ func NextPath(dir string) (string, error) {
 	if latest != "" {
 		next = Seq(latest) + 1
 	}
-	return filepath.Join(dir, fmt.Sprintf("BENCH_%04d.json", next)), nil
+	for {
+		path := filepath.Join(dir, fmt.Sprintf("BENCH_%04d.json", next))
+		if _, err := os.Stat(path); os.IsNotExist(err) {
+			return path, nil
+		} else if err != nil {
+			return "", fmt.Errorf("perf: probe %s: %v", path, err)
+		}
+		next++
+	}
 }
 
 // WriteRecord writes the record as indented JSON. When path matches

@@ -94,6 +94,49 @@ func TestPathsAndRoundTrip(t *testing.T) {
 	}
 }
 
+func TestSeqPast9999(t *testing.T) {
+	cases := map[string]int{
+		"BENCH_10000.json":  10000,
+		"BENCH_123456.json": 123456,
+		"BENCH_010000.json": -1, // leading zero past 4 digits: not %04d widening
+	}
+	for name, want := range cases {
+		if got := Seq(name); got != want {
+			t.Errorf("Seq(%q) = %d, want %d", name, got, want)
+		}
+	}
+	// A number too large for int must be skipped, not wrapped or clobbered.
+	if got := Seq("BENCH_99999999999999999999999999.json"); got != -1 {
+		t.Errorf("overflowing sequence parsed as %d, want -1", got)
+	}
+}
+
+func TestNextPathNeverReturnsOccupied(t *testing.T) {
+	dir := t.TempDir()
+	// Counter past 9999: the padding widens instead of wrapping to a
+	// name LatestPath would mis-rank.
+	os.WriteFile(filepath.Join(dir, "BENCH_10041.json"), []byte("{}"), 0o644)
+	next, err := NextPath(dir)
+	if err != nil || filepath.Base(next) != "BENCH_10042.json" {
+		t.Fatalf("NextPath = %q, %v; want BENCH_10042.json", next, err)
+	}
+
+	// An unparsable record plus an occupied candidate: NextPath must
+	// probe forward, never returning a path that already exists.
+	os.WriteFile(filepath.Join(dir, "BENCH_010000000000000000000.json"), []byte("{}"), 0o644)
+	os.WriteFile(filepath.Join(dir, "BENCH_10042.json"), []byte("{}"), 0o644)
+	next, err = NextPath(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(next) != "BENCH_10043.json" {
+		t.Fatalf("NextPath = %q, want BENCH_10043.json", next)
+	}
+	if _, err := os.Stat(next); !os.IsNotExist(err) {
+		t.Fatalf("NextPath returned an occupied path %q", next)
+	}
+}
+
 func TestReadRecordRejectsSchemaMismatch(t *testing.T) {
 	dir := t.TempDir()
 	p := filepath.Join(dir, "BENCH_0001.json")

@@ -9,6 +9,7 @@ import (
 	"repro/internal/geo"
 	"repro/internal/geolife"
 	"repro/internal/gepeto"
+	"repro/internal/gepeto/synth"
 	"repro/internal/mapreduce"
 	"repro/internal/obs"
 	"repro/internal/privacy"
@@ -101,6 +102,16 @@ func Workloads() []Workload {
 			Name:  "shuffle-merge",
 			Desc:  "shuffle micro-bench: typed encode, spill sort, k-way merge, decode",
 			Setup: setupShuffleMerge,
+		},
+		{
+			Name:  "synth-generate",
+			Desc:  "million-user MMC-driven synthetic corpus streamed into DFS (scaled)",
+			Setup: setupSynthGenerate,
+		},
+		{
+			Name:  "synth-kmeans-spill",
+			Desc:  "k-means iteration over the synthetic corpus under a spill-forcing shuffle budget",
+			Setup: setupSynthKMeansSpill,
 		},
 	}
 }
@@ -369,6 +380,82 @@ func setupShuffleMerge(rc *RunContext) (RunFunc, error) {
 				{Phase: "merge", DurUs: mergedAt.Sub(sorted).Microseconds()},
 				{Phase: "decode", DurUs: done.Sub(mergedAt).Microseconds()},
 			},
+		}, nil
+	}, nil
+}
+
+// synthUsers scales the tentpole's million users down by the suite
+// scale, floored so templates still get exercised at every scale.
+func synthUsers(scale int) int {
+	users := 1_000_000 / scale
+	if users < 512 {
+		users = 512
+	}
+	return users
+}
+
+func setupSynthGenerate(rc *RunContext) (RunFunc, error) {
+	tk, err := newToolkit(rc, 64)
+	if err != nil {
+		return nil, err
+	}
+	opts := synth.Options{
+		Users: synthUsers(rc.Scale), TracesPerUser: 8,
+		Seed: rc.Seed, TemplateUsers: 8,
+	}
+	return func() (Stats, error) {
+		stats, err := synth.ToDFS(tk.FS(), "synth", opts)
+		if err != nil {
+			return Stats{}, err
+		}
+		return Stats{
+			Records: stats.Traces,
+			Bytes:   stats.Bytes,
+			Phases: []Phase{
+				{Phase: "fit-templates", DurUs: stats.FitWall.Microseconds()},
+				{Phase: "generate", DurUs: stats.GenWall.Microseconds()},
+			},
+		}, nil
+	}, nil
+}
+
+func setupSynthKMeansSpill(rc *RunContext) (RunFunc, error) {
+	tk, err := newToolkit(rc, 64)
+	if err != nil {
+		return nil, err
+	}
+	// The corpus is fixture; the measured section is the bounded-shuffle
+	// k-means iteration over it.
+	stats, err := synth.ToDFS(tk.FS(), "synth", synth.Options{
+		Users: synthUsers(rc.Scale), TracesPerUser: 8,
+		Seed: rc.Seed, TemplateUsers: 8,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return func() (Stats, error) {
+		res, err := gepeto.KMeansMR(tk.Engine(), []string{"synth"}, "kmeans-work", gepeto.KMeansOptions{
+			K: 11, Distance: geo.MetricSquaredEuclidean, MaxIter: 1,
+			Seed: rc.Seed, UseCombiner: true, Parent: rc.Span,
+			// Far below per-task intermediate volume, so every map task
+			// spills and the reduce side runs the external merge.
+			MaxShuffleBytes: 64 << 10,
+			CompressSpill:   true,
+		})
+		if err != nil {
+			return Stats{}, err
+		}
+		var spillFiles int64
+		for _, ir := range res.IterationResults {
+			spillFiles += ir.Counters.Value(mapreduce.CounterGroupShuffle, mapreduce.CounterShuffleSpillFiles)
+		}
+		if spillFiles == 0 {
+			return Stats{}, fmt.Errorf("synth-kmeans-spill: budget never tripped, workload is not exercising the external shuffle")
+		}
+		return Stats{
+			Records: stats.Traces,
+			Bytes:   stats.Bytes,
+			Results: res.IterationResults,
 		}, nil
 	}, nil
 }
