@@ -1,0 +1,204 @@
+// The multi-process cluster commands: `gepeto jobtracker` drives a
+// k-means job through the RPC backend over real TCP, and `gepeto
+// worker` is one tasktracker process. Together they form a local
+// Hadoop-style deployment: one jobtracker process owning the namenode
+// (DFS) and scheduler, N worker processes executing tasks, all task
+// input/intermediate/output bytes crossing process boundaries.
+//
+//	gepeto jobtracker -in data -workers 3 -addr-file jt.addr &
+//	gepeto worker -node node-00 -addr-file jt.addr &
+//	gepeto worker -node node-01 -addr-file jt.addr &
+//	gepeto worker -node node-02 -addr-file jt.addr &
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/cluster/rpc"
+	"repro/internal/dfs"
+	"repro/internal/geo"
+	"repro/internal/geolife"
+	"repro/internal/gepeto"
+	"repro/internal/mapreduce"
+)
+
+// resolveJTAddr returns the jobtracker address from -jobtracker or,
+// when set, by polling -addr-file until the jobtracker writes it.
+func resolveJTAddr(addr, addrFile string, timeout time.Duration) (string, error) {
+	if addr != "" {
+		return addr, nil
+	}
+	if addrFile == "" {
+		return "", fmt.Errorf("one of -jobtracker or -addr-file is required")
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		data, err := os.ReadFile(addrFile)
+		if err == nil {
+			if s := strings.TrimSpace(string(data)); s != "" {
+				return s, nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return "", fmt.Errorf("no jobtracker address in %s after %v", addrFile, timeout)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func cmdWorker(args []string) error {
+	fs := flag.NewFlagSet("worker", flag.ExitOnError)
+	node := fs.String("node", "", "cluster node ID this worker serves (e.g. node-00); required")
+	slots := fs.Int("slots", 4, "concurrent task slots")
+	jtAddr := fs.String("jobtracker", "", "jobtracker address (host:port)")
+	addrFile := fs.String("addr-file", "", "file to read the jobtracker address from (written by `gepeto jobtracker -addr-file`)")
+	listen := fs.String("listen", "127.0.0.1:0", "address to listen on for task assignments")
+	heartbeat := fs.Duration("heartbeat", 250*time.Millisecond, "heartbeat period")
+	overhead := fs.Duration("task-overhead", 0, "artificial per-task startup sleep (fault-drill pacing)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *node == "" {
+		return fmt.Errorf("-node is required")
+	}
+	jt, err := resolveJTAddr(*jtAddr, *addrFile, 10*time.Second)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	w := rpc.NewWorker(rpc.WorkerConfig{
+		Node: *node, Slots: *slots,
+		Transport:      &rpc.TCPNetwork{},
+		JobtrackerAddr: jt,
+		Addr:           ln.Addr().String(),
+		HeartbeatEvery: *heartbeat,
+		TaskOverhead:   *overhead,
+	})
+	go func() {
+		// Serve returns when the listener closes at process exit.
+		if serr := rpc.Serve(ln, w.Server()); serr != nil {
+			return
+		}
+	}()
+	fmt.Fprintf(os.Stderr, "worker %s: %d slots, listening on %s, jobtracker %s\n",
+		*node, *slots, ln.Addr(), jt)
+	if err := w.Run(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "worker %s: stopped (ran %d tasks)\n", *node, w.TasksRun())
+	return nil
+}
+
+func cmdJobtracker(args []string) error {
+	fs := flag.NewFlagSet("jobtracker", flag.ExitOnError)
+	in := fs.String("in", "data", "input path: directory containing the input files")
+	k := fs.Int("k", 11, "number of clusters outputted by the algorithm")
+	distName := fs.String("distance", "squaredeuclidean",
+		"name of the metric used for measuring distance between points (squaredeuclidean|euclidean|haversine|manhattan)")
+	delta := fs.Float64("convergencedelta", 1e-4, "value used for determining the convergence after each iteration (degrees)")
+	maxIter := fs.Int("maxiter", 150, "maximum number of iterations")
+	combiner := fs.Bool("combiner", false, "enable the map-side partial-sum combiner")
+	seed := fs.Int64("seed", 1, "initial-centroid seed")
+	nodes := fs.Int("nodes", 3, "cluster nodes (each needs a registered worker)")
+	racks := fs.Int("racks", 2, "racks the nodes spread over")
+	slots := fs.Int("slots", 4, "task slots per node (must match the workers')")
+	chunkMB := fs.Int64("chunk", 64, "DFS chunk size in MB")
+	listen := fs.String("listen", "127.0.0.1:0", "address to listen on")
+	addrFile := fs.String("addr-file", "", "write the bound address to this file (workers poll it)")
+	workers := fs.Int("workers", 3, "worker processes to wait for before submitting the job")
+	wait := fs.Duration("wait", 30*time.Second, "how long to wait for workers")
+	grace := fs.Duration("grace", 2*time.Second, "heartbeat grace before a silent worker is declared lost")
+	centroidsOut := fs.String("centroids-out", "", "also write the final centroid lines to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	metric, err := geo.ParseMetric(*distName)
+	if err != nil {
+		return err
+	}
+	c, err := cluster.NewUniform(*nodes, *racks, *slots)
+	if err != nil {
+		return err
+	}
+	filesystem, err := dfs.New(c, dfs.Config{ChunkSize: *chunkMB << 20})
+	if err != nil {
+		return err
+	}
+	tcp := &rpc.TCPNetwork{}
+	jt := rpc.NewJobtracker(rpc.JobtrackerConfig{
+		Cluster: c, FS: filesystem, Transport: tcp, HeartbeatGrace: *grace,
+	})
+	defer jt.Stop()
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	go func() {
+		if serr := rpc.Serve(ln, jt.Server()); serr != nil {
+			return // listener closed at teardown
+		}
+	}()
+	fmt.Fprintf(os.Stderr, "jobtracker listening on %s\n", ln.Addr())
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			return err
+		}
+	}
+	if err := jt.WaitForWorkers(*workers, *wait); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "%d workers registered: %s\n", *workers, strings.Join(jt.Workers(), " "))
+
+	ds, err := geolife.ReadRecordsLocal(*in)
+	if err != nil {
+		return err
+	}
+	if err := geolife.WriteRecords(filesystem, "input", ds); err != nil {
+		return err
+	}
+	engine := mapreduce.NewEngine(c, filesystem, mapreduce.Options{Executor: jt.Executor()})
+	fmt.Printf("k-means on %d traces (%d worker processes)\n", ds.NumTraces(), *workers)
+	res, err := gepeto.KMeansMR(engine, []string{"input"}, "input-kmeans-work", gepeto.KMeansOptions{
+		K: *k, Distance: metric, ConvergenceDelta: *delta,
+		MaxIter: *maxIter, UseCombiner: *combiner, Seed: *seed,
+	})
+	if err != nil {
+		return err
+	}
+	var total time.Duration
+	for _, ir := range res.IterationResults {
+		total += ir.Wall
+	}
+	fmt.Printf("iterations=%d converged=%v mean-iter=%v total=%v\n",
+		res.Iterations, res.Converged,
+		(total / time.Duration(res.Iterations)).Round(time.Millisecond),
+		total.Round(time.Millisecond))
+	fmt.Print(centroidLines(res))
+	if *centroidsOut != "" {
+		if err := os.WriteFile(*centroidsOut, []byte(centroidLines(res)), 0o644); err != nil {
+			return err
+		}
+	}
+	jt.ShutdownWorkers()
+	return nil
+}
+
+// centroidLines renders the final clustering in the exact format
+// cmdKMeans prints, so in-process and multi-process runs diff cleanly.
+func centroidLines(res *gepeto.KMeansResult) string {
+	var sb strings.Builder
+	for i, c := range res.Centroids {
+		fmt.Fprintf(&sb, "  centroid %2d at %s (%d traces)\n", i, c, res.Sizes[i])
+	}
+	return sb.String()
+}

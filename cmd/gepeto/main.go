@@ -76,6 +76,10 @@ func main() {
 		err = cmdSocial(args)
 	case "mmc":
 		err = cmdMMC(args)
+	case "jobtracker":
+		err = cmdJobtracker(args)
+	case "worker":
+		err = cmdWorker(args)
 	case "history":
 		err = cmdHistory(args)
 	case "analyze":
@@ -111,6 +115,8 @@ commands:
   stats      summarise a dataset (users, sessions, density, extent)
   social     co-location social-link discovery (two chained MR jobs)
   mmc        build Mobility Markov Chains per user and evaluate prediction
+  jobtracker run a k-means job on out-of-process workers over TCP
+  worker     one tasktracker process serving a jobtracker
   history    list stored job runs and render per-node attempt timelines
   analyze    critical-path / straggler / shuffle-skew report from traces
 
@@ -435,6 +441,7 @@ func cmdKMeans(args []string) error {
 	combiner := fs.Bool("combiner", false, "enable the map-side partial-sum combiner")
 	plusplus := fs.Bool("plusplus", false, "use k-means++ seeding instead of uniform random")
 	seed := fs.Int64("seed", 1, "initial-centroid seed")
+	centroidsOut := fs.String("centroids-out", "", "also write the final centroid lines to this file")
 	nodes, racks, slots, chunkMB := clusterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -464,8 +471,11 @@ func cmdKMeans(args []string) error {
 		res.Iterations, res.Converged,
 		(total / time.Duration(res.Iterations)).Round(time.Millisecond),
 		total.Round(time.Millisecond))
-	for i, c := range res.Centroids {
-		fmt.Printf("  centroid %2d at %s (%d traces)\n", i, c, res.Sizes[i])
+	fmt.Print(centroidLines(res))
+	if *centroidsOut != "" {
+		if err := os.WriteFile(*centroidsOut, []byte(centroidLines(res)), 0o644); err != nil {
+			return err
+		}
 	}
 	return nil
 }

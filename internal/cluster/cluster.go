@@ -30,28 +30,30 @@ type Node struct {
 // Cluster is a set of nodes with liveness tracking. All methods are
 // safe for concurrent use.
 type Cluster struct {
-	mu    sync.RWMutex
-	nodes []Node
-	dead  map[string]bool
+	mu        sync.RWMutex
+	nodes     []Node
+	byID      map[string]int // node ID -> index into nodes; O(1) lookups
+	dead      map[string]bool
+	killHooks []func(id string)
 }
 
 // New builds a cluster from an explicit node list. Node IDs must be
 // unique and slots positive.
 func New(nodes []Node) (*Cluster, error) {
-	seen := make(map[string]bool, len(nodes))
-	for _, n := range nodes {
+	byID := make(map[string]int, len(nodes))
+	for i, n := range nodes {
 		if n.ID == "" {
 			return nil, fmt.Errorf("cluster: node with empty ID")
 		}
-		if seen[n.ID] {
+		if _, dup := byID[n.ID]; dup {
 			return nil, fmt.Errorf("cluster: duplicate node ID %q", n.ID)
 		}
 		if n.Slots <= 0 {
 			return nil, fmt.Errorf("cluster: node %q has %d slots, want > 0", n.ID, n.Slots)
 		}
-		seen[n.ID] = true
+		byID[n.ID] = i
 	}
-	return &Cluster{nodes: append([]Node(nil), nodes...), dead: make(map[string]bool)}, nil
+	return &Cluster{nodes: append([]Node(nil), nodes...), byID: byID, dead: make(map[string]bool)}, nil
 }
 
 // NewUniform builds a cluster of numNodes identical nodes with
@@ -97,10 +99,8 @@ func (c *Cluster) Alive() []Node {
 func (c *Cluster) Node(id string) (Node, bool) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	for _, n := range c.nodes {
-		if n.ID == id {
-			return n, true
-		}
+	if i, ok := c.byID[id]; ok {
+		return c.nodes[i], true
 	}
 	return Node{}, false
 }
@@ -112,12 +112,19 @@ func (c *Cluster) IsAlive(id string) bool {
 	if c.dead[id] {
 		return false
 	}
-	for _, n := range c.nodes {
-		if n.ID == id {
-			return true
-		}
-	}
-	return false
+	_, ok := c.byID[id]
+	return ok
+}
+
+// OnKill registers a hook invoked (outside the cluster lock, in
+// registration order) whenever Kill transitions a node to dead — how
+// the RPC jobtracker learns that a modelled node loss must take down a
+// real worker process. Hooks are not called for nodes that were
+// already dead.
+func (c *Cluster) OnKill(hook func(id string)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.killHooks = append(c.killHooks, hook)
 }
 
 // Kill marks a node dead. It returns false if the node does not exist
@@ -127,17 +134,23 @@ func (c *Cluster) IsAlive(id string) bool {
 // not be placed there.
 func (c *Cluster) Kill(id string) bool {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.dead[id] {
+		c.mu.Unlock()
 		return false
 	}
-	for _, n := range c.nodes {
-		if n.ID == id {
-			c.dead[id] = true
-			return true
-		}
+	if _, ok := c.byID[id]; !ok {
+		c.mu.Unlock()
+		return false
 	}
-	return false
+	c.dead[id] = true
+	hooks := append([]func(id string){}, c.killHooks...)
+	c.mu.Unlock()
+	// Hooks run unlocked: they typically call back into the cluster
+	// (IsAlive, Restart) or block on network shutdown.
+	for _, h := range hooks {
+		h(id)
+	}
+	return true
 }
 
 // Restart marks a dead node alive again. It returns false if the node

@@ -1,0 +1,452 @@
+package rpc
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/dfs"
+	"repro/internal/mapreduce"
+	"repro/internal/obs"
+)
+
+// Control-plane method args/replies.
+type registerArgs struct {
+	Node  string // cluster node ID this worker serves
+	Addr  string // address the worker's own server is reachable at
+	Slots int
+}
+
+type registerReply struct{}
+
+type heartbeatArgs struct {
+	Node string
+}
+
+type heartbeatReply struct {
+	// Registered is false when the jobtracker does not know this
+	// worker (it was declared lost, or the jobtracker restarted). The
+	// worker fence-stops on seeing it: a deregistered worker must not
+	// keep executing tasks the scheduler has already re-run elsewhere.
+	Registered bool
+}
+
+type completeArgs struct {
+	Job     string
+	TaskID  string
+	Attempt int
+	Node    string
+	Err     string
+	Res     mapreduce.TaskResult
+}
+
+type completeReply struct{}
+
+type eventsArgs struct {
+	Events []obs.Event
+}
+
+type eventsReply struct{}
+
+// remoteWorker is the jobtracker's view of one registered worker.
+type remoteWorker struct {
+	node     string
+	addr     string
+	slots    int
+	lastBeat time.Time
+	// lost is closed exactly once, when the worker is declared lost;
+	// every in-flight RunTask waiting on this worker unblocks and the
+	// scheduler retries on another node.
+	lost chan struct{}
+}
+
+// completion is a finished attempt's report, forwarded to the RunTask
+// call that assigned it.
+type completion struct {
+	res    mapreduce.TaskResult
+	errMsg string
+}
+
+// JobtrackerConfig configures NewJobtracker.
+type JobtrackerConfig struct {
+	Cluster *cluster.Cluster
+	FS      *dfs.FileSystem
+	// Obs receives membership events and forwarded worker events
+	// (may be nil).
+	Obs *obs.Bus
+	// Transport is how the jobtracker reaches workers (assignments and
+	// shutdowns) — typically the same network the workers use to reach
+	// it.
+	Transport Transport
+	// HeartbeatGrace is how long a worker may go silent before being
+	// declared lost (default 2s). The monitor checks at grace/4.
+	HeartbeatGrace time.Duration
+}
+
+// Jobtracker is the driver-side service of the out-of-process backend.
+// It owns worker membership (registration, heartbeats, loss detection),
+// serves the DFS to workers, and exposes an Executor the engine's
+// scheduler drives exactly like the in-process one.
+//
+// Creating a jobtracker marks every cluster node dead: a node is only
+// schedulable once a live worker process registers for it (and
+// cluster.Restart brings it back). The cluster's Kill hook feeds back
+// in: killing a node — from a test, or from the heartbeat monitor —
+// declares its worker lost and unblocks every attempt assigned there.
+type Jobtracker struct {
+	cluster *cluster.Cluster
+	fs      *dfs.FileSystem
+	bus     *obs.Bus
+	tr      Transport
+	grace   time.Duration
+	srv     *Server
+
+	mu      sync.Mutex
+	workers map[string]*remoteWorker // by node ID
+	pending map[string]*pendingCall  // by job|task|attempt
+	stopped bool
+
+	dupCompletions atomic.Int64
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+type pendingCall struct {
+	ch chan completion // buffered(1); at most one send wins
+}
+
+// NewJobtracker creates the service and starts its heartbeat monitor.
+// Bind its Server() on the network before starting workers.
+func NewJobtracker(cfg JobtrackerConfig) *Jobtracker {
+	jt := &Jobtracker{
+		cluster: cfg.Cluster,
+		fs:      cfg.FS,
+		bus:     cfg.Obs,
+		tr:      cfg.Transport,
+		grace:   cfg.HeartbeatGrace,
+		srv:     NewServer(),
+		workers: make(map[string]*remoteWorker),
+		pending: make(map[string]*pendingCall),
+		stop:    make(chan struct{}),
+	}
+	if jt.grace <= 0 {
+		jt.grace = 2 * time.Second
+	}
+	// No worker process, no schedulable node. Nodes come back alive as
+	// workers register for them.
+	for _, n := range cfg.Cluster.Nodes() {
+		cfg.Cluster.Kill(n.ID)
+	}
+	// From here on, a cluster-level kill (tests modelling node loss,
+	// or our own heartbeat monitor) takes the worker down with it.
+	cfg.Cluster.OnKill(func(id string) { jt.loseWorker(id, "node killed") })
+
+	Handle(jt.srv, "jt.register", jt.handleRegister)
+	Handle(jt.srv, "jt.heartbeat", jt.handleHeartbeat)
+	Handle(jt.srv, "jt.complete", jt.handleComplete)
+	Handle(jt.srv, "jt.events", jt.handleEvents)
+	Handle(jt.srv, "dfs.create", jt.handleDFSCreate)
+	Handle(jt.srv, "dfs.read", jt.handleDFSRead)
+	Handle(jt.srv, "dfs.size", jt.handleDFSSize)
+
+	jt.wg.Add(1)
+	go jt.monitor()
+	return jt
+}
+
+// Server returns the service's RPC surface, for binding on a network
+// (MemNetwork.Bind, or Serve over a TCP listener).
+func (jt *Jobtracker) Server() *Server { return jt.srv }
+
+// Executor returns the engine-facing executor: plug it into
+// mapreduce.Options.Executor and every task attempt runs on a
+// registered worker process.
+func (jt *Jobtracker) Executor() mapreduce.Executor { return &rpcExecutor{jt: jt} }
+
+// DupCompletions reports how many task completions arrived for
+// attempts nobody was waiting on — duplicate deliveries, retried
+// reports whose first copy already landed, or completions of abandoned
+// attempts. The handler acks them all; this counter is how tests see
+// the idempotency path actually taken.
+func (jt *Jobtracker) DupCompletions() int64 { return jt.dupCompletions.Load() }
+
+// Workers returns the currently registered worker node IDs.
+func (jt *Jobtracker) Workers() []string {
+	jt.mu.Lock()
+	defer jt.mu.Unlock()
+	out := make([]string, 0, len(jt.workers))
+	for id := range jt.workers {
+		out = append(out, id)
+	}
+	return out
+}
+
+// WaitForWorkers blocks until n workers are registered or the timeout
+// expires.
+func (jt *Jobtracker) WaitForWorkers(n int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		jt.mu.Lock()
+		cur := len(jt.workers)
+		jt.mu.Unlock()
+		if cur >= n {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("rpc: %d/%d workers registered after %v", cur, n, timeout)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// Stop halts the heartbeat monitor. It does not shut workers down —
+// call ShutdownWorkers first for a clean teardown.
+func (jt *Jobtracker) Stop() {
+	jt.mu.Lock()
+	if jt.stopped {
+		jt.mu.Unlock()
+		return
+	}
+	jt.stopped = true
+	jt.mu.Unlock()
+	close(jt.stop)
+	jt.wg.Wait()
+}
+
+// ShutdownWorkers asks every registered worker to exit (best-effort —
+// a worker that lost the network exits via its own heartbeat fence).
+func (jt *Jobtracker) ShutdownWorkers() {
+	jt.mu.Lock()
+	addrs := make([]string, 0, len(jt.workers))
+	for _, w := range jt.workers {
+		addrs = append(addrs, w.addr)
+	}
+	jt.mu.Unlock()
+	for _, addr := range addrs {
+		var reply shutdownReply
+		if err := jt.tr.Call(addr, "worker.shutdown", &shutdownArgs{}, &reply); err != nil {
+			// Unreachable worker: its heartbeat fence will stop it.
+			continue
+		}
+	}
+}
+
+// monitor declares workers lost when their heartbeats stop for the
+// grace period, then kills their cluster node so the scheduler stops
+// placing work there — the Hadoop jobtracker's expiry thread.
+func (jt *Jobtracker) monitor() {
+	defer jt.wg.Done()
+	tick := time.NewTicker(jt.grace / 4)
+	defer tick.Stop()
+	for {
+		select {
+		case <-jt.stop:
+			return
+		case now := <-tick.C:
+			var expired []string
+			jt.mu.Lock()
+			for id, w := range jt.workers {
+				if now.Sub(w.lastBeat) > jt.grace {
+					expired = append(expired, id)
+				}
+			}
+			jt.mu.Unlock()
+			for _, id := range expired {
+				jt.loseWorker(id, "heartbeat timeout")
+				// Kill the modelled node too (its hook no-ops: the
+				// worker is already gone).
+				jt.cluster.Kill(id)
+			}
+		}
+	}
+}
+
+// loseWorker removes a worker from membership and unblocks everything
+// waiting on it. Idempotent: losing an unknown worker is a no-op, so
+// the kill-hook path and the heartbeat path can race safely.
+func (jt *Jobtracker) loseWorker(id, reason string) {
+	jt.mu.Lock()
+	w, ok := jt.workers[id]
+	if !ok {
+		jt.mu.Unlock()
+		return
+	}
+	delete(jt.workers, id)
+	jt.mu.Unlock()
+	close(w.lost)
+	jt.bus.Emit(obs.Event{Type: obs.WorkerLost, Node: id, Err: reason})
+	// Best-effort fence: tell the process to stop if it is still
+	// reachable (a killed node's process may be healthy — the model
+	// killed it, not the OS).
+	go func() {
+		var reply shutdownReply
+		if err := jt.tr.Call(w.addr, "worker.shutdown", &shutdownArgs{}, &reply); err != nil {
+			return // already dead or partitioned; its heartbeat fence handles it
+		}
+	}()
+}
+
+func (jt *Jobtracker) handleRegister(a *registerArgs) (*registerReply, error) {
+	if _, ok := jt.cluster.Node(a.Node); !ok {
+		return nil, fmt.Errorf("rpc: register: unknown cluster node %q", a.Node)
+	}
+	if a.Slots <= 0 {
+		return nil, fmt.Errorf("rpc: register %s: %d slots, want > 0", a.Node, a.Slots)
+	}
+	w := &remoteWorker{
+		node: a.Node, addr: a.Addr, slots: a.Slots,
+		lastBeat: time.Now(), lost: make(chan struct{}),
+	}
+	jt.mu.Lock()
+	old := jt.workers[a.Node]
+	jt.workers[a.Node] = w
+	jt.mu.Unlock()
+	if old != nil {
+		// A replacement registration (worker restart): attempts still
+		// waiting on the old incarnation will never complete — fail
+		// them so the scheduler reissues.
+		close(old.lost)
+	}
+	jt.cluster.Restart(a.Node)
+	jt.bus.Emit(obs.Event{Type: obs.WorkerJoined, Node: a.Node, Detail: fmt.Sprintf("addr=%s slots=%d", a.Addr, a.Slots)})
+	return &registerReply{}, nil
+}
+
+func (jt *Jobtracker) handleHeartbeat(a *heartbeatArgs) (*heartbeatReply, error) {
+	jt.mu.Lock()
+	w, ok := jt.workers[a.Node]
+	if ok {
+		w.lastBeat = time.Now()
+	}
+	jt.mu.Unlock()
+	return &heartbeatReply{Registered: ok}, nil
+}
+
+func (jt *Jobtracker) handleComplete(a *completeArgs) (*completeReply, error) {
+	key := attemptKey(a.Job, a.TaskID, a.Attempt)
+	jt.mu.Lock()
+	p, ok := jt.pending[key]
+	if ok {
+		delete(jt.pending, key)
+	}
+	jt.mu.Unlock()
+	if !ok {
+		// Nobody waiting: a duplicate delivery, a retried report whose
+		// first copy landed, or an abandoned attempt. Idempotent ack —
+		// re-erroring would make the worker retry forever.
+		jt.dupCompletions.Add(1)
+		return &completeReply{}, nil
+	}
+	p.ch <- completion{res: a.Res, errMsg: a.Err} // buffered(1), sole sender
+	return &completeReply{}, nil
+}
+
+func (jt *Jobtracker) handleEvents(a *eventsArgs) (*eventsReply, error) {
+	for _, e := range a.Events {
+		jt.bus.Emit(e)
+	}
+	return &eventsReply{}, nil
+}
+
+func (jt *Jobtracker) handleDFSCreate(a *dfsCreateArgs) (*dfsCreateReply, error) {
+	if err := jt.fs.Create(a.Path, a.Data, a.Node); err != nil {
+		// Idempotent-create rule: a path that already holds exactly
+		// these bytes is a duplicate delivery (RemoteStore retrying a
+		// create whose reply was lost, or a duplicated request), not a
+		// conflict — worker-side paths are attempt-unique, so only a
+		// re-delivery of the same write can collide with itself.
+		if existing, rerr := jt.fs.ReadAll(a.Path); rerr == nil && bytes.Equal(existing, a.Data) {
+			return &dfsCreateReply{}, nil
+		}
+		return nil, err
+	}
+	return &dfsCreateReply{}, nil
+}
+
+func (jt *Jobtracker) handleDFSRead(a *dfsReadArgs) (*dfsReadReply, error) {
+	data, err := jt.fs.ReadRange(a.Path, a.Off, a.Len)
+	if err != nil {
+		return nil, err
+	}
+	return &dfsReadReply{Data: data}, nil
+}
+
+func (jt *Jobtracker) handleDFSSize(a *dfsSizeArgs) (*dfsSizeReply, error) {
+	size, err := jt.fs.Size(a.Path)
+	if err != nil {
+		return nil, err
+	}
+	return &dfsSizeReply{Size: size}, nil
+}
+
+func attemptKey(job, task string, attempt int) string {
+	return fmt.Sprintf("%s|%s|%d", job, task, attempt)
+}
+
+// rpcExecutor bridges the scheduler to remote workers: RunTask ships
+// the attempt to the worker registered for the placed node, then waits
+// for its completion report, the worker's loss, or the phase ending.
+type rpcExecutor struct {
+	jt *Jobtracker
+}
+
+// External implements mapreduce.Executor: results live in the DFS, not
+// driver memory, so the engine plans an all-file shuffle and commits by
+// rename.
+func (x *rpcExecutor) External() bool { return true }
+
+// RunTask implements mapreduce.Executor.
+func (x *rpcExecutor) RunTask(ctx context.Context, spec mapreduce.TaskSpec) (mapreduce.TaskResult, error) {
+	jt := x.jt
+	jt.mu.Lock()
+	w := jt.workers[spec.Node]
+	jt.mu.Unlock()
+	if w == nil {
+		return mapreduce.TaskResult{}, fmt.Errorf("rpc: no worker registered for node %s", spec.Node)
+	}
+	wire, err := spec.Job.Wire(spec.ShuffleBudget)
+	if err != nil {
+		return mapreduce.TaskResult{}, err
+	}
+	key := attemptKey(spec.Job.Name, spec.TaskID, spec.Attempt)
+	p := &pendingCall{ch: make(chan completion, 1)}
+	jt.mu.Lock()
+	jt.pending[key] = p
+	jt.mu.Unlock()
+	defer func() {
+		// Withdraw the claim if still present; a completion arriving
+		// after this counts as a duplicate and is acked idempotently.
+		jt.mu.Lock()
+		delete(jt.pending, key)
+		jt.mu.Unlock()
+	}()
+
+	args := assignArgs{
+		Job: wire, Phase: spec.Phase, TaskID: spec.TaskID, Index: spec.Index,
+		Attempt: spec.Attempt, Node: spec.Node, MapOnly: spec.MapOnly,
+		NumReducers: spec.NumReducers, ShuffleBudget: spec.ShuffleBudget,
+		Split: spec.Split, Partition: spec.Partition, Runs: spec.Runs,
+	}
+	var ack assignReply
+	if err := jt.tr.Call(w.addr, "worker.assign", &args, &ack); err != nil {
+		return mapreduce.TaskResult{}, fmt.Errorf("rpc: assign %s to %s: %v", spec.TaskID, spec.Node, err)
+	}
+	select {
+	case c := <-p.ch:
+		if c.errMsg != "" {
+			return mapreduce.TaskResult{}, fmt.Errorf("%s", c.errMsg)
+		}
+		return c.res, nil
+	case <-w.lost:
+		return mapreduce.TaskResult{}, fmt.Errorf("rpc: worker %s lost while running %s", spec.Node, spec.TaskID)
+	case <-ctx.Done():
+		// Phase over: a losing speculative attempt is abandoned, its
+		// eventual completion acked as a duplicate.
+		return mapreduce.TaskResult{}, ctx.Err()
+	}
+}

@@ -1,0 +1,59 @@
+package rpc
+
+import (
+	"fmt"
+	"sync"
+)
+
+// MemNetwork is the in-memory transport: services bind to string
+// addresses and calls dispatch directly — but every call still crosses
+// a full gob encode/decode round-trip, exactly as TCP does, so a type
+// that cannot survive the wire fails in fast unit tests rather than on
+// a real cluster.
+type MemNetwork struct {
+	mu      sync.RWMutex
+	servers map[string]*Server
+}
+
+// NewMemNetwork creates an empty in-memory network.
+func NewMemNetwork() *MemNetwork {
+	return &MemNetwork{servers: make(map[string]*Server)}
+}
+
+// Bind attaches a server at addr, replacing any previous binding (a
+// restarted worker re-binds its address).
+func (n *MemNetwork) Bind(addr string, s *Server) {
+	n.mu.Lock()
+	n.servers[addr] = s
+	n.mu.Unlock()
+}
+
+// Unbind detaches the server at addr; subsequent calls to it fail like
+// a connection refusal.
+func (n *MemNetwork) Unbind(addr string) {
+	n.mu.Lock()
+	delete(n.servers, addr)
+	n.mu.Unlock()
+}
+
+// Call implements Transport.
+func (n *MemNetwork) Call(addr, method string, args, reply any) error {
+	n.mu.RLock()
+	s := n.servers[addr]
+	n.mu.RUnlock()
+	if s == nil {
+		return transportErrorf("rpc: %s: connection refused", addr)
+	}
+	body, err := encode(args)
+	if err != nil {
+		return fmt.Errorf("rpc: %s %s: encode: %v", addr, method, err)
+	}
+	out, err := s.dispatch(method, body)
+	if err != nil {
+		return err
+	}
+	if err := decode(out, reply); err != nil {
+		return fmt.Errorf("rpc: %s %s: decode reply: %v", addr, method, err)
+	}
+	return nil
+}

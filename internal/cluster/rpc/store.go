@@ -1,0 +1,99 @@
+package rpc
+
+import (
+	"time"
+
+	"repro/internal/dfs"
+)
+
+// DFS method args/replies, served by the jobtracker (which owns the
+// namenode-side *dfs.FileSystem) and called by workers through
+// RemoteStore.
+type dfsCreateArgs struct {
+	Path string
+	Data []byte
+	Node string
+}
+
+type dfsCreateReply struct{}
+
+type dfsReadArgs struct {
+	Path string
+	Off  int64
+	Len  int64
+}
+
+type dfsReadReply struct {
+	Data []byte
+}
+
+type dfsSizeArgs struct {
+	Path string
+}
+
+type dfsSizeReply struct {
+	Size int64
+}
+
+// RemoteStore implements dfs.Store over the wire: the worker's window
+// onto the driver-side DFS. Spill runs stream through ranged reads, so
+// a worker never holds more than a fetch window of a remote file.
+type RemoteStore struct {
+	tr   Transport
+	addr string // jobtracker address
+}
+
+var _ dfs.Store = (*RemoteStore)(nil)
+
+// NewRemoteStore returns a Store proxying to the jobtracker at addr.
+func NewRemoteStore(tr Transport, addr string) *RemoteStore {
+	return &RemoteStore{tr: tr, addr: addr}
+}
+
+// storeRetries bounds the retry loop below. A task attempt makes
+// hundreds of DFS calls (split reads, spill writes, merge fetches), so
+// without retries even a small per-call drop rate makes every attempt
+// fail; ten tries push the residual failure probability to negligible
+// while keeping the worst-case added latency under ~300ms.
+const storeRetries = 10
+
+// call delivers one DFS RPC, retrying through transient transport
+// failures. The DFS surface is idempotent — reads trivially, creates by
+// the identical-content rule the jobtracker's handler applies — so
+// at-least-once delivery is safe and a flaky network costs latency,
+// not task attempts. Application errors (no such file, conflicting
+// create) return immediately.
+func (s *RemoteStore) call(method string, args, reply any) error {
+	var err error
+	for attempt := 0; attempt < storeRetries; attempt++ {
+		if err = s.tr.Call(s.addr, method, args, reply); err == nil || !IsTransportError(err) {
+			return err
+		}
+		time.Sleep(time.Duration(attempt+1) * 5 * time.Millisecond)
+	}
+	return err
+}
+
+// Create implements dfs.Store.
+func (s *RemoteStore) Create(path string, data []byte, localNode string) error {
+	var reply dfsCreateReply
+	return s.call("dfs.create", &dfsCreateArgs{Path: path, Data: data, Node: localNode}, &reply)
+}
+
+// ReadRange implements dfs.Store.
+func (s *RemoteStore) ReadRange(path string, off, length int64) ([]byte, error) {
+	var reply dfsReadReply
+	if err := s.call("dfs.read", &dfsReadArgs{Path: path, Off: off, Len: length}, &reply); err != nil {
+		return nil, err
+	}
+	return reply.Data, nil
+}
+
+// Size implements dfs.Store.
+func (s *RemoteStore) Size(path string) (int64, error) {
+	var reply dfsSizeReply
+	if err := s.call("dfs.size", &dfsSizeArgs{Path: path}, &reply); err != nil {
+		return 0, err
+	}
+	return reply.Size, nil
+}

@@ -1,0 +1,140 @@
+package rpc
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Unreliable wraps a Transport with deterministic, seeded fault
+// injection: dropped requests (the callee never runs), dropped replies
+// (the callee runs but the caller sees an error — the path that breeds
+// duplicate completions, because the caller retries an already-applied
+// operation), duplicated deliveries, bounded random delays, and
+// per-address partitions. Tests drive the knobs mid-run to model a
+// network degrading under a running job.
+type Unreliable struct {
+	inner Transport
+
+	mu          sync.Mutex
+	rng         *rand.Rand
+	dropReq     float64
+	dropRep     float64
+	duplicate   float64
+	maxDelay    time.Duration
+	partitioned map[string]bool
+
+	// Observability for assertions: what the wrapper actually did.
+	droppedRequests atomic.Int64
+	droppedReplies  atomic.Int64
+	duplicated      atomic.Int64
+}
+
+// NewUnreliable wraps inner with all faults off. The seed fixes the
+// fault schedule, so a failing test replays exactly.
+func NewUnreliable(inner Transport, seed int64) *Unreliable {
+	return &Unreliable{
+		inner:       inner,
+		rng:         rand.New(rand.NewSource(seed)),
+		partitioned: make(map[string]bool),
+	}
+}
+
+// DropRequests sets the probability that a call is dropped before
+// reaching the callee.
+func (u *Unreliable) DropRequests(p float64) {
+	u.mu.Lock()
+	u.dropReq = p
+	u.mu.Unlock()
+}
+
+// DropReplies sets the probability that a call executes but its reply
+// is lost.
+func (u *Unreliable) DropReplies(p float64) {
+	u.mu.Lock()
+	u.dropRep = p
+	u.mu.Unlock()
+}
+
+// Duplicate sets the probability that a delivered call is delivered a
+// second time (at-least-once delivery, the failure mode idempotent
+// handlers exist for).
+func (u *Unreliable) Duplicate(p float64) {
+	u.mu.Lock()
+	u.duplicate = p
+	u.mu.Unlock()
+}
+
+// Delay sets the maximum uniform random delay added before each
+// delivered call (0 disables).
+func (u *Unreliable) Delay(d time.Duration) {
+	u.mu.Lock()
+	u.maxDelay = d
+	u.mu.Unlock()
+}
+
+// Partition isolates (or, with false, heals) an address: every call to
+// it fails immediately, as if the host dropped off the network.
+// Heartbeats to a partitioned jobtracker fail the same way, so the
+// loss detection fires on both sides.
+func (u *Unreliable) Partition(addr string, cut bool) {
+	u.mu.Lock()
+	if cut {
+		u.partitioned[addr] = true
+	} else {
+		delete(u.partitioned, addr)
+	}
+	u.mu.Unlock()
+}
+
+// Stats reports the faults injected so far.
+func (u *Unreliable) Stats() (droppedRequests, droppedReplies, duplicated int64) {
+	return u.droppedRequests.Load(), u.droppedReplies.Load(), u.duplicated.Load()
+}
+
+// Call implements Transport.
+func (u *Unreliable) Call(addr, method string, args, reply any) error {
+	u.mu.Lock()
+	if u.partitioned[addr] {
+		u.mu.Unlock()
+		return transportErrorf("rpc: %s: network partition", addr)
+	}
+	dropReq := u.rng.Float64() < u.dropReq
+	dropRep := u.rng.Float64() < u.dropRep
+	dup := u.rng.Float64() < u.duplicate
+	var delay time.Duration
+	if u.maxDelay > 0 {
+		delay = time.Duration(u.rng.Int63n(int64(u.maxDelay)))
+	}
+	u.mu.Unlock()
+
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if dropReq {
+		u.droppedRequests.Add(1)
+		return transportErrorf("rpc: %s %s: request lost", addr, method)
+	}
+	err := u.inner.Call(addr, method, args, reply)
+	if dup && err == nil {
+		// Deliver again into a throwaway reply of the same type: the
+		// callee sees the call twice, the caller keeps the first reply.
+		u.duplicated.Add(1)
+		spare := reflect.New(reflect.TypeOf(reply).Elem()).Interface()
+		if derr := u.inner.Call(addr, method, args, spare); derr != nil {
+			// The spare delivery failing is itself a fault worth seeing
+			// in stats, but must not fail the original call.
+			u.droppedRequests.Add(1)
+		}
+	}
+	if err != nil {
+		return err
+	}
+	if dropRep {
+		u.droppedReplies.Add(1)
+		return transportErrorf("rpc: %s %s: reply lost", addr, method)
+	}
+	return nil
+}

@@ -18,6 +18,7 @@ const (
 	ObsPath       = "internal/obs"
 	DFSPath       = "internal/dfs"
 	RecordioPath  = "internal/recordio"
+	RPCPath       = "internal/cluster/rpc"
 )
 
 // FromPkg reports whether obj belongs to a package whose import path

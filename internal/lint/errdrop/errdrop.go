@@ -1,12 +1,17 @@
-// Package errdrop flags discarded errors from the storage layers.
+// Package errdrop flags discarded errors from the storage and
+// transport layers.
 //
 // DFS operations, obs file-store/history writes, and recordio scans
 // are the engine's durability boundary: a swallowed error there means
-// committed output or job history silently missing. The analyzer flags
-// calls on *dfs.FileSystem, obs.FS, *obs.History, recordio.Writer and
-// recordio package functions whose error result is dropped — as a bare
-// expression statement, assigned to the blank identifier, or made
-// unobservable by go/defer.
+// committed output or job history silently missing. The RPC transport
+// under the out-of-process backend is the same kind of boundary — a
+// dropped Call error is a control-plane message (completion,
+// heartbeat, DFS write) that silently never happened. The analyzer
+// flags calls on *dfs.FileSystem, dfs.Store, obs.FS, *obs.History,
+// recordio.Writer, rpc.Transport (and its implementations),
+// *rpc.RemoteStore, plus recordio and rpc package functions, whose
+// error result is dropped — as a bare expression statement, assigned
+// to the blank identifier, or made unobservable by go/defer.
 //
 // Errors that must not fail the caller should still be surfaced:
 // counted, logged, or stored for a later accessor — not discarded.
@@ -141,9 +146,18 @@ func flaggedCallee(info *types.Info, call *ast.CallExpr) (*types.Func, string) {
 	if recv := sig.Recv(); recv != nil {
 		for _, w := range []struct{ name, path, disp string }{
 			{"FileSystem", engineapi.DFSPath, "(*dfs.FileSystem)"},
+			{"Store", engineapi.DFSPath, "(dfs.Store)"},
 			{"FS", engineapi.ObsPath, "(obs.FS)"},
 			{"History", engineapi.ObsPath, "(*obs.History)"},
 			{"Writer", engineapi.RecordioPath, "(*recordio.Writer)"},
+			// The RPC transport layer: a dropped transport error means a
+			// lost control-plane message (a completion, a heartbeat, a
+			// DFS write) nobody will retry.
+			{"Transport", engineapi.RPCPath, "(rpc.Transport)"},
+			{"RemoteStore", engineapi.RPCPath, "(*rpc.RemoteStore)"},
+			{"MemNetwork", engineapi.RPCPath, "(*rpc.MemNetwork)"},
+			{"TCPNetwork", engineapi.RPCPath, "(*rpc.TCPNetwork)"},
+			{"Unreliable", engineapi.RPCPath, "(*rpc.Unreliable)"},
 		} {
 			if engineapi.NamedFrom(recv.Type(), w.name, w.path) != nil {
 				return fn, w.disp + "." + fn.Name()
@@ -153,6 +167,9 @@ func flaggedCallee(info *types.Info, call *ast.CallExpr) (*types.Func, string) {
 	}
 	if engineapi.FromPkg(fn, engineapi.RecordioPath) {
 		return fn, "recordio." + fn.Name()
+	}
+	if engineapi.FromPkg(fn, engineapi.RPCPath) {
+		return fn, "rpc." + fn.Name()
 	}
 	return nil, ""
 }

@@ -6,6 +6,7 @@ package drop
 import (
 	"strconv"
 
+	"repro/internal/cluster/rpc"
 	"repro/internal/dfs"
 	"repro/internal/obs"
 	"repro/internal/recordio"
@@ -54,6 +55,29 @@ func dropScan(data []byte) {
 
 func handleScan(data []byte) error {
 	return recordio.ScanAll(data, func(k, v string) error { return nil })
+}
+
+func dropRPC(tr rpc.Transport, mem *rpc.MemNetwork, u *rpc.Unreliable, rs *rpc.RemoteStore, st dfs.Store) {
+	tr.Call("a", "m", nil, nil)        // want `error returned by \(rpc\.Transport\)\.Call is discarded`
+	_ = mem.Call("a", "m", nil, nil)   // want `error returned by \(\*rpc\.MemNetwork\)\.Call is assigned to _`
+	go u.Call("a", "m", nil, nil)      // want `unobservable in a go statement`
+	rs.Create("p", nil, "")            // want `error returned by \(\*rpc\.RemoteStore\)\.Create is discarded`
+	st.Create("p", nil, "")            // want `error returned by \(dfs\.Store\)\.Create is discarded`
+	data, _ := st.ReadRange("p", 0, 1) // want `error returned by \(dfs\.Store\)\.ReadRange is assigned to _`
+	_ = data
+	rpc.Serve(nil, nil) // want `error returned by rpc\.Serve is discarded`
+}
+
+func handleRPC(tr rpc.Transport, rs *rpc.RemoteStore, st dfs.Store) error {
+	if err := tr.Call("a", "m", nil, nil); err != nil {
+		return err
+	}
+	if err := rs.Create("p", nil, ""); err != nil {
+		return err
+	}
+	data, err := st.ReadRange("p", 0, 1)
+	_ = data
+	return err
 }
 
 // otherPackages is out of scope: strconv is not a storage layer.

@@ -1,0 +1,43 @@
+// Package rpc is the fixture stub of the RPC transport layer.
+package rpc
+
+// Transport mirrors the transport interface.
+type Transport interface {
+	Call(addr, method string, args, reply any) error
+}
+
+// Server mirrors the RPC dispatch surface.
+type Server struct{}
+
+// MemNetwork mirrors the in-memory transport.
+type MemNetwork struct{}
+
+// Call mirrors MemNetwork.Call.
+func (n *MemNetwork) Call(addr, method string, args, reply any) error { return nil }
+
+// TCPNetwork mirrors the TCP transport.
+type TCPNetwork struct{}
+
+// Call mirrors TCPNetwork.Call.
+func (n *TCPNetwork) Call(addr, method string, args, reply any) error { return nil }
+
+// Unreliable mirrors the fault-injecting wrapper.
+type Unreliable struct{}
+
+// Call mirrors Unreliable.Call.
+func (u *Unreliable) Call(addr, method string, args, reply any) error { return nil }
+
+// RemoteStore mirrors the worker-side DFS proxy.
+type RemoteStore struct{}
+
+// Create mirrors RemoteStore.Create.
+func (s *RemoteStore) Create(path string, data []byte, localNode string) error { return nil }
+
+// ReadRange mirrors RemoteStore.ReadRange.
+func (s *RemoteStore) ReadRange(path string, off, length int64) ([]byte, error) { return nil, nil }
+
+// Size mirrors RemoteStore.Size.
+func (s *RemoteStore) Size(path string) (int64, error) { return 0, nil }
+
+// Serve mirrors the accept loop (the real one takes a net.Listener).
+func Serve(ln any, srv *Server) error { return nil }

@@ -21,3 +21,11 @@ func (fs *FileSystem) DeleteDir(dir string) {}
 
 // Size mirrors FileSystem.Size.
 func (fs *FileSystem) Size(path string) (int64, error) { return 0, nil }
+
+// Store mirrors the minimal storage interface task executors write
+// through (implemented by *FileSystem and rpc.RemoteStore).
+type Store interface {
+	Create(path string, data []byte, localNode string) error
+	ReadRange(path string, off, length int64) ([]byte, error)
+	Size(path string) (int64, error)
+}

@@ -1,0 +1,83 @@
+package mapreduce
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestShuffleBudgetFor(t *testing.T) {
+	e := newTestEngine(t, 1<<20) // 6 nodes × 2 slots = 12 slots
+	slots := int64(e.Cluster().TotalSlots())
+	if slots != 12 {
+		t.Fatalf("test topology has %d slots, want 12", slots)
+	}
+	cases := []struct {
+		name string
+		job  Job
+		want int64
+	}{
+		{"default is all-in-memory", Job{}, 0},
+		{"explicit knob wins", Job{MaxShuffleBytes: 4096, MemoryTargetBytes: 1 << 30}, 4096},
+		{"target divided by slots", Job{MemoryTargetBytes: 12_000}, 1000},
+		{"rounds down", Job{MemoryTargetBytes: 12_011}, 1000},
+		{"floor of one byte", Job{MemoryTargetBytes: 5}, 1},
+	}
+	for _, tc := range cases {
+		if got := e.shuffleBudgetFor(&tc.job); got != tc.want {
+			t.Errorf("%s: budget = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestAdaptiveBudgetSpillsAndMatches runs the same job with the
+// all-in-memory shuffle and with a job-wide memory target small enough
+// to force spilling on every map task; the spill path must change only
+// the counters, never the output.
+func TestAdaptiveBudgetSpillsAndMatches(t *testing.T) {
+	text := strings.Repeat("one two three four five six seven eight nine ten\n", 40)
+
+	run := func(target int64) (*Result, map[string]string) {
+		e := newTestEngine(t, 64)
+		writeInput(t, e, "in/text", text)
+		res, err := e.Run(&Job{
+			Name:              "budget",
+			InputPaths:        []string{"in"},
+			OutputPath:        "out",
+			NewMapper:         func() Mapper { return wordMapper{} },
+			NewReducer:        func() Reducer { return sumReducer{} },
+			NumReducers:       3,
+			MemoryTargetBytes: target,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		kvs, err := e.ReadOutput("out")
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := map[string]string{}
+		for _, kv := range kvs {
+			got[kv.Key] = kv.Value
+		}
+		return res, got
+	}
+
+	memRes, memOut := run(0)
+	if n := memRes.Counters.Value(CounterGroupShuffle, CounterShuffleSpillFiles); n != 0 {
+		t.Fatalf("all-in-memory run spilled %d files", n)
+	}
+
+	// 12 slots × ~20 bytes each: every map task's buffer overflows.
+	spillRes, spillOut := run(240)
+	if n := spillRes.Counters.Value(CounterGroupShuffle, CounterShuffleSpillFiles); n == 0 {
+		t.Fatal("memory-target run spilled no files; budget derivation inactive")
+	}
+	if len(memOut) != len(spillOut) {
+		t.Fatalf("output sizes differ: in-memory %d keys, spilled %d keys", len(memOut), len(spillOut))
+	}
+	for k, v := range memOut {
+		if spillOut[k] != v {
+			t.Errorf("%s: in-memory %q, spilled %q", k, v, spillOut[k])
+		}
+	}
+}

@@ -15,11 +15,13 @@ import (
 // Options configures the engine.
 type Options struct {
 	// TaskOverhead is a simulated per-task startup cost (scheduling,
-	// JVM spawn in real Hadoop). Zero disables it.
+	// JVM spawn in real Hadoop). Zero disables it. Only the in-process
+	// executor applies it; remote workers have real startup costs.
 	TaskOverhead time.Duration
 	// FailureHook, if set, is consulted before each task attempt; a
 	// non-nil return fails the attempt, exercising the jobtracker's
 	// retry-on-another-node path. Used by tests for fault injection.
+	// In-process executor only.
 	FailureHook func(taskID string, attempt int, node string) error
 	// SpeculativeSlack enables speculative execution: when slots are
 	// idle and a task attempt has been running longer than this, a
@@ -30,6 +32,10 @@ type Options struct {
 	// tasks on the given node, modelling heterogeneous or straggling
 	// nodes (used by tests to exercise speculation).
 	NodeDelay func(node string) time.Duration
+	// Executor, if set, runs task attempts — the RPC backend plugs its
+	// remote executor in here. Nil selects the in-process executor,
+	// which runs tasks as goroutines on the scheduler's slot workers.
+	Executor Executor
 	// Obs receives structured lifecycle events (job, phase and task-
 	// attempt spans). A nil bus — or a bus with no sinks — costs one
 	// nil/empty check per emission site, so jobs run at full speed
@@ -40,9 +46,10 @@ type Options struct {
 	History *obs.History
 }
 
-// Engine is the jobtracker: it turns DFS chunks into map tasks,
-// schedules them on tasktracker slots with locality preference, runs
-// the shuffle, and drives the reducers.
+// Engine is the jobtracker's driver side: it turns DFS chunks into map
+// tasks, schedules them on tasktracker slots with locality preference
+// (scheduler.go), hands each attempt to an Executor (executor.go),
+// plans the shuffle, and commits outputs.
 type Engine struct {
 	cluster *cluster.Cluster
 	fs      *dfs.FileSystem
@@ -91,10 +98,54 @@ func (l *attemptLog) snapshot() []obs.AttemptRecord {
 
 // mapOutput is one map task's partitioned intermediate output: per
 // partition either an in-memory sorted run, or — when the task spilled
-// under Job.MaxShuffleBytes — a list of file-backed sorted runs.
+// under Job.MaxShuffleBytes, or ran on an external executor — a list
+// of file-backed sorted runs.
 type mapOutput struct {
 	parts    [][]KV       // indexed by reducer partition; nil entries when spilled
 	fileRuns [][]spillRun // per-partition spill runs, nil unless the task spilled
+}
+
+// remoteMapOutput converts a remote map task's run descriptors into
+// the engine's shuffle-planning form. Every partition of a remote task
+// is file-backed (or empty).
+func remoteMapOutput(runs [][]RunDesc, numReducers int) *mapOutput {
+	out := &mapOutput{parts: make([][]KV, numReducers)}
+	var fr [][]spillRun
+	for p, rds := range runs {
+		if len(rds) == 0 {
+			continue
+		}
+		if fr == nil {
+			fr = make([][]spillRun, numReducers)
+		}
+		for _, rd := range rds {
+			fr[p] = append(fr[p], spillRun{path: rd.Path, records: rd.Records, bytes: rd.Bytes})
+		}
+	}
+	out.fileRuns = fr
+	return out
+}
+
+// shuffleBudgetFor resolves a job's per-task spill budget: the manual
+// MaxShuffleBytes knob wins; otherwise MemoryTargetBytes is divided by
+// the cluster's concurrent task slots (the worst case of every slot's
+// map task buffering at once); otherwise 0, the all-in-memory shuffle.
+func (e *Engine) shuffleBudgetFor(job *Job) int64 {
+	if job.MaxShuffleBytes > 0 {
+		return job.MaxShuffleBytes
+	}
+	if job.MemoryTargetBytes <= 0 {
+		return 0
+	}
+	slots := e.cluster.TotalSlots()
+	if slots < 1 {
+		slots = 1
+	}
+	budget := job.MemoryTargetBytes / int64(slots)
+	if budget < 1 {
+		budget = 1
+	}
+	return budget
 }
 
 // Run executes one job to completion and returns its result.
@@ -118,6 +169,19 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 	if existing := e.fs.List(job.OutputPath); len(existing) > 0 {
 		return nil, fmt.Errorf("mapreduce: output path %q already exists", job.OutputPath)
 	}
+	budget := e.shuffleBudgetFor(job)
+	mapOnly := job.NewReducer == nil
+
+	// Select the executor. The external path additionally requires the
+	// job to wire — a missing kind registration should fail the job at
+	// submission, not every task attempt on the workers.
+	exec := e.opts.Executor
+	external := exec != nil && exec.External()
+	if external {
+		if _, err := job.Wire(budget); err != nil {
+			return nil, err
+		}
+	}
 
 	splits, err := splitsFor(e.fs, job.InputPaths)
 	if err != nil {
@@ -130,7 +194,14 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 		MapTasks: len(splits),
 		Start:    start,
 	}
-	mapOnly := job.NewReducer == nil
+	var lx *localExecutor
+	if exec == nil {
+		lx = &localExecutor{
+			e: e, job: job, mapOnly: mapOnly, numReducers: numReducers,
+			partition: partition, budget: budget, counters: res.Counters,
+		}
+		exec = lx
+	}
 
 	bus := e.opts.Obs
 	alog := &attemptLog{t0: start}
@@ -139,14 +210,20 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 		Type: obs.JobSubmitted, Job: job.Name, Parent: job.Parent, Time: start,
 		Detail: fmt.Sprintf("maps=%d reducers=%d", len(splits), numReducers),
 	})
-	// cleanupSpills removes the job's external-shuffle run files at job
-	// end. Cleanup is best-effort — a stuck delete must not change the
-	// job's outcome — but failures are counted, never dropped.
+	// cleanupSpills removes the job's external-shuffle run files and —
+	// on an external executor — the uncommitted task temp outputs at
+	// job end. Cleanup is best-effort — a stuck delete must not change
+	// the job's outcome — but failures are counted, never dropped.
 	// Background speculative reduce losers may still be streaming a
 	// spill file here; their read error is discarded with the rest of
 	// the losing attempt.
 	cleanupSpills := func() {
-		if job.MaxShuffleBytes <= 0 || mapOnly {
+		if external {
+			if derr := e.fs.DeleteDir(tmpDir(job.Name)); derr != nil {
+				res.Counters.Get(CounterGroupShuffle, CounterShuffleSpillCleanupErrors).Inc(1)
+			}
+		}
+		if (budget <= 0 && !external) || mapOnly {
 			return
 		}
 		if derr := e.fs.DeleteDir(spillDir(job)); derr != nil {
@@ -198,67 +275,43 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 	mapStart := time.Now()
 	bus.Emit(obs.Event{Type: obs.PhaseStart, Job: job.Name, Phase: "map", Time: mapStart})
 	outputs := make([]*mapOutput, len(splits))
+	mapTemps := make([]string, len(splits)) // external map-only temp files
 	reports := make([]TaskReport, len(splits))
-	err = e.schedule(job, "map", alog, splits, maxAttempts, res.Counters, func(i int, node string, attempt int) (func(), error) {
-		taskID := fmt.Sprintf("map-%04d", i)
-		if e.opts.FailureHook != nil {
-			if ferr := e.opts.FailureHook(taskID, attempt, node); ferr != nil {
-				return nil, ferr
+	mapSpecs := make([]TaskSpec, len(splits))
+	for i, sp := range splits {
+		mapSpecs[i] = TaskSpec{
+			Job: job, Phase: "map", TaskID: fmt.Sprintf("map-%04d", i), Index: i,
+			MapOnly: mapOnly, NumReducers: numReducers, ShuffleBudget: budget,
+			Split: sp,
+		}
+	}
+	// Only the winning attempt's result is committed — counters, stats
+	// and output alike (speculative losers are discarded).
+	err = e.schedule(job, "map", alog, mapSpecs, maxAttempts, res.Counters, exec, func(i int, tr TaskResult) {
+		st := tr.Stats
+		res.Counters.Get(CounterGroupTask, CounterMapInputRecords).Inc(st.MapInputRecords)
+		res.Counters.Get(CounterGroupTask, CounterMapOutputRecords).Inc(st.MapOutputRecords)
+		if job.NewCombiner != nil && !mapOnly {
+			res.Counters.Get(CounterGroupTask, CounterCombineInput).Inc(st.CombineInputRecords)
+			res.Counters.Get(CounterGroupTask, CounterCombineOutput).Inc(st.CombineOutputRecords)
+		}
+		if !mapOnly {
+			res.Counters.Get(CounterGroupShuffle, CounterShuffleSpilledRecords).Inc(st.SpilledRecords)
+			if st.SpillFiles > 0 {
+				res.Counters.Get(CounterGroupShuffle, CounterShuffleSpillFiles).Inc(st.SpillFiles)
+				res.Counters.Get(CounterGroupShuffle, CounterShuffleSpillBytes).Inc(st.SpillBytes)
 			}
 		}
-		if e.opts.TaskOverhead > 0 {
-			time.Sleep(e.opts.TaskOverhead)
+		mergeUserCounters(res.Counters, tr.UserCounters)
+		switch {
+		case external && mapOnly:
+			mapTemps[i] = tr.OutFile
+		case external:
+			outputs[i] = remoteMapOutput(tr.MapRuns, numReducers)
+		default:
+			outputs[i] = tr.localMap
 		}
-		ctx := &TaskContext{
-			JobName: job.Name, TaskID: taskID, Attempt: attempt, Node: node,
-			conf: job.Conf, cache: job.Cache, counters: res.Counters,
-		}
-		// The spiller owns the partitioned output buffer: with
-		// MaxShuffleBytes unset it reduces to the legacy commit-time
-		// sort+combine (Hadoop's map-side spill sort — the shuffle then
-		// only merges pre-sorted runs and the reducers never re-sort);
-		// with a budget it additionally writes sorted+combined run
-		// files to DFS whenever the buffer trips the budget.
-		sp := newMapSpiller(e, job, ctx, taskID, attempt, node, mapOnly, numReducers, partition)
-		m := job.NewMapper()
-		if err := m.Setup(ctx); err != nil {
-			return nil, fmt.Errorf("%s setup: %v", taskID, err)
-		}
-		var records int64
-		err := readSplit(e.fs, splits[i], func(key, value string) error {
-			records++
-			return m.Map(ctx, key, value, sp.emit)
-		})
-		if err != nil {
-			return nil, fmt.Errorf("%s: %v", taskID, err)
-		}
-		if err := m.Cleanup(ctx, sp.emit); err != nil {
-			return nil, fmt.Errorf("%s cleanup: %v", taskID, err)
-		}
-		out, err := sp.finish()
-		if err != nil {
-			return nil, fmt.Errorf("%s: %v", taskID, err)
-		}
-		// Only the winning attempt commits its output and counters
-		// (speculative losers are discarded).
-		commit := func() {
-			ctx.Counter(CounterGroupTask, CounterMapInputRecords).Inc(records)
-			ctx.Counter(CounterGroupTask, CounterMapOutputRecords).Inc(sp.added)
-			if job.NewCombiner != nil && !mapOnly {
-				ctx.Counter(CounterGroupTask, CounterCombineInput).Inc(sp.combineIn)
-				ctx.Counter(CounterGroupTask, CounterCombineOutput).Inc(sp.combineOut)
-			}
-			if !mapOnly {
-				ctx.Counter(CounterGroupShuffle, CounterShuffleSpilledRecords).Inc(sp.sorted)
-				if sp.files > 0 {
-					ctx.Counter(CounterGroupShuffle, CounterShuffleSpillFiles).Inc(sp.files)
-					ctx.Counter(CounterGroupShuffle, CounterShuffleSpillBytes).Inc(sp.fileBytes)
-				}
-			}
-			outputs[i] = out
-			reports[i].Records = records
-		}
-		return commit, nil
+		reports[i].Records = tr.Records
 	}, reports)
 	if err != nil {
 		// Close the phase even on failure: an unpaired PhaseStart reads
@@ -273,11 +326,19 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 	bus.Emit(obs.Event{Type: obs.PhaseEnd, Job: job.Name, Phase: "map", Dur: res.MapWall})
 
 	if mapOnly {
-		// Each map task's output becomes a part-m file.
-		for i, out := range outputs {
+		// Each map task's output becomes a part-m file: written from
+		// memory in-process, renamed from the winner's temp file on an
+		// external executor.
+		for i := range splits {
 			name := fmt.Sprintf("%s/part-m-%05d", job.OutputPath, i)
-			if err := e.writePartFile(name, out.parts[0], job.BinaryOutput); err != nil {
-				return fail(err)
+			if external {
+				if err := e.fs.Rename(mapTemps[i], name); err != nil {
+					return fail(err)
+				}
+			} else {
+				if err := e.writePartFile(name, outputs[i].parts[0], job.BinaryOutput); err != nil {
+					return fail(err)
+				}
 			}
 			res.OutputFiles = append(res.OutputFiles, name)
 		}
@@ -297,7 +358,7 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 	// ownership, so outputs and merged partitions are never both
 	// retained (peak shuffle memory used to be ~2× intermediate data).
 	sources := make([][]shuffleSource, numReducers)
-	external := make([]bool, numReducers)
+	external2 := make([]bool, numReducers)
 	var totalRuns int64
 	for i, out := range outputs {
 		for p := 0; p < numReducers; p++ {
@@ -308,7 +369,7 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 			if out.fileRuns != nil {
 				for _, fr := range out.fileRuns[p] {
 					sources[p] = append(sources[p], shuffleSource{file: fr})
-					external[p] = true
+					external2[p] = true
 					totalRuns++
 				}
 			}
@@ -322,7 +383,8 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 	// Partitions whose runs all sit in memory are merged eagerly as
 	// before, bounded by the cluster's task slots; partitions with any
 	// file-backed run defer their merge to the reduce attempts, which
-	// stream it (extPartition.iter) instead of materialising it.
+	// stream it (extPartition.iter) instead of materialising it. On an
+	// external executor every non-empty partition is file-backed.
 	reduceInputs := make([][]KV, numReducers)
 	extParts := make([]*extPartition, numReducers)
 	runCounts := make([]int64, numReducers)
@@ -337,7 +399,7 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 	var mergeWG sync.WaitGroup
 	for p := 0; p < numReducers; p++ {
 		runCounts[p] = int64(len(sources[p]))
-		if external[p] {
+		if external2[p] {
 			ext := &extPartition{sources: sources[p]}
 			for _, s := range sources[p] {
 				if s.file.path != "" {
@@ -410,57 +472,38 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 	reduceStart := time.Now()
 	bus.Emit(obs.Event{Type: obs.PhaseStart, Job: job.Name, Phase: "reduce", Time: reduceStart})
 	reduceReports := make([]TaskReport, numReducers)
-	reduceSplits := make([]InputSplit, numReducers) // no locality: reducers read from all mappers
+	reduceSpecs := make([]TaskSpec, numReducers) // no locality: reducers read from all mappers
+	for r := 0; r < numReducers; r++ {
+		reduceSpecs[r] = TaskSpec{
+			Job: job, Phase: "reduce", TaskID: fmt.Sprintf("reduce-%04d", r), Index: r,
+			NumReducers: numReducers, ShuffleBudget: budget, Partition: r,
+		}
+		if external {
+			if ext := extParts[r]; ext != nil {
+				runs := make([]RunDesc, 0, len(ext.sources))
+				for _, s := range ext.sources {
+					runs = append(runs, RunDesc{Path: s.file.path, Records: s.file.records, Bytes: s.file.bytes})
+				}
+				reduceSpecs[r].Runs = runs
+			}
+		}
+	}
+	if lx != nil {
+		// Hand the in-process executor the shuffle's product: eagerly
+		// merged partitions and deferred file-backed ones.
+		lx.reduceInputs, lx.extParts = reduceInputs, extParts
+	}
 	partFiles := make([][]KV, numReducers)
-	err = e.schedule(job, "reduce", alog, reduceSplits, maxAttempts, res.Counters, func(r int, node string, attempt int) (func(), error) {
-		taskID := fmt.Sprintf("reduce-%04d", r)
-		if e.opts.FailureHook != nil {
-			if ferr := e.opts.FailureHook(taskID, attempt, node); ferr != nil {
-				return nil, ferr
-			}
-		}
-		if e.opts.TaskOverhead > 0 {
-			time.Sleep(e.opts.TaskOverhead)
-		}
-		ctx := &TaskContext{
-			JobName: job.Name, TaskID: taskID, Attempt: attempt, Node: node,
-			conf: job.Conf, cache: job.Cache, counters: res.Counters,
-		}
-		// The partition is consumed through a streaming group iterator;
-		// each attempt gets its own cursor — over the shared read-only
-		// merged slice, or, for an external partition, a fresh k-way
-		// merge with its own file cursors — so concurrent speculative
-		// attempts need no defensive copy and nobody re-sorts.
-		var groups, inRecords int64
-		var out []KV
-		var err error
-		if ext := extParts[r]; ext != nil {
-			it, ierr := ext.iter(e.fs, job.KeyCompare)
-			if ierr != nil {
-				return nil, fmt.Errorf("%s: %v", taskID, ierr)
-			}
-			out, err = runReduce(ctx, job.NewReducer(), it, &groups, job.KeyCompare)
-			if err == nil {
-				// The merge stream has no error channel; a spill-file
-				// read failure ends it early and surfaces here.
-				err = it.Err()
-			}
-			inRecords = ext.records
-		} else {
-			out, err = runReduce(ctx, job.NewReducer(), &sliceIter{kvs: reduceInputs[r]}, &groups, job.KeyCompare)
-			inRecords = int64(len(reduceInputs[r]))
-		}
-		if err != nil {
-			return nil, fmt.Errorf("%s: %v", taskID, err)
-		}
-		commit := func() {
-			ctx.Counter(CounterGroupTask, CounterReduceInputRecords).Inc(inRecords)
-			ctx.Counter(CounterGroupTask, CounterReduceOutput).Inc(int64(len(out)))
-			ctx.Counter(CounterGroupTask, CounterReduceInputGroups).Inc(groups)
-			partFiles[r] = out
-			reduceReports[r].Records = inRecords
-		}
-		return commit, nil
+	reduceTemps := make([]string, numReducers)
+	err = e.schedule(job, "reduce", alog, reduceSpecs, maxAttempts, res.Counters, exec, func(r int, tr TaskResult) {
+		st := tr.Stats
+		res.Counters.Get(CounterGroupTask, CounterReduceInputRecords).Inc(st.ReduceInputRecords)
+		res.Counters.Get(CounterGroupTask, CounterReduceOutput).Inc(st.ReduceOutputRecords)
+		res.Counters.Get(CounterGroupTask, CounterReduceInputGroups).Inc(st.ReduceInputGroups)
+		mergeUserCounters(res.Counters, tr.UserCounters)
+		partFiles[r] = tr.localReduce
+		reduceTemps[r] = tr.OutFile
+		reduceReports[r].Records = tr.Records
 	}, reduceReports)
 	if err != nil {
 		bus.Emit(obs.Event{
@@ -472,10 +515,16 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 	res.ReduceWall = time.Since(reduceStart)
 	bus.Emit(obs.Event{Type: obs.PhaseEnd, Job: job.Name, Phase: "reduce", Dur: res.ReduceWall})
 
-	for r, kvs := range partFiles {
+	for r := 0; r < numReducers; r++ {
 		name := fmt.Sprintf("%s/part-r-%05d", job.OutputPath, r)
-		if err := e.writePartFile(name, kvs, job.BinaryOutput); err != nil {
-			return fail(err)
+		if external {
+			if err := e.fs.Rename(reduceTemps[r], name); err != nil {
+				return fail(err)
+			}
+		} else {
+			if err := e.writePartFile(name, partFiles[r], job.BinaryOutput); err != nil {
+				return fail(err)
+			}
 		}
 		res.OutputFiles = append(res.OutputFiles, name)
 	}
@@ -536,15 +585,17 @@ func shuffleDetail(runs, records, bytes []int64) string {
 	return sb.String()
 }
 
-// writePartFile stores records in DFS — as "key\tvalue" text lines,
-// or in the recordio binary record format when binary is set.
-func (e *Engine) writePartFile(path string, kvs []KV, binary bool) error {
+// encodePartFile renders records in the part-file format — recordio
+// binary records, or "key\tvalue" text lines. It is shared by the
+// driver's commit path and the out-of-process workers, which is what
+// makes remote part files byte-identical to in-process ones.
+func encodePartFile(kvs []KV, binary bool) []byte {
 	if binary {
 		w := recordio.NewWriter()
 		for _, kv := range kvs {
 			w.Add(kv.Key, kv.Value)
 		}
-		return e.fs.Create(path, w.Bytes(), "")
+		return w.Bytes()
 	}
 	var sb strings.Builder
 	for _, kv := range kvs {
@@ -553,7 +604,12 @@ func (e *Engine) writePartFile(path string, kvs []KV, binary bool) error {
 		sb.WriteString(kv.Value)
 		sb.WriteByte('\n')
 	}
-	return e.fs.Create(path, []byte(sb.String()), "")
+	return []byte(sb.String())
+}
+
+// writePartFile stores records in DFS as one part file.
+func (e *Engine) writePartFile(path string, kvs []KV, binary bool) error {
+	return e.fs.Create(path, encodePartFile(kvs, binary), "")
 }
 
 // ReadOutput reads back all part files of a completed job's output
@@ -625,328 +681,4 @@ func validate(job *Job) error {
 		return fmt.Errorf("mapreduce: job %s: combiner without reducer", job.Name)
 	}
 	return nil
-}
-
-// schedule runs one task per split across the cluster's slots. Tasks
-// with preferred hosts are placed data-local when possible, then
-// rack-local, then anywhere — the jobtracker's placement policy from
-// §III ("keep the computation as close as possible to the data; if the
-// work cannot be hosted on the actual node in which the data resides,
-// priority is given to neighboring nodes, i.e. belonging to the same
-// network rack"). Failed attempts are retried, excluding the node that
-// failed, up to maxAttempts; reports[i] is filled for each task.
-func (e *Engine) schedule(job *Job, phase string, alog *attemptLog, splits []InputSplit, maxAttempts int, counters *Counters, run func(i int, node string, attempt int) (func(), error), reports []TaskReport) error {
-	if len(splits) == 0 {
-		return nil
-	}
-	nodes := e.cluster.Alive()
-	if len(nodes) == 0 {
-		return fmt.Errorf("no alive nodes")
-	}
-	bus := e.opts.Obs
-
-	type pendingTask struct {
-		idx      int
-		attempt  int
-		excluded map[string]bool
-		backup   bool // speculative duplicate of a running attempt
-	}
-	// runState tracks in-flight attempts per task for speculation.
-	type runState struct {
-		start   time.Time
-		nodes   map[string]bool
-		active  int
-		backups int
-	}
-	var (
-		mu        sync.Mutex
-		cond      = sync.NewCond(&mu)
-		pending   []*pendingTask
-		running   = make(map[int]*runState)
-		done      = make([]bool, len(splits))
-		failures  = make([]int, len(splits))
-		firstErr  error
-		remaining = len(splits)
-		// attemptSeq allocates attempt numbers per task. Every launch —
-		// first try, retry or speculative backup — draws a fresh number,
-		// so no two attempts of a task ever collide (a retried backup
-		// must not reuse a number the primary already burned).
-		attemptSeq = make([]int, len(splits))
-	)
-	for i := range splits {
-		pending = append(pending, &pendingTask{idx: i})
-		attemptSeq[i] = 1
-	}
-
-	// pickBackupLocked selects the longest-running unduplicated task
-	// eligible for a speculative backup on this node.
-	pickBackupLocked := func(nodeID string) *pendingTask {
-		if e.opts.SpeculativeSlack <= 0 {
-			return nil
-		}
-		bestIdx := -1
-		var bestStart time.Time
-		for idx, rs := range running {
-			if done[idx] || rs.backups > 0 || rs.nodes[nodeID] {
-				continue
-			}
-			if time.Since(rs.start) < e.opts.SpeculativeSlack {
-				continue
-			}
-			if bestIdx < 0 || rs.start.Before(bestStart) {
-				bestIdx, bestStart = idx, rs.start
-			}
-		}
-		if bestIdx < 0 {
-			return nil
-		}
-		running[bestIdx].backups++
-		counters.Get(CounterGroupScheduler, CounterSpeculativeLaunched).Inc(1)
-		attempt := attemptSeq[bestIdx]
-		attemptSeq[bestIdx]++
-		return &pendingTask{idx: bestIdx, attempt: attempt, backup: true}
-	}
-
-	// pickLocked selects the best pending task for a node:
-	// data-local > rack-local > any non-excluded.
-	rackOf := make(map[string]string, len(nodes))
-	for _, n := range nodes {
-		rackOf[n.ID] = n.Rack
-	}
-	pickLocked := func(nodeID string) (*pendingTask, string, int) {
-		bestIdx, bestClass := -1, 3
-		for i, pt := range pending {
-			if pt.excluded[nodeID] {
-				continue
-			}
-			class := 2 // off-rack
-			sp := splits[pt.idx]
-			for _, h := range sp.Hosts {
-				if h == nodeID {
-					class = 0
-					break
-				}
-				if rackOf[h] == rackOf[nodeID] {
-					class = 1
-				}
-			}
-			if len(sp.Hosts) == 0 {
-				class = 0 // no locality constraint (reduce tasks)
-			}
-			if class < bestClass {
-				bestClass, bestIdx = class, i
-			}
-			if bestClass == 0 {
-				break
-			}
-		}
-		if bestIdx < 0 {
-			return nil, "", 0
-		}
-		pt := pending[bestIdx]
-		pending = append(pending[:bestIdx], pending[bestIdx+1:]...)
-		locality := [3]string{"data-local", "rack-local", "off-rack"}[bestClass]
-		if len(splits[pt.idx].Hosts) == 0 {
-			locality = ""
-		}
-		return pt, locality, bestClass
-	}
-
-	localityCounters := [3]string{CounterDataLocal, CounterRackLocal, CounterOffRack}
-	var wg sync.WaitGroup
-	worker := func(nodeID string) {
-		defer wg.Done()
-		for {
-			mu.Lock()
-			var pt *pendingTask
-			var locality string
-			var class int
-			for {
-				if firstErr != nil || remaining == 0 {
-					mu.Unlock()
-					return
-				}
-				if len(pending) > 0 {
-					pt, locality, class = pickLocked(nodeID)
-					if pt != nil {
-						break
-					}
-				}
-				// No regular work for this node: consider launching a
-				// speculative backup of a straggling attempt.
-				if bt := pickBackupLocked(nodeID); bt != nil {
-					pt, locality = bt, ""
-					break
-				}
-				// Tasks may be requeued by failures or become eligible
-				// for speculation; wait for a state change or timeout.
-				if e.opts.SpeculativeSlack > 0 {
-					// cond.Wait would miss time-based eligibility; poll.
-					mu.Unlock()
-					time.Sleep(e.opts.SpeculativeSlack / 4)
-					mu.Lock()
-					continue
-				}
-				cond.Wait()
-			}
-			rs := running[pt.idx]
-			if rs == nil {
-				rs = &runState{start: time.Now(), nodes: make(map[string]bool)}
-				running[pt.idx] = rs
-			}
-			rs.active++
-			rs.nodes[nodeID] = true
-			mu.Unlock()
-
-			tid := taskID(splits[pt.idx], pt.idx)
-			if bus.Active() {
-				bus.Emit(obs.Event{
-					Type: obs.TaskScheduled, Job: job.Name, Phase: phase, Task: tid,
-					Attempt: pt.attempt, Node: nodeID, Locality: locality, Backup: pt.backup,
-				})
-			}
-			if e.opts.NodeDelay != nil {
-				if d := e.opts.NodeDelay(nodeID); d > 0 {
-					time.Sleep(d)
-				}
-			}
-			taskStart := time.Now()
-			if bus.Active() {
-				bus.Emit(obs.Event{
-					Type: obs.AttemptStarted, Job: job.Name, Phase: phase, Task: tid,
-					Attempt: pt.attempt, Node: nodeID, Locality: locality, Backup: pt.backup,
-					Time: taskStart,
-				})
-			}
-			commit, err := run(pt.idx, nodeID, pt.attempt)
-			taskEnd := time.Now()
-			// The retry branch below bumps pt.attempt for requeueing;
-			// the record and event for THIS attempt keep its own number.
-			attemptNo, wasBackup := pt.attempt, pt.backup
-
-			mu.Lock()
-			rs.active--
-			var status string
-			switch {
-			case done[pt.idx]:
-				// A parallel attempt already won; discard this result.
-				// This is the losing attempt's single terminal transition,
-				// so the kill event below fires exactly once per loser.
-				status = "killed"
-				counters.Get(CounterGroupScheduler, CounterSpeculativeWasted).Inc(1)
-			case err == nil:
-				status = "succeeded"
-				done[pt.idx] = true
-				delete(running, pt.idx)
-				commit()
-				reports[pt.idx].ID = tid
-				reports[pt.idx].Node = nodeID
-				reports[pt.idx].Attempts = pt.attempt + 1
-				reports[pt.idx].Locality = locality
-				reports[pt.idx].Duration = taskEnd.Sub(taskStart)
-				reports[pt.idx].StartOffset = taskStart.Sub(alog.t0)
-				reports[pt.idx].FailedAttempts = failures[pt.idx]
-				if locality != "" {
-					counters.Get(CounterGroupScheduler, localityCounters[class]).Inc(1)
-				}
-				remaining--
-			case rs.active > 0:
-				// Another attempt of this task is still running; let it
-				// decide the task's fate. A failed backup releases its
-				// speculation slot so a still-straggling primary can
-				// receive another backup later.
-				status = "failed"
-				failures[pt.idx]++
-				if pt.backup {
-					rs.backups--
-				}
-			case failures[pt.idx]+1 >= maxAttempts:
-				status = "failed"
-				failures[pt.idx]++
-				if firstErr == nil {
-					firstErr = fmt.Errorf("task failed after %d attempts: %v", failures[pt.idx], err)
-				}
-			default:
-				// Retry on another node, like the jobtracker does, under
-				// a fresh attempt number that cannot collide with any
-				// attempt already launched (including backups).
-				status = "failed"
-				failures[pt.idx]++
-				delete(running, pt.idx)
-				if pt.excluded == nil {
-					pt.excluded = make(map[string]bool)
-				}
-				if len(pt.excluded) < len(nodes)-1 {
-					pt.excluded[nodeID] = true
-				}
-				pt.attempt = attemptSeq[pt.idx]
-				attemptSeq[pt.idx]++
-				pt.backup = false
-				pending = append(pending, pt)
-			}
-			if alog != nil {
-				rec := obs.AttemptRecord{
-					Task: tid, Phase: phase, Attempt: attemptNo, Node: nodeID,
-					StartMs:  taskStart.Sub(alog.t0).Milliseconds(),
-					EndMs:    taskEnd.Sub(alog.t0).Milliseconds(),
-					Locality: locality, Backup: wasBackup, Status: status,
-				}
-				if err != nil && status == "failed" {
-					rec.Error = err.Error()
-				}
-				alog.add(rec)
-			}
-			if bus.Active() {
-				evType := obs.AttemptSucceeded
-				switch status {
-				case "failed":
-					evType = obs.AttemptFailed
-				case "killed":
-					evType = obs.AttemptKilled
-				}
-				ev := obs.Event{
-					Type: evType, Job: job.Name, Phase: phase, Task: tid,
-					Attempt: attemptNo, Node: nodeID, Locality: locality, Backup: wasBackup,
-					Time: taskEnd, Dur: taskEnd.Sub(taskStart),
-				}
-				if err != nil && status == "failed" {
-					ev.Err = err.Error()
-				}
-				bus.Emit(ev)
-			}
-			cond.Broadcast()
-			mu.Unlock()
-		}
-	}
-
-	for _, n := range nodes {
-		for s := 0; s < n.Slots; s++ {
-			wg.Add(1)
-			go worker(n.ID)
-		}
-	}
-	// Return as soon as every task has a winning attempt (or the job
-	// failed) rather than joining all workers: a speculative loser may
-	// still be executing, and — like Hadoop killing the slower attempt
-	// — we abandon it. Losers never commit, so letting them drain in
-	// the background is safe; they exit at their next loop iteration.
-	mu.Lock()
-	for remaining > 0 && firstErr == nil {
-		cond.Wait()
-	}
-	err := firstErr
-	mu.Unlock()
-	if e.opts.SpeculativeSlack == 0 {
-		// Without speculation there are no abandoned losers; joining
-		// the workers keeps goroutine accounting exact.
-		wg.Wait()
-	}
-	return err
-}
-
-func taskID(sp InputSplit, idx int) string {
-	if sp.Path == "" {
-		return fmt.Sprintf("reduce-%04d", idx)
-	}
-	return fmt.Sprintf("map-%04d", idx)
 }

@@ -113,6 +113,10 @@ func (ReduceFunc) Cleanup(*TaskContext, Emit) error { return nil }
 type Job struct {
 	// Name labels the job in results and task IDs.
 	Name string
+	// Kind names the job's registered kind (see RegisterKind), which
+	// stands in for the function fields when the job is shipped to an
+	// out-of-process worker. Optional for in-process execution.
+	Kind string
 	// InputPaths are DFS files or directories to read.
 	InputPaths []string
 	// OutputPath is the DFS directory for part files. It must not
@@ -157,6 +161,13 @@ type Job struct {
 	// merged partitions in memory. 0 (the default) keeps the
 	// all-in-memory shuffle. Ignored by map-only jobs.
 	MaxShuffleBytes int64
+	// MemoryTargetBytes, when MaxShuffleBytes is 0, derives the
+	// per-task spill budget adaptively: the job-wide memory target is
+	// divided by the cluster's concurrent task slots, so a job states
+	// how much memory the shuffle may use in total and the engine
+	// sizes each task's buffer for the worst case of every slot
+	// spilling at once. MaxShuffleBytes, when set, overrides this.
+	MemoryTargetBytes int64
 	// CompressSpill writes spill run files in the DEFLATE-compressed
 	// recordio block format (version 2) instead of plain record
 	// files. Only consulted when MaxShuffleBytes is set.

@@ -62,7 +62,7 @@ func splitsFor(fs *dfs.FileSystem, inputPaths []string) ([]InputSplit, error) {
 // key is the byte offset (Hadoop TextInputFormat). The sniff costs
 // one tiny ReadRange per split; the engine's pipelines mix text
 // uploads and binary part files freely because of it.
-func readSplit(fs *dfs.FileSystem, sp InputSplit, fn func(key, value string) error) error {
+func readSplit(fs dfs.Store, sp InputSplit, fn func(key, value string) error) error {
 	hdr, err := fs.ReadRange(sp.Path, 0, recordio.HeaderLen)
 	if err != nil {
 		return err
@@ -79,7 +79,7 @@ func readSplit(fs *dfs.FileSystem, sp InputSplit, fn func(key, value string) err
 // sync blocks starting inside it (see recordio.ScanSplit), with the
 // same read-past-the-end overrun budget the line reader uses to
 // finish a record straddling the split boundary.
-func readSplitRecords(fs *dfs.FileSystem, sp InputSplit, fn func(key, value string) error) error {
+func readSplitRecords(fs dfs.Store, sp InputSplit, fn func(key, value string) error) error {
 	reqLen := sp.Length + maxLineOverrun
 	buf, err := fs.ReadRange(sp.Path, sp.Offset, reqLen)
 	if err != nil {
@@ -101,7 +101,7 @@ func readSplitRecords(fs *dfs.FileSystem, sp InputSplit, fn func(key, value stri
 // end to complete its final record. The callback receives the byte
 // offset of each line (the record key) and the line text without the
 // trailing newline.
-func readSplitLines(fs *dfs.FileSystem, sp InputSplit, fn func(offset int64, line string) error) error {
+func readSplitLines(fs dfs.Store, sp InputSplit, fn func(offset int64, line string) error) error {
 	// Start one byte early (as Hadoop's LineRecordReader does) so that
 	// a record beginning exactly at the split boundary is not skipped:
 	// the "first line" discarded below is then the line containing the

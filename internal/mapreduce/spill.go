@@ -39,7 +39,7 @@ type spillRun struct {
 // spill lifecycle. It is used by every map task — budget or not — so
 // the two shuffle paths share one commit code path.
 type mapSpiller struct {
-	e           *Engine
+	fs          dfs.Store
 	job         *Job
 	ctx         *TaskContext
 	taskID      string
@@ -49,6 +49,10 @@ type mapSpiller struct {
 	numReducers int
 	partition   func(key string, numReducers int) int
 	budget      int64
+	// forceSpill makes finish flush every partition to file-backed
+	// runs even when nothing tripped the budget — out-of-process map
+	// tasks have no other way to hand their output to the driver.
+	forceSpill bool
 
 	parts    [][]KV
 	bufBytes int64
@@ -65,19 +69,31 @@ type mapSpiller struct {
 	fileBytes  int64 // on-DFS bytes of those files
 }
 
-func newMapSpiller(e *Engine, job *Job, ctx *TaskContext, taskID string, attempt int, node string, mapOnly bool, numReducers int, partition func(string, int) int) *mapSpiller {
+func newMapSpiller(fs dfs.Store, job *Job, ctx *TaskContext, taskID string, attempt int, node string, mapOnly bool, numReducers int, partition func(string, int) int, budget int64, forceSpill bool) *mapSpiller {
 	nParts := numReducers
 	if mapOnly {
 		nParts = 1
-	}
-	budget := job.MaxShuffleBytes
-	if mapOnly {
 		budget = 0 // map-only output goes straight to part files
+		forceSpill = false
 	}
 	return &mapSpiller{
-		e: e, job: job, ctx: ctx, taskID: taskID, attempt: attempt, node: node,
+		fs: fs, job: job, ctx: ctx, taskID: taskID, attempt: attempt, node: node,
 		mapOnly: mapOnly, numReducers: numReducers, partition: partition,
-		budget: budget, parts: make([][]KV, nParts),
+		budget: budget, forceSpill: forceSpill, parts: make([][]KV, nParts),
+	}
+}
+
+// stats packages the attempt's counter deltas for the TaskResult; the
+// driver commits them only for the winning attempt.
+func (sp *mapSpiller) stats(inputRecords int64) TaskStats {
+	return TaskStats{
+		MapInputRecords:      inputRecords,
+		MapOutputRecords:     sp.added,
+		CombineInputRecords:  sp.combineIn,
+		CombineOutputRecords: sp.combineOut,
+		SpilledRecords:       sp.sorted,
+		SpillFiles:           sp.files,
+		SpillBytes:           sp.fileBytes,
 	}
 }
 
@@ -150,7 +166,7 @@ func (sp *mapSpiller) spill() error {
 		}
 		path := fmt.Sprintf("%s/%s-a%04d-spill-%04d-p%05d",
 			spillDir(sp.job), sp.taskID, sp.attempt, sp.spillSeq, p)
-		if err := sp.e.fs.Create(path, data, sp.node); err != nil {
+		if err := sp.fs.Create(path, data, sp.node); err != nil {
 			return fmt.Errorf("spill %s: %v", path, err)
 		}
 		if sp.fileRuns == nil {
@@ -180,7 +196,7 @@ func (sp *mapSpiller) finish() (*mapOutput, error) {
 	if sp.mapOnly {
 		return &mapOutput{parts: sp.parts}, nil
 	}
-	if sp.spillSeq > 0 {
+	if sp.spillSeq > 0 || sp.forceSpill {
 		if err := sp.spill(); err != nil {
 			return nil, err
 		}
@@ -216,7 +232,7 @@ type extPartition struct {
 // iter opens a fresh streaming merge over the partition's runs. Each
 // reduce attempt gets its own cursors (and fetch windows), so
 // concurrent speculative attempts never share read state.
-func (x *extPartition) iter(fs *dfs.FileSystem, cmp func(a, b string) int) (*extMergeIter, error) {
+func (x *extPartition) iter(fs dfs.Store, cmp func(a, b string) int) (*extMergeIter, error) {
 	pulls := make([]pullFunc, 0, len(x.sources))
 	for _, s := range x.sources {
 		if s.file.path == "" {
@@ -238,7 +254,7 @@ func (x *extPartition) iter(fs *dfs.FileSystem, cmp func(a, b string) int) (*ext
 
 // openSpillRun opens one spill file as a pull cursor streaming through
 // ranged DFS reads, holding one fetch window rather than the file.
-func openSpillRun(fs *dfs.FileSystem, path string) (pullFunc, error) {
+func openSpillRun(fs dfs.Store, path string) (pullFunc, error) {
 	size, err := fs.Size(path)
 	if err != nil {
 		return nil, fmt.Errorf("spill run %s: %v", path, err)

@@ -248,7 +248,7 @@ func TestSpillRunTruncationIsAnError(t *testing.T) {
 	fs, _ := dfs.New(c, dfs.Config{ChunkSize: 1 << 20, Replication: 3, Seed: 3})
 	e := NewEngine(c, fs, Options{})
 	job := &Job{Name: "trunc", MaxShuffleBytes: 1}
-	sp := newMapSpiller(e, job, &TaskContext{}, "m0", 0, "", false, 1, HashPartition)
+	sp := newMapSpiller(e.fs, job, &TaskContext{}, "m0", 0, "", false, 1, HashPartition, job.MaxShuffleBytes, false)
 	for i := 0; i < 50; i++ {
 		sp.emit(fmt.Sprintf("key-%02d", i), "value-payload")
 	}

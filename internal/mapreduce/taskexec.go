@@ -1,0 +1,129 @@
+// Worker-side task execution: the entry point an out-of-process
+// tasktracker calls for each assigned attempt. Unlike the in-process
+// executor, nothing here touches driver memory — map output leaves as
+// DFS spill-run files, reduce/map-only output as an attempt-unique
+// temp file the driver renames into place for the winner, and user
+// counters travel back as a snapshot in the TaskResult.
+
+package mapreduce
+
+import (
+	"fmt"
+
+	"repro/internal/dfs"
+)
+
+// tmpDir is the DFS directory holding a job's uncommitted task
+// outputs, swept when the job finishes.
+func tmpDir(jobName string) string { return "_tmp/" + jobName }
+
+// taskTempPath is the attempt-unique temp path for a task's output:
+// concurrent speculative attempts of one task never collide, and a
+// retry never collides with the debris of a failed earlier attempt.
+func taskTempPath(jobName, taskID string, attempt int) string {
+	return fmt.Sprintf("%s/%s-a%04d", tmpDir(jobName), taskID, attempt)
+}
+
+// ExecuteTask runs one task attempt against the given store and
+// returns its result. It is transport-agnostic — the RPC worker calls
+// it with a RemoteStore after materialising spec.Job from the wire;
+// tests may call it directly against a local DFS.
+func ExecuteTask(store dfs.Store, spec TaskSpec) (TaskResult, error) {
+	job := spec.Job
+	if job == nil {
+		return TaskResult{}, fmt.Errorf("mapreduce: task %s has no job", spec.TaskID)
+	}
+	// A fresh registry per attempt: user counters reach the driver as
+	// a snapshot and are merged winner-only, so a failed or losing
+	// remote attempt contributes nothing.
+	counters := NewCounters()
+	ctx := &TaskContext{
+		JobName: job.Name, TaskID: spec.TaskID, Attempt: spec.Attempt, Node: spec.Node,
+		conf: job.Conf, cache: job.Cache, counters: counters,
+	}
+	var res TaskResult
+	var err error
+	switch spec.Phase {
+	case "map":
+		res, err = executeMapTask(store, job, ctx, spec)
+	case "reduce":
+		res, err = executeReduceTask(store, job, ctx, spec)
+	default:
+		err = fmt.Errorf("mapreduce: task %s: unknown phase %q", spec.TaskID, spec.Phase)
+	}
+	if err != nil {
+		return TaskResult{}, err
+	}
+	res.UserCounters = counters.Snapshot()
+	return res, nil
+}
+
+func executeMapTask(store dfs.Store, job *Job, ctx *TaskContext, spec TaskSpec) (TaskResult, error) {
+	partition := job.Partitioner
+	if partition == nil {
+		partition = HashPartition
+	}
+	// Force-spill: every partition of a remote map task must end
+	// file-backed, because the driver cannot reach this process's
+	// memory. At budget 0 that is exactly one sorted+combined run per
+	// partition — the same records, in the same order, the in-process
+	// path would hold in memory.
+	out, records, sp, err := execMapAttempt(store, job, ctx, spec, partition, spec.ShuffleBudget, !spec.MapOnly)
+	if err != nil {
+		return TaskResult{}, err
+	}
+	res := TaskResult{Records: records, Stats: sp.stats(records)}
+	if spec.MapOnly {
+		tmp := taskTempPath(job.Name, spec.TaskID, spec.Attempt)
+		if err := store.Create(tmp, encodePartFile(out.parts[0], job.BinaryOutput), spec.Node); err != nil {
+			return TaskResult{}, fmt.Errorf("%s: %v", spec.TaskID, err)
+		}
+		res.OutFile = tmp
+		return res, nil
+	}
+	res.MapRuns = make([][]RunDesc, spec.NumReducers)
+	for p, runs := range out.fileRuns {
+		for _, r := range runs {
+			res.MapRuns[p] = append(res.MapRuns[p], RunDesc{Path: r.path, Records: r.records, Bytes: r.bytes})
+		}
+	}
+	return res, nil
+}
+
+func executeReduceTask(store dfs.Store, job *Job, ctx *TaskContext, spec TaskSpec) (TaskResult, error) {
+	pulls := make([]pullFunc, 0, len(spec.Runs))
+	var inRecords int64
+	for _, rd := range spec.Runs {
+		pull, err := openSpillRun(store, rd.Path)
+		if err != nil {
+			return TaskResult{}, fmt.Errorf("%s: %v", spec.TaskID, err)
+		}
+		pulls = append(pulls, pull)
+		inRecords += rd.Records
+	}
+	it, err := newExtMergeIter(pulls, job.KeyCompare)
+	if err != nil {
+		return TaskResult{}, fmt.Errorf("%s: %v", spec.TaskID, err)
+	}
+	var groups int64
+	out, err := runReduce(ctx, job.NewReducer(), it, &groups, job.KeyCompare)
+	if err == nil {
+		err = it.Err()
+	}
+	if err != nil {
+		return TaskResult{}, fmt.Errorf("%s: %v", spec.TaskID, err)
+	}
+	tmp := taskTempPath(job.Name, spec.TaskID, spec.Attempt)
+	if err := store.Create(tmp, encodePartFile(out, job.BinaryOutput), spec.Node); err != nil {
+		return TaskResult{}, fmt.Errorf("%s: %v", spec.TaskID, err)
+	}
+	return TaskResult{
+		Records: inRecords,
+		OutFile: tmp,
+		Stats: TaskStats{
+			ReduceInputRecords:  inRecords,
+			ReduceOutputRecords: int64(len(out)),
+			ReduceInputGroups:   groups,
+		},
+	}, nil
+}

@@ -53,6 +53,15 @@ const (
 	// iterations, DJ-Cluster phases, R-tree build).
 	SpanStart EventType = "span_start"
 	SpanEnd   EventType = "span_end"
+	// WorkerJoined/WorkerLost mark out-of-process worker membership at
+	// the jobtracker (registration, and loss via kill or heartbeat
+	// timeout — Err carries the loss reason). Node identifies the
+	// worker's cluster node; Job is empty (membership outlives jobs).
+	WorkerJoined EventType = "worker_joined"
+	WorkerLost   EventType = "worker_lost"
+	// WorkerTaskDone marks a task attempt finishing on a remote worker,
+	// as reported by the worker's own event stream (Err set on failure).
+	WorkerTaskDone EventType = "worker_task_done"
 )
 
 // Event is one structured lifecycle event. The identity fields form a

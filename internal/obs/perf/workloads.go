@@ -5,7 +5,10 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/cluster"
+	"repro/internal/cluster/rpc"
 	"repro/internal/core"
+	"repro/internal/dfs"
 	"repro/internal/geo"
 	"repro/internal/geolife"
 	"repro/internal/gepeto"
@@ -104,6 +107,11 @@ func Workloads() []Workload {
 			Setup: setupShuffleMerge,
 		},
 		{
+			Name:  "distributed-kmeans",
+			Desc:  "k-means iteration through the RPC backend: jobtracker + 7 workers over the in-memory transport",
+			Setup: setupDistributedKMeans,
+		},
+		{
 			Name:  "synth-generate",
 			Desc:  "million-user MMC-driven synthetic corpus streamed into DFS (scaled)",
 			Setup: setupSynthGenerate,
@@ -160,9 +168,13 @@ func uploadCorpus(tk *core.Toolkit, rc *RunContext) (*trace.Dataset, error) {
 
 // dirBytes sums the stored size of a DFS directory.
 func dirBytes(tk *core.Toolkit, dir string) int64 {
+	return fsDirBytes(tk.FS(), dir)
+}
+
+func fsDirBytes(fs *dfs.FileSystem, dir string) int64 {
 	var total int64
-	for _, f := range tk.FS().List(dir) {
-		if sz, err := tk.FS().Size(f); err == nil {
+	for _, f := range fs.List(dir) {
+		if sz, err := fs.Size(f); err == nil {
 			total += sz
 		}
 	}
@@ -380,6 +392,73 @@ func setupShuffleMerge(rc *RunContext) (RunFunc, error) {
 				{Phase: "merge", DurUs: mergedAt.Sub(sorted).Microseconds()},
 				{Phase: "decode", DurUs: done.Sub(mergedAt).Microseconds()},
 			},
+		}, nil
+	}, nil
+}
+
+// setupDistributedKMeans measures the same iteration as kmeans-iter but
+// through the out-of-process scheduling path: a jobtracker and seven
+// worker loops exchanging registration, heartbeat, assignment,
+// completion and DFS traffic over the in-memory transport (full gob
+// round-trips, no real sockets). The delta against kmeans-iter is the
+// RPC backend's coordination and serialization overhead.
+func setupDistributedKMeans(rc *RunContext) (RunFunc, error) {
+	c, err := cluster.NewUniform(7, 2, 4)
+	if err != nil {
+		return nil, err
+	}
+	fs, err := dfs.New(c, dfs.Config{ChunkSize: scaledChunk(64, rc.Scale), Seed: rc.Seed})
+	if err != nil {
+		return nil, err
+	}
+	// The jobtracker starts with every node dead; nodes come alive as
+	// their workers register, so the deployment must be up before the
+	// corpus upload can place chunks.
+	net := rpc.NewMemNetwork()
+	jt := rpc.NewJobtracker(rpc.JobtrackerConfig{Cluster: c, FS: fs, Obs: rc.Bus, Transport: net})
+	net.Bind("jt", jt.Server())
+	workers := make([]*rpc.Worker, 0, len(c.Nodes()))
+	for _, n := range c.Nodes() {
+		addr := "worker:" + n.ID
+		w := rpc.NewWorker(rpc.WorkerConfig{
+			Node: n.ID, Slots: n.Slots, Transport: net,
+			JobtrackerAddr: "jt", Addr: addr,
+		})
+		net.Bind(addr, w.Server())
+		workers = append(workers, w)
+		go func() {
+			// Registration failure surfaces as a WaitForWorkers timeout.
+			_ = w.Run()
+		}()
+	}
+	if err := jt.WaitForWorkers(len(c.Nodes()), 10*time.Second); err != nil {
+		return nil, err
+	}
+	ds := geolife.Generate(geolife.Scaled(rc.Seed, rc.Scale))
+	if err := geolife.WriteRecordsConcat(fs, "data", ds, 2); err != nil {
+		return nil, err
+	}
+	in := fsDirBytes(fs, "data")
+	engine := mapreduce.NewEngine(c, fs, mapreduce.Options{Executor: jt.Executor(), Obs: rc.Bus})
+	return func() (Stats, error) {
+		res, err := gepeto.KMeansMR(engine, []string{"data"}, "kmeans-work", gepeto.KMeansOptions{
+			K: 11, Distance: geo.MetricSquaredEuclidean, MaxIter: 1,
+			Seed: rc.Seed, UseCombiner: true, Parent: rc.Span,
+		})
+		// Tear the deployment down either way so its heartbeat and
+		// monitor goroutines don't tick under later workloads.
+		jt.ShutdownWorkers()
+		for _, w := range workers {
+			w.Stop()
+		}
+		jt.Stop()
+		if err != nil {
+			return Stats{}, err
+		}
+		return Stats{
+			Records: int64(ds.NumTraces()),
+			Bytes:   in,
+			Results: res.IterationResults,
 		}, nil
 	}, nil
 }

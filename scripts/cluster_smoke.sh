@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Multi-process cluster smoke test: run the same k-means job once
+# in-process and once as a real deployment — one jobtracker process,
+# three worker processes over TCP — kill one worker mid-run, and
+# require the final centroids to match byte for byte.
+#
+# This is the end-to-end proof behind the executor split: the scheduler
+# cannot tell the two backends apart, and losing a tasktracker costs
+# retries, never answers.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+pids=()
+cleanup() {
+    for pid in "${pids[@]:-}"; do
+        kill "$pid" 2>/dev/null || true
+    done
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "== build"
+go build -o "$workdir/gepeto" ./cmd/gepeto
+
+echo "== generate corpus"
+"$workdir/gepeto" generate -users 5 -traces 20000 -seed 42 -out "$workdir/data" >/dev/null
+
+echo "== in-process reference run"
+"$workdir/gepeto" kmeans -in "$workdir/data" -k 5 -maxiter 5 -seed 1 -combiner \
+    -nodes 3 -racks 2 -slots 4 \
+    -centroids-out "$workdir/expected.txt" >/dev/null
+
+echo "== multi-process run (3 workers, one killed mid-run)"
+"$workdir/gepeto" jobtracker -in "$workdir/data" -k 5 -maxiter 5 -seed 1 -combiner \
+    -nodes 3 -racks 2 -slots 4 -workers 3 -grace 1s \
+    -addr-file "$workdir/jt.addr" \
+    -centroids-out "$workdir/actual.txt" &
+jt_pid=$!
+pids+=("$jt_pid")
+
+worker_pids=()
+for i in 0 1 2; do
+    # The per-task overhead stretches the run so the kill below lands
+    # while the job is still in flight.
+    "$workdir/gepeto" worker -node "node-0$i" -slots 4 \
+        -addr-file "$workdir/jt.addr" -task-overhead 100ms &
+    worker_pids+=("$!")
+    pids+=("$!")
+done
+
+sleep 1
+echo "== killing worker node-01 (pid ${worker_pids[1]})"
+kill -9 "${worker_pids[1]}" 2>/dev/null || true
+
+if ! wait "$jt_pid"; then
+    echo "FAIL: jobtracker exited nonzero" >&2
+    exit 1
+fi
+
+# Surviving workers exit via the jobtracker's shutdown; don't fail the
+# script on their status.
+wait "${worker_pids[0]}" 2>/dev/null || true
+wait "${worker_pids[2]}" 2>/dev/null || true
+
+echo "== diff centroids"
+if ! diff -u "$workdir/expected.txt" "$workdir/actual.txt"; then
+    echo "FAIL: multi-process centroids differ from in-process run" >&2
+    exit 1
+fi
+echo "PASS: centroids byte-identical across backends (with a worker killed mid-run)"
