@@ -12,11 +12,18 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
 	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/cluster"
@@ -26,7 +33,30 @@ import (
 	"repro/internal/geolife"
 	"repro/internal/gepeto"
 	"repro/internal/mapreduce"
+	"repro/internal/obs"
+	obstrace "repro/internal/obs/trace"
 )
+
+// newLogger builds the structured logger behind -log-level. Levels are
+// the slog names; "off" discards everything.
+func newLogger(level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info":
+		lvl = slog.LevelInfo
+	case "warn", "warning":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	case "off":
+		return slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.LevelError + 1})), nil
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (debug|info|warn|error|off)", level)
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl})), nil
+}
 
 // resolveJTAddr returns the jobtracker address from -jobtracker or,
 // when set, by polling -addr-file until the jobtracker writes it.
@@ -61,11 +91,17 @@ func cmdWorker(args []string) error {
 	listen := fs.String("listen", "127.0.0.1:0", "address to listen on for task assignments")
 	heartbeat := fs.Duration("heartbeat", 250*time.Millisecond, "heartbeat period")
 	overhead := fs.Duration("task-overhead", 0, "artificial per-task startup sleep (fault-drill pacing)")
+	logLevel := fs.String("log-level", "warn", "structured log level (debug|info|warn|error|off)")
+	clockSkew := fs.Duration("clock-skew", 0, "artificial offset added to this worker's clock (drill for the jobtracker's clock alignment)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *node == "" {
 		return fmt.Errorf("-node is required")
+	}
+	logger, err := newLogger(*logLevel)
+	if err != nil {
+		return err
 	}
 	jt, err := resolveJTAddr(*jtAddr, *addrFile, 10*time.Second)
 	if err != nil {
@@ -82,6 +118,8 @@ func cmdWorker(args []string) error {
 		Addr:           ln.Addr().String(),
 		HeartbeatEvery: *heartbeat,
 		TaskOverhead:   *overhead,
+		Logger:         logger.With("worker", *node),
+		ClockSkew:      *clockSkew,
 	})
 	go func() {
 		// Serve returns when the listener closes at process exit.
@@ -118,10 +156,22 @@ func cmdJobtracker(args []string) error {
 	wait := fs.Duration("wait", 30*time.Second, "how long to wait for workers")
 	grace := fs.Duration("grace", 2*time.Second, "heartbeat grace before a silent worker is declared lost")
 	centroidsOut := fs.String("centroids-out", "", "also write the final centroid lines to this file")
+	status := fs.String("status", "",
+		`serve live cluster status (/cluster, federated /metrics, /trace/, /analyze/) on this address (":0" picks a port)`)
+	statusFile := fs.String("status-file", "", "write the status server's bound address to this file")
+	historyDir := fs.String("historydir", defaultHistoryDir,
+		`local directory mirroring job history and traces ("" disables the mirror)`)
+	linger := fs.Duration("linger", 0,
+		"keep the status server (and jobtracker) up this long after the job finishes; SIGINT/SIGTERM ends early")
+	logLevel := fs.String("log-level", "warn", "structured log level (debug|info|warn|error|off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	metric, err := geo.ParseMetric(*distName)
+	if err != nil {
+		return err
+	}
+	logger, err := newLogger(*logLevel)
 	if err != nil {
 		return err
 	}
@@ -133,9 +183,25 @@ func cmdJobtracker(args []string) error {
 	if err != nil {
 		return err
 	}
+
+	// Observability plane: one registry shared by the jobtracker's own
+	// telemetry and the event-derived cluster counters (MetricsSink),
+	// plus the causal-trace collector persisted beside job history.
+	tracker := obs.NewTracker()
+	reg := obs.NewRegistry()
+	var store *obstrace.Store
+	var hist *obs.History
+	if *historyDir != "" {
+		store = obstrace.NewStore(obs.NewDirFS(*historyDir))
+		hist = obs.NewHistory(obs.NewDirFS(*historyDir))
+	}
+	collector := obstrace.NewCollector(store, 0)
+	bus := obs.NewBus(tracker, obs.NewMetricsSink(reg), collector)
+
 	tcp := &rpc.TCPNetwork{}
 	jt := rpc.NewJobtracker(rpc.JobtrackerConfig{
 		Cluster: c, FS: filesystem, Transport: tcp, HeartbeatGrace: *grace,
+		Obs: bus, Registry: reg, Logger: logger,
 	})
 	defer jt.Stop()
 	ln, err := net.Listen("tcp", *listen)
@@ -154,6 +220,41 @@ func cmdJobtracker(args []string) error {
 			return err
 		}
 	}
+
+	var srv *obs.StatusServer
+	if *status != "" {
+		// The registry is deliberately NOT handed to the server: the
+		// jobtracker's merged snapshot (own registry + synthesized
+		// cluster gauges + federated per-worker series) is the single
+		// source, so no family is rendered twice.
+		srv, err = obs.NewStatusServer(*status, tracker, nil, hist)
+		if err != nil {
+			return err
+		}
+		srv.Extra = func() string {
+			var sb strings.Builder
+			obs.WriteMetricPoints(&sb, jt.MetricsSnapshot())
+			return sb.String()
+		}
+		srv.ExtraJSON = jt.MetricsSnapshot
+		srv.Handle("/cluster", jt.ClusterHandler())
+		srv.Handle("/cluster.json", jt.ClusterHandler())
+		src := obstrace.Multi(collector, store)
+		srv.Handle("/trace/", obstrace.TraceHandler("/trace/", src))
+		srv.Handle("/analyze/", obstrace.AnalyzeHandler("/analyze/", src, obstrace.Options{}))
+		fmt.Fprintf(os.Stderr, "status server listening on %s\n", srv.URL())
+		if *statusFile != "" {
+			if err := os.WriteFile(*statusFile, []byte(srv.Addr()+"\n"), 0o644); err != nil {
+				return err
+			}
+		}
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			_ = srv.Shutdown(ctx)
+		}()
+	}
+
 	if err := jt.WaitForWorkers(*workers, *wait); err != nil {
 		return err
 	}
@@ -166,7 +267,9 @@ func cmdJobtracker(args []string) error {
 	if err := geolife.WriteRecords(filesystem, "input", ds); err != nil {
 		return err
 	}
-	engine := mapreduce.NewEngine(c, filesystem, mapreduce.Options{Executor: jt.Executor()})
+	engine := mapreduce.NewEngine(c, filesystem, mapreduce.Options{
+		Executor: jt.Executor(), Obs: bus, History: hist,
+	})
 	fmt.Printf("k-means on %d traces (%d worker processes)\n", ds.NumTraces(), *workers)
 	res, err := gepeto.KMeansMR(engine, []string{"input"}, "input-kmeans-work", gepeto.KMeansOptions{
 		K: *k, Distance: metric, ConvergenceDelta: *delta,
@@ -189,7 +292,63 @@ func cmdJobtracker(args []string) error {
 			return err
 		}
 	}
+	if *linger > 0 && srv != nil {
+		// Workers keep heartbeating (and federating metrics) while the
+		// status server lingers, so /cluster and /metrics can be
+		// scraped after the job — a smoke test's observation window.
+		fmt.Fprintf(os.Stderr, "job done; status server lingering %v on %s (SIGINT/SIGTERM to exit)\n",
+			*linger, srv.URL())
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		select {
+		case <-sig:
+			fmt.Fprintln(os.Stderr, "interrupted; shutting down")
+		case <-time.After(*linger):
+		}
+		signal.Stop(sig)
+	}
 	jt.ShutdownWorkers()
+	return nil
+}
+
+// cmdCluster renders a live jobtracker's /cluster.json as the worker
+// table — heartbeat ages, busy slots, in-flight attempts, per-worker
+// task and RPC tallies, clock offsets, and lost workers.
+func cmdCluster(args []string) error {
+	fs := flag.NewFlagSet("cluster", flag.ExitOnError)
+	status := fs.String("status", "", "jobtracker status server address (host:port)")
+	statusFile := fs.String("status-file", "", "file to read the status address from (written by `gepeto jobtracker -status-file`)")
+	asJSON := fs.Bool("json", false, "print the raw cluster state JSON instead of the table")
+	timeout := fs.Duration("timeout", 5*time.Second, "HTTP request timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	addr, err := resolveJTAddr(*status, *statusFile, *timeout)
+	if err != nil {
+		return fmt.Errorf("resolving status address: %w (pass -status or -status-file)", err)
+	}
+	client := &http.Client{Timeout: *timeout}
+	resp, err := client.Get("http://" + addr + "/cluster.json")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET /cluster.json: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	if *asJSON {
+		fmt.Print(string(body))
+		return nil
+	}
+	var st rpc.ClusterState
+	if err := json.Unmarshal(body, &st); err != nil {
+		return fmt.Errorf("decoding cluster state: %v", err)
+	}
+	fmt.Print(rpc.RenderClusterTable(st))
 	return nil
 }
 

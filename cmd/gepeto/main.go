@@ -80,6 +80,8 @@ func main() {
 		err = cmdJobtracker(args)
 	case "worker":
 		err = cmdWorker(args)
+	case "cluster":
+		err = cmdCluster(args)
 	case "history":
 		err = cmdHistory(args)
 	case "analyze":
@@ -117,6 +119,7 @@ commands:
   mmc        build Mobility Markov Chains per user and evaluate prediction
   jobtracker run a k-means job on out-of-process workers over TCP
   worker     one tasktracker process serving a jobtracker
+  cluster    live worker table from a jobtracker's status server
   history    list stored job runs and render per-node attempt timelines
   analyze    critical-path / straggler / shuffle-skew report from traces
 

@@ -112,6 +112,10 @@ type backendOpts struct {
 	// worker's view of the network (e.g. in an Unreliable).
 	jtTransport     func(inner rpc.Transport) rpc.Transport
 	workerTransport func(node string, inner rpc.Transport) rpc.Transport
+	// jtConfig / workerConfig adjust the final configs before the
+	// processes start (observability wiring, clock skew).
+	jtConfig     func(cfg *rpc.JobtrackerConfig)
+	workerConfig func(node string, cfg *rpc.WorkerConfig)
 }
 
 // backend is a full multi-worker deployment on a MemNetwork.
@@ -133,9 +137,13 @@ func startBackend(t *testing.T, c *cluster.Cluster, fs *dfs.FileSystem, o backen
 	if o.jtTransport != nil {
 		jtTr = o.jtTransport(n)
 	}
-	jt := rpc.NewJobtracker(rpc.JobtrackerConfig{
+	jtCfg := rpc.JobtrackerConfig{
 		Cluster: c, FS: fs, Transport: jtTr, HeartbeatGrace: o.grace,
-	})
+	}
+	if o.jtConfig != nil {
+		o.jtConfig(&jtCfg)
+	}
+	jt := rpc.NewJobtracker(jtCfg)
 	n.Bind(jtAddr, jt.Server())
 	b := &backend{net: n, jt: jt}
 	hb := o.heartbeat
@@ -148,11 +156,15 @@ func startBackend(t *testing.T, c *cluster.Cluster, fs *dfs.FileSystem, o backen
 			wTr = o.workerTransport(node.ID, n)
 		}
 		addr := "worker:" + node.ID
-		w := rpc.NewWorker(rpc.WorkerConfig{
+		wCfg := rpc.WorkerConfig{
 			Node: node.ID, Slots: node.Slots,
 			Transport: wTr, JobtrackerAddr: jtAddr, Addr: addr,
 			HeartbeatEvery: hb, TaskOverhead: o.taskOverhead,
-		})
+		}
+		if o.workerConfig != nil {
+			o.workerConfig(node.ID, &wCfg)
+		}
+		w := rpc.NewWorker(wCfg)
 		n.Bind(addr, w.Server())
 		done := make(chan error, 1)
 		go func(w *rpc.Worker) { done <- w.Run() }(w)

@@ -1,0 +1,200 @@
+package rpc
+
+import (
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// Federation merges per-worker metrics snapshots at the jobtracker.
+//
+// Workers piggyback their whole registry — as cumulative, not
+// incremental, []obs.MetricPoint snapshots — on every heartbeat,
+// stamped with a per-process Epoch (the worker's start time) and a
+// per-beat Seq. Because snapshots are cumulative, merging is
+// last-writer-wins per worker, which makes the protocol trivially
+// idempotent: a duplicated heartbeat re-applies the same state, a
+// reordered one is detected by (epoch, seq) and dropped, and a lost
+// one costs nothing but staleness until the next beat lands. A worker
+// restart bumps the epoch, so the fresh process's counters (reset to
+// zero) supersede the old incarnation's instead of being mistaken for
+// stale data.
+type Federation struct {
+	mu    sync.Mutex
+	snaps map[string]*workerSnap // by worker node ID
+	stale int64
+}
+
+// workerSnap is the newest accepted snapshot of one worker.
+type workerSnap struct {
+	epoch  int64
+	seq    uint64
+	points []obs.MetricPoint
+}
+
+// NewFederation returns an empty federation.
+func NewFederation() *Federation {
+	return &Federation{snaps: make(map[string]*workerSnap)}
+}
+
+// Apply merges one worker snapshot, returning whether it was accepted.
+// A snapshot is accepted when it is strictly newer than the stored one
+// for that worker: a later epoch (worker restart), or the same epoch
+// with a higher sequence number. Duplicates and reordered deliveries
+// are counted and dropped — applying them would rewind gauges and
+// histograms to an earlier state.
+func (f *Federation) Apply(worker string, epoch int64, seq uint64, points []obs.MetricPoint) bool {
+	if worker == "" {
+		return false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	cur, ok := f.snaps[worker]
+	if ok && (epoch < cur.epoch || (epoch == cur.epoch && seq <= cur.seq)) {
+		f.stale++
+		return false
+	}
+	f.snaps[worker] = &workerSnap{epoch: epoch, seq: seq, points: points}
+	return true
+}
+
+// StaleDrops reports how many snapshots were rejected as duplicates or
+// reordered deliveries — the observable proof of idempotency under an
+// unreliable transport.
+func (f *Federation) StaleDrops() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stale
+}
+
+// Workers returns the IDs with a stored snapshot, sorted.
+func (f *Federation) Workers() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]string, 0, len(f.snaps))
+	for id := range f.snaps {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Worker returns the newest accepted snapshot of one worker (nil if
+// none).
+func (f *Federation) Worker(id string) []obs.MetricPoint {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s, ok := f.snaps[id]
+	if !ok {
+		return nil
+	}
+	return append([]obs.MetricPoint(nil), s.points...)
+}
+
+// Snapshot renders the federated view: every worker's points labeled
+// worker=<id>, followed by cross-worker aggregates labeled
+// worker="all" (values, counts and sums summed; histogram buckets
+// summed elementwise when the bucket ladders agree, dropped
+// otherwise). The result is deterministic: sorted by name, then label
+// set.
+func (f *Federation) Snapshot() []obs.MetricPoint {
+	f.mu.Lock()
+	ids := make([]string, 0, len(f.snaps))
+	for id := range f.snaps {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+
+	var out []obs.MetricPoint
+	aggs := make(map[string]*obs.MetricPoint)
+	var aggOrder []string
+	for _, id := range ids {
+		for _, p := range f.snaps[id].points {
+			wp := p
+			wp.Labels = withLabel(p.Labels, "worker", id)
+			wp.Buckets = append([]obs.BucketPoint(nil), p.Buckets...)
+			out = append(out, wp)
+
+			key := pointKey(p)
+			a, ok := aggs[key]
+			if !ok {
+				cp := p
+				cp.Labels = withLabel(p.Labels, "worker", "all")
+				cp.Buckets = append([]obs.BucketPoint(nil), p.Buckets...)
+				aggs[key] = &cp
+				aggOrder = append(aggOrder, key)
+				continue
+			}
+			a.Value += p.Value
+			a.FValue += p.FValue
+			a.Count += p.Count
+			a.Sum += p.Sum
+			if sameBounds(a.Buckets, p.Buckets) {
+				for i := range a.Buckets {
+					a.Buckets[i].Cum += p.Buckets[i].Cum
+				}
+			} else {
+				a.Buckets = nil
+			}
+		}
+	}
+	f.mu.Unlock()
+	for _, key := range aggOrder {
+		out = append(out, *aggs[key])
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return labelsLess(out[i].Labels, out[j].Labels)
+	})
+	return out
+}
+
+// pointKey identifies a series across workers: name plus sorted labels.
+func pointKey(p obs.MetricPoint) string {
+	keys := make([]string, 0, len(p.Labels))
+	for k := range p.Labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	sb.WriteString(p.Name)
+	for _, k := range keys {
+		sb.WriteByte('\x00')
+		sb.WriteString(k)
+		sb.WriteByte('=')
+		sb.WriteString(p.Labels[k])
+	}
+	return sb.String()
+}
+
+func labelsLess(a, b map[string]string) bool {
+	return pointKey(obs.MetricPoint{Labels: a}) < pointKey(obs.MetricPoint{Labels: b})
+}
+
+// withLabel clones labels with one extra pair; the source map is never
+// mutated (it is shared with the stored snapshot).
+func withLabel(labels map[string]string, k, v string) map[string]string {
+	out := make(map[string]string, len(labels)+1)
+	for lk, lv := range labels {
+		out[lk] = lv
+	}
+	out[k] = v
+	return out
+}
+
+// sameBounds reports whether two bucket lists share a ladder.
+func sameBounds(a, b []obs.BucketPoint) bool {
+	if len(a) != len(b) || len(a) == 0 {
+		return false
+	}
+	for i := range a {
+		if a[i].Le != b[i].Le {
+			return false
+		}
+	}
+	return true
+}

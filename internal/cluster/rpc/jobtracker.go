@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"log/slog"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -25,6 +27,23 @@ type registerReply struct{}
 
 type heartbeatArgs struct {
 	Node string
+	// Busy is how many of the worker's slots are executing a task.
+	Busy int
+	// SentUnixNano is the worker-clock send time of this beat.
+	SentUnixNano int64
+	// OffsetNanos is the worker's current EWMA estimate of its clock
+	// offset relative to the jobtracker (jobtracker − worker), valid
+	// when HasOffset is set. The jobtracker applies it to forwarded
+	// event timestamps before trace assembly.
+	OffsetNanos int64
+	HasOffset   bool
+	// Epoch (the worker's start time, UnixNano) and MetricsSeq (a
+	// per-beat sequence number) version the Metrics snapshot so the
+	// federation can drop duplicated or reordered deliveries; Metrics
+	// is the worker's whole registry as a cumulative snapshot.
+	Epoch      int64
+	MetricsSeq uint64
+	Metrics    []obs.MetricPoint
 }
 
 type heartbeatReply struct {
@@ -33,6 +52,9 @@ type heartbeatReply struct {
 	// worker fence-stops on seeing it: a deregistered worker must not
 	// keep executing tasks the scheduler has already re-run elsewhere.
 	Registered bool
+	// ServerUnixNano is the jobtracker-clock handling time of the beat —
+	// the raw material of the worker's RTT-midpoint offset estimate.
+	ServerUnixNano int64
 }
 
 type completeArgs struct {
@@ -58,10 +80,25 @@ type remoteWorker struct {
 	addr     string
 	slots    int
 	lastBeat time.Time
+	joined   time.Time
+	busy     int // slots executing, from the latest heartbeat
+	// tasksDone/tasksFailed tally completion reports delivered to a
+	// waiting RunTask (duplicates and abandoned attempts excluded).
+	tasksDone   int64
+	tasksFailed int64
 	// lost is closed exactly once, when the worker is declared lost;
 	// every in-flight RunTask waiting on this worker unblocks and the
 	// scheduler retries on another node.
 	lost chan struct{}
+}
+
+// lostRecord remembers a departed worker for the cluster view; a
+// re-registration of the same node clears it.
+type lostRecord struct {
+	node   string
+	addr   string
+	reason string
+	at     time.Time
 }
 
 // completion is a finished attempt's report, forwarded to the RunTask
@@ -85,6 +122,13 @@ type JobtrackerConfig struct {
 	// HeartbeatGrace is how long a worker may go silent before being
 	// declared lost (default 2s). The monitor checks at grace/4.
 	HeartbeatGrace time.Duration
+	// Registry receives the jobtracker's own telemetry: client- and
+	// server-side RPC counters, latencies and payload sizes. One is
+	// created when nil; either way the transport and server are
+	// instrumented unconditionally.
+	Registry *obs.Registry
+	// Logger receives structured runtime logs (nil discards them).
+	Logger *slog.Logger
 }
 
 // Jobtracker is the driver-side service of the out-of-process backend.
@@ -104,36 +148,54 @@ type Jobtracker struct {
 	tr      Transport
 	grace   time.Duration
 	srv     *Server
+	reg     *obs.Registry
+	fed     *Federation
+	log     *slog.Logger
+	started time.Time
 
 	mu      sync.Mutex
 	workers map[string]*remoteWorker // by node ID
+	lost    []lostRecord             // departed workers, for the cluster view
+	offsets map[string]int64         // worker clock offsets (nanos), kept past loss
 	pending map[string]*pendingCall  // by job|task|attempt
 	stopped bool
 
 	dupCompletions atomic.Int64
+	dupDFSCreates  atomic.Int64
 
 	stop chan struct{}
 	wg   sync.WaitGroup
 }
 
 type pendingCall struct {
-	ch chan completion // buffered(1); at most one send wins
+	ch   chan completion // buffered(1); at most one send wins
+	node string          // placement, for the in-flight-per-worker view
 }
 
 // NewJobtracker creates the service and starts its heartbeat monitor.
 // Bind its Server() on the network before starting workers.
 func NewJobtracker(cfg JobtrackerConfig) *Jobtracker {
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	jt := &Jobtracker{
 		cluster: cfg.Cluster,
 		fs:      cfg.FS,
 		bus:     cfg.Obs,
-		tr:      cfg.Transport,
+		tr:      Instrument(cfg.Transport, reg),
 		grace:   cfg.HeartbeatGrace,
 		srv:     NewServer(),
+		reg:     reg,
+		fed:     NewFederation(),
+		log:     orNopLogger(cfg.Logger),
+		started: time.Now(),
 		workers: make(map[string]*remoteWorker),
+		offsets: make(map[string]int64),
 		pending: make(map[string]*pendingCall),
 		stop:    make(chan struct{}),
 	}
+	jt.srv.Instrument(reg)
 	if jt.grace <= 0 {
 		jt.grace = 2 * time.Second
 	}
@@ -174,6 +236,68 @@ func (jt *Jobtracker) Executor() mapreduce.Executor { return &rpcExecutor{jt: jt
 // attempts. The handler acks them all; this counter is how tests see
 // the idempotency path actually taken.
 func (jt *Jobtracker) DupCompletions() int64 { return jt.dupCompletions.Load() }
+
+// DupDFSCreates reports how many dfs.create calls were acked as
+// byte-identical duplicate deliveries instead of performed.
+func (jt *Jobtracker) DupDFSCreates() int64 { return jt.dupDFSCreates.Load() }
+
+// Registry returns the jobtracker's own telemetry registry.
+func (jt *Jobtracker) Registry() *obs.Registry { return jt.reg }
+
+// Federation returns the merged per-worker metrics view.
+func (jt *Jobtracker) Federation() *Federation { return jt.fed }
+
+// MetricsSnapshot returns the whole cluster's metrics as one flat
+// list: the jobtracker's own registry, synthesized cluster-membership
+// points, and every federated worker snapshot (worker-labeled plus
+// worker="all" aggregates). Render it with obs.WriteMetricPoints or
+// serve it as JSON.
+func (jt *Jobtracker) MetricsSnapshot() []obs.MetricPoint {
+	out := jt.reg.Snapshot()
+	out = append(out, jt.clusterPoints()...)
+	out = append(out, jt.fed.Snapshot()...)
+	return out
+}
+
+// clusterPoints synthesizes membership and fault-path metrics that
+// live in jobtracker state rather than any registry: worker counts,
+// heartbeat ages, clock offsets, busy slots, and the
+// idempotency-path counters (duplicate completions, duplicate DFS
+// creates, stale federation drops).
+func (jt *Jobtracker) clusterPoints() []obs.MetricPoint {
+	now := time.Now()
+	jt.mu.Lock()
+	ids := make([]string, 0, len(jt.workers))
+	for id := range jt.workers {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	points := []obs.MetricPoint{
+		{Name: "cluster_workers", Type: "gauge", Value: int64(len(jt.workers))},
+	}
+	for _, id := range ids {
+		w := jt.workers[id]
+		lbl := map[string]string{"worker": id}
+		points = append(points,
+			obs.MetricPoint{Name: "cluster_worker_heartbeat_age_seconds", Type: "gauge", Labels: lbl, FValue: now.Sub(w.lastBeat).Seconds()},
+			obs.MetricPoint{Name: "cluster_worker_slots_busy", Type: "gauge", Labels: lbl, Value: int64(w.busy)},
+		)
+		if off, ok := jt.offsets[id]; ok {
+			points = append(points, obs.MetricPoint{
+				Name: "cluster_worker_clock_offset_seconds", Type: "gauge", Labels: lbl, FValue: time.Duration(off).Seconds(),
+			})
+		}
+	}
+	lostTotal := int64(len(jt.lost))
+	jt.mu.Unlock()
+	points = append(points,
+		obs.MetricPoint{Name: "cluster_workers_lost", Type: "gauge", Value: lostTotal},
+		obs.MetricPoint{Name: "cluster_dup_completions_total", Type: "counter", Value: jt.dupCompletions.Load()},
+		obs.MetricPoint{Name: "cluster_dfs_dup_creates_total", Type: "counter", Value: jt.dupDFSCreates.Load()},
+		obs.MetricPoint{Name: "cluster_fed_stale_drops_total", Type: "counter", Value: jt.fed.StaleDrops()},
+	)
+	return points
+}
 
 // Workers returns the currently registered worker node IDs.
 func (jt *Jobtracker) Workers() []string {
@@ -277,8 +401,10 @@ func (jt *Jobtracker) loseWorker(id, reason string) {
 		return
 	}
 	delete(jt.workers, id)
+	jt.lost = append(jt.lost, lostRecord{node: id, addr: w.addr, reason: reason, at: time.Now()})
 	jt.mu.Unlock()
 	close(w.lost)
+	jt.log.Warn("worker lost", "worker", id, "addr", w.addr, "reason", reason)
 	jt.bus.Emit(obs.Event{Type: obs.WorkerLost, Node: id, Err: reason})
 	// Best-effort fence: tell the process to stop if it is still
 	// reachable (a killed node's process may be healthy — the model
@@ -298,13 +424,22 @@ func (jt *Jobtracker) handleRegister(a *registerArgs) (*registerReply, error) {
 	if a.Slots <= 0 {
 		return nil, fmt.Errorf("rpc: register %s: %d slots, want > 0", a.Node, a.Slots)
 	}
+	now := time.Now()
 	w := &remoteWorker{
 		node: a.Node, addr: a.Addr, slots: a.Slots,
-		lastBeat: time.Now(), lost: make(chan struct{}),
+		lastBeat: now, joined: now, lost: make(chan struct{}),
 	}
 	jt.mu.Lock()
 	old := jt.workers[a.Node]
 	jt.workers[a.Node] = w
+	// A node coming back clears its tombstone in the lost list.
+	kept := jt.lost[:0]
+	for _, l := range jt.lost {
+		if l.node != a.Node {
+			kept = append(kept, l)
+		}
+	}
+	jt.lost = kept
 	jt.mu.Unlock()
 	if old != nil {
 		// A replacement registration (worker restart): attempts still
@@ -313,18 +448,29 @@ func (jt *Jobtracker) handleRegister(a *registerArgs) (*registerReply, error) {
 		close(old.lost)
 	}
 	jt.cluster.Restart(a.Node)
+	jt.log.Info("worker registered", "worker", a.Node, "addr", a.Addr, "slots", a.Slots, "replaced", old != nil)
 	jt.bus.Emit(obs.Event{Type: obs.WorkerJoined, Node: a.Node, Detail: fmt.Sprintf("addr=%s slots=%d", a.Addr, a.Slots)})
 	return &registerReply{}, nil
 }
 
 func (jt *Jobtracker) handleHeartbeat(a *heartbeatArgs) (*heartbeatReply, error) {
+	now := time.Now()
 	jt.mu.Lock()
 	w, ok := jt.workers[a.Node]
 	if ok {
-		w.lastBeat = time.Now()
+		w.lastBeat = now
+		w.busy = a.Busy
+	}
+	if a.HasOffset {
+		// Kept even after the worker is lost: events forwarded by a
+		// dying worker still deserve correction.
+		jt.offsets[a.Node] = a.OffsetNanos
 	}
 	jt.mu.Unlock()
-	return &heartbeatReply{Registered: ok}, nil
+	if a.Epoch != 0 {
+		jt.fed.Apply(a.Node, a.Epoch, a.MetricsSeq, a.Metrics)
+	}
+	return &heartbeatReply{Registered: ok, ServerUnixNano: now.UnixNano()}, nil
 }
 
 func (jt *Jobtracker) handleComplete(a *completeArgs) (*completeReply, error) {
@@ -340,14 +486,36 @@ func (jt *Jobtracker) handleComplete(a *completeArgs) (*completeReply, error) {
 		// first copy landed, or an abandoned attempt. Idempotent ack —
 		// re-erroring would make the worker retry forever.
 		jt.dupCompletions.Add(1)
+		jt.log.Debug("duplicate completion acked", "job", a.Job, "task", a.TaskID, "attempt", a.Attempt, "worker", a.Node)
 		return &completeReply{}, nil
 	}
+	jt.mu.Lock()
+	if w := jt.workers[a.Node]; w != nil {
+		if a.Err != "" {
+			w.tasksFailed++
+		} else {
+			w.tasksDone++
+		}
+	}
+	jt.mu.Unlock()
+	jt.log.Debug("attempt completed", "job", a.Job, "task", a.TaskID, "attempt", a.Attempt, "worker", a.Node, "err", a.Err)
 	p.ch <- completion{res: a.Res, errMsg: a.Err} // buffered(1), sole sender
 	return &completeReply{}, nil
 }
 
 func (jt *Jobtracker) handleEvents(a *eventsArgs) (*eventsReply, error) {
 	for _, e := range a.Events {
+		// Clock-align: a worker-stamped timestamp is on the worker's
+		// clock; shift it by the worker's estimated offset so it lands
+		// on the jobtracker timeline every other event uses.
+		if e.Node != "" && !e.Time.IsZero() {
+			jt.mu.Lock()
+			off, ok := jt.offsets[e.Node]
+			jt.mu.Unlock()
+			if ok {
+				e.Time = e.Time.Add(time.Duration(off))
+			}
+		}
 		jt.bus.Emit(e)
 	}
 	return &eventsReply{}, nil
@@ -361,6 +529,7 @@ func (jt *Jobtracker) handleDFSCreate(a *dfsCreateArgs) (*dfsCreateReply, error)
 		// conflict — worker-side paths are attempt-unique, so only a
 		// re-delivery of the same write can collide with itself.
 		if existing, rerr := jt.fs.ReadAll(a.Path); rerr == nil && bytes.Equal(existing, a.Data) {
+			jt.dupDFSCreates.Add(1)
 			return &dfsCreateReply{}, nil
 		}
 		return nil, err
@@ -414,7 +583,7 @@ func (x *rpcExecutor) RunTask(ctx context.Context, spec mapreduce.TaskSpec) (map
 		return mapreduce.TaskResult{}, err
 	}
 	key := attemptKey(spec.Job.Name, spec.TaskID, spec.Attempt)
-	p := &pendingCall{ch: make(chan completion, 1)}
+	p := &pendingCall{ch: make(chan completion, 1), node: spec.Node}
 	jt.mu.Lock()
 	jt.pending[key] = p
 	jt.mu.Unlock()
@@ -432,12 +601,22 @@ func (x *rpcExecutor) RunTask(ctx context.Context, spec mapreduce.TaskSpec) (map
 		NumReducers: spec.NumReducers, ShuffleBudget: spec.ShuffleBudget,
 		Split: spec.Split, Partition: spec.Partition, Runs: spec.Runs,
 	}
+	jt.log.Debug("assigning attempt", "job", spec.Job.Name, "task", spec.TaskID, "attempt", spec.Attempt, "worker", spec.Node)
+	assigned := time.Now()
 	var ack assignReply
 	if err := jt.tr.Call(w.addr, "worker.assign", &args, &ack); err != nil {
 		return mapreduce.TaskResult{}, fmt.Errorf("rpc: assign %s to %s: %v", spec.TaskID, spec.Node, err)
 	}
 	select {
 	case c := <-p.ch:
+		// The driver-observed assign→complete round trip; the worker's
+		// own WorkerTaskDone event carries the execution time, and the
+		// difference between the two is coordination overhead.
+		jt.bus.Emit(obs.Event{
+			Type: obs.RPCRoundTrip, Job: spec.Job.Name, Phase: spec.Phase,
+			Task: spec.TaskID, Attempt: spec.Attempt, Node: spec.Node,
+			Dur: time.Since(assigned), Err: c.errMsg,
+		})
 		if c.errMsg != "" {
 			return mapreduce.TaskResult{}, fmt.Errorf("%s", c.errMsg)
 		}

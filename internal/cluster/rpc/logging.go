@@ -1,0 +1,17 @@
+package rpc
+
+import (
+	"io"
+	"log/slog"
+)
+
+// orNopLogger returns log unchanged, or a logger that discards
+// everything when log is nil — so jobtracker/worker code can log
+// unconditionally. (slog.New requires a handler; a level above Error
+// on a discard writer drops every record before formatting.)
+func orNopLogger(log *slog.Logger) *slog.Logger {
+	if log != nil {
+		return log
+	}
+	return slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.LevelError + 1}))
+}

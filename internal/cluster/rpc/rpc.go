@@ -21,6 +21,9 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // Transport delivers one RPC to the service bound at addr. args is
@@ -62,6 +65,9 @@ type handler func(body []byte) ([]byte, error)
 type Server struct {
 	mu       sync.RWMutex
 	handlers map[string]handler
+	// reg, when set via Instrument, receives per-method counters,
+	// latency and payload-size histograms for every dispatch.
+	reg *obs.Registry
 }
 
 // NewServer creates an empty server.
@@ -95,11 +101,18 @@ func Handle[A, R any](s *Server, method string, fn func(*A) (*R, error)) {
 func (s *Server) dispatch(method string, body []byte) ([]byte, error) {
 	s.mu.RLock()
 	h, ok := s.handlers[method]
+	reg := s.reg
 	s.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("rpc: unknown method %q", method)
 	}
-	return h(body)
+	if reg == nil {
+		return h(body)
+	}
+	start := time.Now()
+	out, err := h(body)
+	s.observe(reg, method, len(body), len(out), err, time.Since(start))
+	return out, err
 }
 
 func encode(v any) ([]byte, error) {

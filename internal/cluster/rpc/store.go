@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/dfs"
+	"repro/internal/obs"
 )
 
 // DFS method args/replies, served by the jobtracker (which owns the
@@ -39,8 +40,9 @@ type dfsSizeReply struct {
 // onto the driver-side DFS. Spill runs stream through ranged reads, so
 // a worker never holds more than a fetch window of a remote file.
 type RemoteStore struct {
-	tr   Transport
-	addr string // jobtracker address
+	tr      Transport
+	addr    string       // jobtracker address
+	retries *obs.Counter // set by Instrument; nil disables counting
 }
 
 var _ dfs.Store = (*RemoteStore)(nil)
@@ -48,6 +50,16 @@ var _ dfs.Store = (*RemoteStore)(nil)
 // NewRemoteStore returns a Store proxying to the jobtracker at addr.
 func NewRemoteStore(tr Transport, addr string) *RemoteStore {
 	return &RemoteStore{tr: tr, addr: addr}
+}
+
+// Instrument counts DFS retry attempts into reg
+// (rpc_store_retries_total). Call before the store is shared between
+// goroutines; a nil registry is a no-op.
+func (s *RemoteStore) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	s.retries = reg.Counter("rpc_store_retries_total", "DFS RPC retries after transient transport failures.", nil)
 }
 
 // storeRetries bounds the retry loop below. A task attempt makes
@@ -68,6 +80,9 @@ func (s *RemoteStore) call(method string, args, reply any) error {
 	for attempt := 0; attempt < storeRetries; attempt++ {
 		if err = s.tr.Call(s.addr, method, args, reply); err == nil || !IsTransportError(err) {
 			return err
+		}
+		if s.retries != nil {
+			s.retries.Inc()
 		}
 		time.Sleep(time.Duration(attempt+1) * 5 * time.Millisecond)
 	}

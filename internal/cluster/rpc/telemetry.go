@@ -1,0 +1,95 @@
+package rpc
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// payloadBuckets ladder RPC body sizes from control-plane acks (tens
+// of bytes) to multi-megabyte DFS chunk transfers.
+var payloadBuckets = []float64{
+	256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20, 16 << 20,
+}
+
+// rpcLatencyBuckets extend the default ladder downward: MemNetwork
+// round trips are microseconds, TCP loopback tens of microseconds.
+var rpcLatencyBuckets = []float64{
+	.00005, .0001, .00025, .0005, .001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5,
+}
+
+// instrumented is the client-side telemetry middleware around a
+// Transport. Every call is counted by method and outcome
+// ("ok" | "error" for handler-returned errors | "transport" for
+// fabric failures) and timed; a gauge tracks calls in flight.
+type instrumented struct {
+	inner    Transport
+	reg      *obs.Registry
+	inFlight *obs.Gauge
+}
+
+// Instrument wraps a Transport with client-side telemetry recorded
+// into reg. A nil registry returns the transport unwrapped, so call
+// sites can instrument unconditionally.
+func Instrument(inner Transport, reg *obs.Registry) Transport {
+	if reg == nil {
+		return inner
+	}
+	return &instrumented{
+		inner:    inner,
+		reg:      reg,
+		inFlight: reg.Gauge("rpc_client_in_flight", "RPCs currently awaiting a reply.", nil),
+	}
+}
+
+// Call implements Transport.
+func (t *instrumented) Call(addr, method string, args, reply any) error {
+	t.inFlight.Add(1)
+	start := time.Now()
+	err := t.inner.Call(addr, method, args, reply)
+	elapsed := time.Since(start)
+	t.inFlight.Add(-1)
+	status := "ok"
+	switch {
+	case err == nil:
+	case IsTransportError(err):
+		status = "transport"
+	default:
+		status = "error"
+	}
+	t.reg.Counter("rpc_client_calls_total",
+		"Client RPCs by method and outcome (transport = fabric failure, error = remote handler error).",
+		obs.Labels{"method": method, "status": status}).Inc()
+	t.reg.Histogram("rpc_client_latency_seconds", "Client-observed RPC round-trip latency.",
+		rpcLatencyBuckets, obs.Labels{"method": method}).Observe(elapsed.Seconds())
+	return err
+}
+
+// Instrument attaches server-side telemetry: every dispatched request
+// is counted by method and outcome, timed, and its exact request and
+// reply body sizes recorded (the dispatcher sees raw gob bytes, so the
+// sizes are wire-accurate). Call before serving; a nil registry
+// disables the hooks.
+func (s *Server) Instrument(reg *obs.Registry) {
+	s.mu.Lock()
+	s.reg = reg
+	s.mu.Unlock()
+}
+
+// observe records one dispatched request into the server's registry.
+func (s *Server) observe(reg *obs.Registry, method string, reqBytes, replyBytes int, err error, elapsed time.Duration) {
+	status := "ok"
+	if err != nil {
+		status = "error"
+	}
+	reg.Counter("rpc_server_handled_total", "Requests dispatched by the server, by method and outcome.",
+		obs.Labels{"method": method, "status": status}).Inc()
+	reg.Histogram("rpc_server_latency_seconds", "Server-side handler latency.",
+		rpcLatencyBuckets, obs.Labels{"method": method}).Observe(elapsed.Seconds())
+	reg.Histogram("rpc_server_request_bytes", "Gob-encoded request body sizes.",
+		payloadBuckets, obs.Labels{"method": method}).Observe(float64(reqBytes))
+	if err == nil {
+		reg.Histogram("rpc_server_reply_bytes", "Gob-encoded reply body sizes.",
+			payloadBuckets, obs.Labels{"method": method}).Observe(float64(replyBytes))
+	}
+}

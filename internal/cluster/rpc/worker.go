@@ -2,6 +2,7 @@ package rpc
 
 import (
 	"fmt"
+	"log/slog"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -53,6 +54,19 @@ type WorkerConfig struct {
 	// of mapreduce.Options.TaskOverhead, used to stretch runs so fault
 	// drills (kill a worker mid-job) land mid-phase reliably.
 	TaskOverhead time.Duration
+	// Registry receives this worker's telemetry (RPC client/server
+	// metrics, task counters, retry counters); one is created when
+	// nil. The whole registry rides every heartbeat to the jobtracker
+	// as a federated snapshot.
+	Registry *obs.Registry
+	// Logger receives structured runtime logs (nil discards them).
+	Logger *slog.Logger
+	// ClockSkew shifts every clock reading this worker stamps —
+	// heartbeat send times and task-done event timestamps — modelling
+	// a machine whose wall clock disagrees with the jobtracker's.
+	// Tests use it to prove the offset estimate converges to −skew and
+	// that forwarded events come out clock-corrected.
+	ClockSkew time.Duration
 }
 
 // Worker is one tasktracker process: it registers with the jobtracker,
@@ -64,6 +78,11 @@ type Worker struct {
 	cfg   WorkerConfig
 	srv   *Server
 	store *RemoteStore
+	tr    Transport // cfg.Transport wrapped with client telemetry
+	reg   *obs.Registry
+	log   *slog.Logger
+	epoch int64 // start time (UnixNano), versioning federated snapshots
+	busy  *obs.Gauge
 
 	queue chan assignArgs
 
@@ -76,6 +95,12 @@ type Worker struct {
 
 	tasksRun    atomic.Int64
 	eventErrors atomic.Int64
+
+	// offNanos is the EWMA clock-offset estimate (jobtracker clock
+	// minus this worker's clock), valid once offOK is set. Updated by
+	// the heartbeat loop from RTT midpoints.
+	offNanos atomic.Int64
+	offOK    atomic.Bool
 }
 
 // NewWorker creates a worker. Bind its Server() on the network, then
@@ -87,17 +112,42 @@ func NewWorker(cfg WorkerConfig) *Worker {
 	if cfg.HeartbeatEvery <= 0 {
 		cfg.HeartbeatEvery = 250 * time.Millisecond
 	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	tr := Instrument(cfg.Transport, reg)
 	w := &Worker{
 		cfg:   cfg,
 		srv:   NewServer(),
-		store: NewRemoteStore(cfg.Transport, cfg.JobtrackerAddr),
+		store: NewRemoteStore(tr, cfg.JobtrackerAddr),
+		tr:    tr,
+		reg:   reg,
+		log:   orNopLogger(cfg.Logger),
+		epoch: time.Now().UnixNano(),
+		busy:  reg.Gauge("worker_busy_slots", "Slots currently executing a task.", nil),
 		queue: make(chan assignArgs, 1024),
 		seen:  make(map[string]bool),
 		stop:  make(chan struct{}),
 	}
+	w.store.Instrument(reg)
+	w.srv.Instrument(reg)
 	Handle(w.srv, "worker.assign", w.handleAssign)
 	Handle(w.srv, "worker.shutdown", w.handleShutdown)
 	return w
+}
+
+// now reads the worker's wall clock, shifted by the configured skew.
+func (w *Worker) now() time.Time { return time.Now().Add(w.cfg.ClockSkew) }
+
+// Registry returns the worker's telemetry registry.
+func (w *Worker) Registry() *obs.Registry { return w.reg }
+
+// ClockOffset returns the current EWMA estimate of this worker's
+// clock offset relative to the jobtracker (jobtracker − worker), and
+// whether any estimate exists yet.
+func (w *Worker) ClockOffset() (time.Duration, bool) {
+	return time.Duration(w.offNanos.Load()), w.offOK.Load()
 }
 
 // Server returns the worker's RPC surface for binding.
@@ -114,7 +164,7 @@ func (w *Worker) Run() error {
 	for i := 0; i < 40; i++ {
 		args := registerArgs{Node: w.cfg.Node, Addr: w.cfg.Addr, Slots: w.cfg.Slots}
 		var reply registerReply
-		if err = w.cfg.Transport.Call(w.cfg.JobtrackerAddr, "jt.register", &args, &reply); err == nil {
+		if err = w.tr.Call(w.cfg.JobtrackerAddr, "jt.register", &args, &reply); err == nil {
 			break
 		}
 		if !IsTransportError(err) {
@@ -131,6 +181,7 @@ func (w *Worker) Run() error {
 	if err != nil {
 		return fmt.Errorf("rpc: worker %s: register: %v", w.cfg.Node, err)
 	}
+	w.log.Info("registered with jobtracker", "worker", w.cfg.Node, "jobtracker", w.cfg.JobtrackerAddr, "slots", w.cfg.Slots)
 	for i := 0; i < w.cfg.Slots; i++ {
 		w.wg.Add(1)
 		go w.slotLoop()
@@ -154,6 +205,7 @@ func (w *Worker) handleAssign(a *assignArgs) (*assignReply, error) {
 		// ack without re-queueing (running the same attempt twice would
 		// race on its attempt-unique temp file).
 		w.mu.Unlock()
+		w.reg.Counter("rpc_assign_duplicates_total", "Duplicate assignment deliveries acked without re-queueing.", nil).Inc()
 		return &assignReply{}, nil
 	}
 	w.seen[key] = true
@@ -192,36 +244,51 @@ func (w *Worker) slotLoop() {
 
 // runTask executes one assigned attempt and reports its completion.
 func (w *Worker) runTask(a assignArgs) {
+	w.busy.Add(1)
+	defer w.busy.Add(-1)
 	started := time.Now()
 	if w.cfg.TaskOverhead > 0 {
 		time.Sleep(w.cfg.TaskOverhead)
 	}
 	res, err := w.execute(a)
 	w.tasksRun.Add(1)
+	status := "succeeded"
+	if err != nil {
+		status = "failed"
+	}
+	w.reg.Counter("worker_tasks_total", "Task attempts executed by this worker, by status.", obs.Labels{"status": status}).Inc()
 	comp := completeArgs{
 		Job: a.Job.Name, TaskID: a.TaskID, Attempt: a.Attempt, Node: w.cfg.Node, Res: res,
 	}
+	// Time is stamped on this worker's (possibly skewed) clock and Job
+	// is set so the trace collector can route the event; the jobtracker
+	// clock-corrects Time before assembly.
 	ev := obs.Event{
-		Type: obs.WorkerTaskDone, Node: w.cfg.Node, Task: a.TaskID,
-		Attempt: a.Attempt, Phase: a.Phase, Dur: time.Since(started),
+		Type: obs.WorkerTaskDone, Time: w.now(), Job: a.Job.Name, Node: w.cfg.Node,
+		Task: a.TaskID, Attempt: a.Attempt, Phase: a.Phase, Dur: time.Since(started),
 	}
 	if err != nil {
 		comp.Err = err.Error()
 		ev.Err = err.Error()
 	}
+	w.log.Debug("task attempt finished", "job", a.Job.Name, "task", a.TaskID, "attempt", a.Attempt, "status", status, "dur", ev.Dur)
 	// The worker's own telemetry rides the same wire; a lost event is
 	// counted, never fatal (observability must not fail the task).
 	var evReply eventsReply
-	if everr := w.cfg.Transport.Call(w.cfg.JobtrackerAddr, "jt.events", &eventsArgs{Events: []obs.Event{ev}}, &evReply); everr != nil {
+	if everr := w.tr.Call(w.cfg.JobtrackerAddr, "jt.events", &eventsArgs{Events: []obs.Event{ev}}, &evReply); everr != nil {
 		w.eventErrors.Add(1)
+		w.reg.Counter("rpc_event_send_errors_total", "Worker event batches lost to transport failures.", nil).Inc()
 	}
 	// The completion MUST land: without it the attempt hangs at the
 	// driver until worker-loss detection. Retry through transient
 	// drops; give up only when stopping (the driver's loss detection
 	// then owns the outcome).
 	for i := 0; i < 20; i++ {
+		if i > 0 {
+			w.reg.Counter("rpc_complete_retries_total", "Completion-report retries after transport failures.", nil).Inc()
+		}
 		var reply completeReply
-		if cerr := w.cfg.Transport.Call(w.cfg.JobtrackerAddr, "jt.complete", &comp, &reply); cerr == nil {
+		if cerr := w.tr.Call(w.cfg.JobtrackerAddr, "jt.complete", &comp, &reply); cerr == nil {
 			return
 		}
 		select {
@@ -230,6 +297,7 @@ func (w *Worker) runTask(a assignArgs) {
 		case <-time.After(20 * time.Millisecond):
 		}
 	}
+	w.log.Warn("completion report never landed", "job", a.Job.Name, "task", a.TaskID, "attempt", a.Attempt)
 }
 
 // execute rebuilds the job from its wire form and runs the attempt
@@ -256,19 +324,50 @@ func (w *Worker) heartbeatLoop() {
 	defer w.wg.Done()
 	tick := time.NewTicker(w.cfg.HeartbeatEvery)
 	defer tick.Stop()
+	var seq uint64
 	for {
 		select {
 		case <-w.stop:
 			return
 		case <-tick.C:
-			args := heartbeatArgs{Node: w.cfg.Node}
+			seq++
+			args := heartbeatArgs{
+				Node:       w.cfg.Node,
+				Busy:       int(w.busy.Value()),
+				Epoch:      w.epoch,
+				MetricsSeq: seq,
+				Metrics:    w.reg.Snapshot(),
+			}
+			if w.offOK.Load() {
+				args.OffsetNanos = w.offNanos.Load()
+				args.HasOffset = true
+			}
+			t0 := w.now()
+			args.SentUnixNano = t0.UnixNano()
 			var reply heartbeatReply
-			if err := w.cfg.Transport.Call(w.cfg.JobtrackerAddr, "jt.heartbeat", &args, &reply); err != nil {
+			if err := w.tr.Call(w.cfg.JobtrackerAddr, "jt.heartbeat", &args, &reply); err != nil {
 				// Transient loss: keep beating; the jobtracker's grace
 				// window decides when this worker is gone.
 				continue
 			}
+			if reply.ServerUnixNano != 0 {
+				// Offset sample from the RTT midpoint: assuming the beat
+				// spent equal time on each leg, the server handled it at
+				// the worker-clock midpoint of [t0, t1], so the clock
+				// difference is server time minus that midpoint. EWMA
+				// (α = 0.2) smooths asymmetric-latency noise.
+				t1 := w.now()
+				sample := reply.ServerUnixNano - (t0.UnixNano()/2 + t1.UnixNano()/2)
+				if !w.offOK.Load() {
+					w.offNanos.Store(sample)
+					w.offOK.Store(true)
+				} else {
+					prev := w.offNanos.Load()
+					w.offNanos.Store(prev + (sample-prev)/5)
+				}
+			}
 			if !reply.Registered {
+				w.log.Warn("disowned by jobtracker, fence-stopping", "worker", w.cfg.Node)
 				w.Stop()
 				return
 			}

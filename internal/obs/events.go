@@ -61,7 +61,16 @@ const (
 	WorkerLost   EventType = "worker_lost"
 	// WorkerTaskDone marks a task attempt finishing on a remote worker,
 	// as reported by the worker's own event stream (Err set on failure).
+	// Time is stamped by the worker's clock and Dur is the worker-side
+	// execution time, so the jobtracker must clock-correct it before
+	// trace assembly.
 	WorkerTaskDone EventType = "worker_task_done"
+	// RPCRoundTrip marks the driver-observed assign→complete round trip
+	// of one remote task attempt: Time is when the completion report
+	// arrived, Dur spans from the assignment RPC being sent. The gap
+	// between this span and the worker-side WorkerTaskDone execution
+	// time is the coordination overhead of the out-of-process backend.
+	RPCRoundTrip EventType = "rpc_roundtrip"
 )
 
 // Event is one structured lifecycle event. The identity fields form a

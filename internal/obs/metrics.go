@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"math"
@@ -264,13 +265,15 @@ func promLabels(labels Labels, le string) string {
 // WritePrometheus renders every metric in the Prometheus text
 // exposition format, deterministically ordered.
 func (r *Registry) WritePrometheus(w io.Writer) {
+	// Hold the lock across the whole walk: instrument lookups mutate
+	// f.series/f.order concurrently, and the per-series value reads are
+	// atomic so nothing below blocks on another lock.
 	r.mu.Lock()
-	names := append([]string(nil), r.order...)
-	fams := make([]*family, 0, len(names))
-	for _, n := range names {
-		fams = append(fams, r.families[n])
+	defer r.mu.Unlock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
 	}
-	r.mu.Unlock()
 	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
 	for _, f := range fams {
 		if f.help != "" {
@@ -306,25 +309,75 @@ func formatBound(b float64) string {
 	return fmt.Sprintf("%g", b)
 }
 
-// MetricPoint is one series in a JSON snapshot.
+// MetricPoint is one series in a JSON snapshot. It is also the wire
+// unit of metrics federation: workers ship their whole registry as a
+// []MetricPoint on each heartbeat and the jobtracker re-renders the
+// merged set, so a point must carry everything needed to reproduce the
+// Prometheus exposition (including histogram buckets).
 type MetricPoint struct {
 	Name   string            `json:"name"`
 	Type   string            `json:"type"`
 	Labels map[string]string `json:"labels,omitempty"`
 	Value  int64             `json:"value,omitempty"`
-	Count  uint64            `json:"count,omitempty"`
-	Sum    float64           `json:"sum,omitempty"`
+	// FValue carries non-integer gauge values (heartbeat ages, clock
+	// offsets in seconds) for points synthesized outside a Registry;
+	// rendering prefers it over Value when non-zero.
+	FValue  float64       `json:"fvalue,omitempty"`
+	Count   uint64        `json:"count,omitempty"`
+	Sum     float64       `json:"sum,omitempty"`
+	Buckets []BucketPoint `json:"buckets,omitempty"`
+}
+
+// BucketPoint is one cumulative histogram bucket in a MetricPoint.
+type BucketPoint struct {
+	// Le is the bucket's inclusive upper bound; +Inf for the last.
+	Le float64 `json:"-"`
+	// Cum is the cumulative observation count at this bound.
+	Cum uint64 `json:"cum"`
+}
+
+// bucketPointJSON carries Le as a string ("+Inf" for the last bucket),
+// because JSON has no infinity literal.
+type bucketPointJSON struct {
+	Le  string `json:"le"`
+	Cum uint64 `json:"cum"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (b BucketPoint) MarshalJSON() ([]byte, error) {
+	return json.Marshal(bucketPointJSON{Le: formatBound(b.Le), Cum: b.Cum})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (b *BucketPoint) UnmarshalJSON(data []byte) error {
+	var aux bucketPointJSON
+	if err := json.Unmarshal(data, &aux); err != nil {
+		return err
+	}
+	if aux.Le == "+Inf" {
+		b.Le = math.Inf(1)
+	} else {
+		v, err := strconv.ParseFloat(aux.Le, 64)
+		if err != nil {
+			return fmt.Errorf("obs: bucket bound %q: %v", aux.Le, err)
+		}
+		b.Le = v
+	}
+	b.Cum = aux.Cum
+	return nil
 }
 
 // Snapshot returns every series as a flat, deterministic list for JSON
 // serialization.
 func (r *Registry) Snapshot() []MetricPoint {
+	// Locked for the whole walk, same as WritePrometheus: the family
+	// maps grow under concurrent instrument registration.
 	r.mu.Lock()
+	defer r.mu.Unlock()
 	fams := make([]*family, 0, len(r.families))
 	for _, f := range r.families {
 		fams = append(fams, f)
 	}
-	r.mu.Unlock()
 	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
 	var out []MetricPoint
 	for _, f := range fams {
@@ -339,13 +392,61 @@ func (r *Registry) Snapshot() []MetricPoint {
 			case s.gauge != nil:
 				p.Value = s.gauge.Value()
 			case s.hist != nil:
-				_, sum, count := s.hist.snapshot()
+				cum, sum, count := s.hist.snapshot()
 				p.Count, p.Sum = count, sum
+				p.Buckets = make([]BucketPoint, 0, len(cum))
+				for i, b := range s.hist.bounds {
+					p.Buckets = append(p.Buckets, BucketPoint{Le: b, Cum: cum[i]})
+				}
+				p.Buckets = append(p.Buckets, BucketPoint{Le: math.Inf(1), Cum: cum[len(cum)-1]})
 			}
 			out = append(out, p)
 		}
 	}
 	return out
+}
+
+// WriteMetricPoints renders an already-snapshotted point list in the
+// Prometheus text exposition format. It is the federation renderer:
+// the jobtracker merges its own registry snapshot, synthesized cluster
+// points and every worker's federated snapshot into one list, and this
+// writes them as one exposition where same-named families from
+// different sources (distinguished by a worker label) share a single
+// TYPE block. Points are sorted by name then label set; HELP lines are
+// omitted because a merged list has no single authoritative source.
+func WriteMetricPoints(w io.Writer, points []MetricPoint) {
+	sorted := append([]MetricPoint(nil), points...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if sorted[i].Name != sorted[j].Name {
+			return sorted[i].Name < sorted[j].Name
+		}
+		return labelKey(sorted[i].Labels) < labelKey(sorted[j].Labels)
+	})
+	prev := ""
+	for _, p := range sorted {
+		if p.Name != prev {
+			typ := p.Type
+			if typ == "" {
+				typ = "untyped"
+			}
+			fmt.Fprintf(w, "# TYPE %s %s\n", p.Name, typ)
+			prev = p.Name
+		}
+		switch p.Type {
+		case "histogram":
+			for _, b := range p.Buckets {
+				fmt.Fprintf(w, "%s_bucket%s %d\n", p.Name, promLabels(p.Labels, formatBound(b.Le)), b.Cum)
+			}
+			fmt.Fprintf(w, "%s_sum%s %g\n", p.Name, promLabels(p.Labels, ""), p.Sum)
+			fmt.Fprintf(w, "%s_count%s %d\n", p.Name, promLabels(p.Labels, ""), p.Count)
+		default:
+			if p.FValue != 0 {
+				fmt.Fprintf(w, "%s%s %g\n", p.Name, promLabels(p.Labels, ""), p.FValue)
+			} else {
+				fmt.Fprintf(w, "%s%s %d\n", p.Name, promLabels(p.Labels, ""), p.Value)
+			}
+		}
+	}
 }
 
 // MetricsSink subscribes a Registry to the event bus, deriving the
@@ -405,5 +506,17 @@ func (m *MetricsSink) Emit(e Event) {
 	case AttemptKilled:
 		m.reg.Counter("mr_task_attempts_total", "Terminal task attempts, by phase and status.", Labels{"phase": e.Phase, "status": "killed"}).Inc()
 		m.reg.Counter("mr_speculative_killed_total", "Speculative attempts abandoned after losing the race.", nil).Inc()
+	case WorkerJoined:
+		m.reg.Counter("cluster_workers_joined_total", "Out-of-process workers registered at the jobtracker.", nil).Inc()
+	case WorkerLost:
+		m.reg.Counter("cluster_workers_lost_total", "Workers declared lost by the jobtracker, by reason.", Labels{"reason": e.Err}).Inc()
+	case WorkerTaskDone:
+		status := "succeeded"
+		if e.Err != "" {
+			status = "failed"
+		}
+		m.reg.Counter("cluster_worker_tasks_total", "Task attempts executed on remote workers, by worker and status.", Labels{"worker": e.Node, "status": status}).Inc()
+	case RPCRoundTrip:
+		m.reg.Histogram("rpc_attempt_roundtrip_seconds", "Driver-observed assign→complete round trip of remote task attempts.", nil, nil).Observe(e.Dur.Seconds())
 	}
 }

@@ -153,6 +153,14 @@ func runWorkload(w Workload, opts SuiteOptions) (WorkloadResult, error) {
 	if wall > 0 {
 		wr.RecordsPerSec = float64(stats.Records) / wall.Seconds()
 	}
+	if len(stats.Extra) > 0 {
+		if wr.Counters == nil {
+			wr.Counters = make(map[string]int64, len(stats.Extra))
+		}
+		for k, v := range stats.Extra {
+			wr.Counters[k] += v
+		}
+	}
 	wr.Phases = stats.Phases
 	if wr.Phases == nil {
 		wr.Phases = attributePhases(collector, rc.Span)

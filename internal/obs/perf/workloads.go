@@ -50,6 +50,11 @@ type Stats struct {
 	// the measured wall (sequential workloads). Nil means "derive the
 	// attribution from the trace collector's critical-path analysis".
 	Phases []Phase
+	// Extra carries workload-specific counters — telemetry that does
+	// not flow through MapReduce job counters, like the RPC backend's
+	// call/retry/duplicate tallies — merged into the record's flat
+	// counter map alongside the "group.name" job counters.
+	Extra map[string]int64
 }
 
 // RunFunc is a workload's measured section.
@@ -455,10 +460,44 @@ func setupDistributedKMeans(rc *RunContext) (RunFunc, error) {
 		if err != nil {
 			return Stats{}, err
 		}
+		// The RPC plane's own tallies ride the record as extra counters,
+		// so the trajectory tracks coordination overhead (calls, retries,
+		// duplicates) next to the wall-clock delta against kmeans-iter.
+		extra := map[string]int64{
+			"rpc.dup_completions": jt.DupCompletions(),
+			"rpc.dfs_dup_creates": jt.DupDFSCreates(),
+		}
+		for _, p := range jt.Registry().Snapshot() {
+			switch p.Name {
+			case "rpc_client_calls_total":
+				extra["rpc.jt_calls"] += p.Value
+				if p.Labels["status"] != "ok" {
+					extra["rpc.jt_call_errors"] += p.Value
+				}
+			case "rpc_server_handled_total":
+				extra["rpc.jt_handled"] += p.Value
+			}
+		}
+		for _, w := range workers {
+			for _, p := range w.Registry().Snapshot() {
+				switch p.Name {
+				case "rpc_client_calls_total":
+					extra["rpc.worker_calls"] += p.Value
+					if p.Labels["status"] != "ok" {
+						extra["rpc.worker_call_errors"] += p.Value
+					}
+				case "rpc_complete_retries_total":
+					extra["rpc.complete_retries"] += p.Value
+				case "rpc_store_retries_total":
+					extra["rpc.store_retries"] += p.Value
+				}
+			}
+		}
 		return Stats{
 			Records: int64(ds.NumTraces()),
 			Bytes:   in,
 			Results: res.IterationResults,
+			Extra:   extra,
 		}, nil
 	}, nil
 }

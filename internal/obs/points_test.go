@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestWriteMetricPoints renders a mixed federated-style point set and
+// checks grouping, one TYPE line per family, histogram expansion, and
+// float-gauge formatting.
+func TestWriteMetricPoints(t *testing.T) {
+	points := []MetricPoint{
+		{Name: "cluster_worker_heartbeat_age_seconds", Type: "gauge",
+			Labels: map[string]string{"worker": "n1"}, FValue: 0.25},
+		{Name: "worker_tasks_total", Type: "counter",
+			Labels: map[string]string{"worker": "n2", "status": "succeeded"}, Value: 3},
+		{Name: "worker_tasks_total", Type: "counter",
+			Labels: map[string]string{"worker": "n1", "status": "succeeded"}, Value: 5},
+		{Name: "rpc_server_latency_seconds", Type: "histogram",
+			Labels: map[string]string{"worker": "n1", "method": "jt.heartbeat"},
+			Count:  3, Sum: 0.012,
+			Buckets: []BucketPoint{{Le: 0.005, Cum: 1}, {Le: 0.05, Cum: 3}, {Le: math.Inf(1), Cum: 3}}},
+	}
+	var sb strings.Builder
+	WriteMetricPoints(&sb, points)
+	out := sb.String()
+
+	if n := strings.Count(out, "# TYPE worker_tasks_total counter"); n != 1 {
+		t.Errorf("TYPE lines for worker_tasks_total: %d, want 1\n%s", n, out)
+	}
+	for _, want := range []string{
+		`cluster_worker_heartbeat_age_seconds{worker="n1"} 0.25`,
+		`worker_tasks_total{status="succeeded",worker="n1"} 5`,
+		`worker_tasks_total{status="succeeded",worker="n2"} 3`,
+		`rpc_server_latency_seconds_bucket{method="jt.heartbeat",worker="n1",le="0.005"} 1`,
+		`rpc_server_latency_seconds_bucket{method="jt.heartbeat",worker="n1",le="+Inf"} 3`,
+		`rpc_server_latency_seconds_sum{method="jt.heartbeat",worker="n1"} 0.012`,
+		`rpc_server_latency_seconds_count{method="jt.heartbeat",worker="n1"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+	// Sorted by name then labels: n1 precedes n2 within the family.
+	if i, j := strings.Index(out, `worker="n1"} 5`), strings.Index(out, `worker="n2"} 3`); i > j {
+		t.Errorf("series not sorted by label set:\n%s", out)
+	}
+}
+
+// TestBucketPointJSONRoundTrip checks the +Inf bound survives JSON —
+// the federation ships snapshots over gob, but /metrics.json and the
+// tests serialize them as JSON, which has no infinity literal.
+func TestBucketPointJSONRoundTrip(t *testing.T) {
+	in := []BucketPoint{{Le: 0.5, Cum: 2}, {Le: math.Inf(1), Cum: 7}}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatalf("marshal with +Inf bound: %v", err)
+	}
+	if !strings.Contains(string(data), `"+Inf"`) {
+		t.Fatalf("encoded buckets missing +Inf sentinel: %s", data)
+	}
+	var out []BucketPoint
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[0].Le != 0.5 || out[0].Cum != 2 || !math.IsInf(out[1].Le, 1) || out[1].Cum != 7 {
+		t.Fatalf("round trip = %+v", out)
+	}
+}

@@ -29,8 +29,13 @@ type StatusServer struct {
 	// Extra, if set, is invoked at each /metrics scrape to append
 	// additional exposition lines (e.g. DFS storage gauges).
 	Extra func() string
-	srv   *http.Server
-	mux   *http.ServeMux
+	// ExtraJSON, if set, supplies additional metric points for
+	// /metrics.json, appended after the registry snapshot. A clustered
+	// jobtracker uses it to expose the federated per-worker metrics in
+	// the same snapshot as its own.
+	ExtraJSON func() []MetricPoint
+	srv       *http.Server
+	mux       *http.ServeMux
 
 	mu    sync.Mutex
 	extra []string // extra endpoint patterns, for the index page
@@ -159,11 +164,18 @@ func (s *StatusServer) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *StatusServer) handleMetricsJSON(w http.ResponseWriter, _ *http.Request) {
-	if s.reg == nil {
+	if s.reg == nil && s.ExtraJSON == nil {
 		http.Error(w, "no registry attached", http.StatusNotFound)
 		return
 	}
-	writeJSON(w, map[string]any{"metrics": s.reg.Snapshot()})
+	var points []MetricPoint
+	if s.reg != nil {
+		points = s.reg.Snapshot()
+	}
+	if s.ExtraJSON != nil {
+		points = append(points, s.ExtraJSON()...)
+	}
+	writeJSON(w, map[string]any{"metrics": points})
 }
 
 func (s *StatusServer) handleHistory(w http.ResponseWriter, _ *http.Request) {

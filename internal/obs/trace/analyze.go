@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"fmt"
 	"sort"
 
 	"repro/internal/obs"
@@ -99,6 +100,28 @@ type SkewReport struct {
 	Hot []obs.PartStat `json:"hot,omitempty"`
 }
 
+// RPCReport attributes remote-execution overhead for a job run on the
+// out-of-process backend, from the rpc/exec sub-attempt spans. For
+// each remote attempt, coordination overhead is the attempt wall not
+// covered by the worker-side execution window: assignment delivery,
+// queueing in the worker, and the completion report's trip back.
+type RPCReport struct {
+	// RemoteAttempts is how many attempts carried rpc/exec detail.
+	RemoteAttempts int `json:"remote_attempts"`
+	// RPCUs sums the driver-observed assign→complete round trips.
+	RPCUs int64 `json:"rpc_us"`
+	// ExecUs sums the worker-side execution windows.
+	ExecUs int64 `json:"exec_us"`
+	// CoordUs sums max(0, attempt wall − exec window) over remote
+	// attempts: total coordination overhead paid across the job.
+	CoordUs int64 `json:"coord_us"`
+	// PathCoordUs is the coordination overhead of attempts on the
+	// critical path — the share that actually cost wall-clock time —
+	// and PathCoordPct is it as a percentage of the job wall.
+	PathCoordUs  int64   `json:"path_coord_us"`
+	PathCoordPct float64 `json:"path_coord_pct"`
+}
+
 // JobAnalysis is the full bottleneck report for one job span.
 type JobAnalysis struct {
 	// Job is the job name.
@@ -116,6 +139,9 @@ type JobAnalysis struct {
 	Stragglers []Straggler `json:"stragglers,omitempty"`
 	// Skew is the shuffle partition distribution, when recorded.
 	Skew *SkewReport `json:"skew,omitempty"`
+	// RPC attributes remote-execution overhead; nil for jobs run
+	// in-process (no rpc/exec sub-attempt spans).
+	RPC *RPCReport `json:"rpc,omitempty"`
 }
 
 // Analysis is the report for a whole tree.
@@ -149,7 +175,75 @@ func analyzeJob(job *Span, opts Options) JobAnalysis {
 	ja.Phases = attribute(ja.Path, job)
 	ja.Stragglers = stragglers(job, opts.StragglerFactor)
 	ja.Skew = skew(job, opts.SkewFactor)
+	ja.RPC = rpcOverhead(job, ja.Path)
 	return ja
+}
+
+// rpcOverhead folds the rpc/exec sub-attempt spans into an RPCReport,
+// or nil when the job ran in-process (no such spans).
+func rpcOverhead(job *Span, path []PathStep) *RPCReport {
+	r := &RPCReport{}
+	coord := make(map[string]int64) // phase\x00task\x00attempt → coord µs
+	found := false
+	for _, phase := range job.Children {
+		if phase.Kind != KindPhase {
+			continue
+		}
+		for _, a := range phase.Children {
+			if a.Kind != KindAttempt {
+				continue
+			}
+			var execUs int64
+			hasDetail := false
+			for _, c := range a.Children {
+				switch c.Kind {
+				case KindRPC:
+					r.RPCUs += c.DurUs()
+					hasDetail = true
+				case KindExec:
+					execUs += c.DurUs()
+					hasDetail = true
+				}
+			}
+			if !hasDetail {
+				continue
+			}
+			found = true
+			r.RemoteAttempts++
+			r.ExecUs += execUs
+			if c := a.DurUs() - execUs; c > 0 {
+				r.CoordUs += c
+				coord[subKey(phase.Name, a.Name, a.Attempt)] = c
+			}
+		}
+	}
+	if !found {
+		return nil
+	}
+	// Coordination on the critical path: attempt steps may be truncated
+	// by the backwards chain, so attribute each bounding attempt's full
+	// coordination overhead once (a slight over-attribution for
+	// truncated steps, bounded by the truncation itself).
+	counted := make(map[string]bool)
+	for _, st := range path {
+		if st.Kind != "attempt" {
+			continue
+		}
+		key := subKey(st.Phase, st.Task, st.Attempt)
+		if counted[key] {
+			continue
+		}
+		counted[key] = true
+		r.PathCoordUs += coord[key]
+	}
+	if wall := job.DurUs(); wall > 0 {
+		r.PathCoordPct = 100 * float64(r.PathCoordUs) / float64(wall)
+	}
+	return r
+}
+
+func subKey(phase, task string, attempt int) string {
+	return fmt.Sprintf("%s\x00%s\x00%d", phase, task, attempt)
 }
 
 // criticalPath builds the chain of segments that bounded the job's

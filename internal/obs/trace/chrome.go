@@ -29,11 +29,13 @@ type ChromeTrace struct {
 
 // Thread-ID layout of the export: tid 0 is the control lane (pipeline,
 // job and phase spans, which nest by time containment), node attempt
-// lanes follow from tid 1, and per-partition shuffle-merge lanes start
-// at mergeTidBase.
+// lanes follow from tid 1, per-partition shuffle-merge lanes start at
+// mergeTidBase, and remote-worker execution lanes (clock-corrected
+// worker-side task windows) start at execTidBase.
 const (
 	controlTid   = 0
 	mergeTidBase = 1000
+	execTidBase  = 2000
 )
 
 // EncodeChrome renders the tree as Chrome trace_event JSON. The output
@@ -127,6 +129,56 @@ func BuildChrome(t *Tree) *ChromeTrace {
 		}
 	}
 
+	// Remote-worker execution lanes: exec spans (clock-corrected
+	// worker-side task windows) lane-packed per node from execTidBase,
+	// so the aligned worker timelines sit under the driver's view.
+	var execs []*Span
+	t.Root.Walk(func(s *Span) {
+		if s.Kind == KindExec {
+			execs = append(execs, s)
+		}
+	})
+	sort.SliceStable(execs, func(i, j int) bool {
+		if execs[i].StartUs != execs[j].StartUs {
+			return execs[i].StartUs < execs[j].StartUs
+		}
+		return execs[i].Name < execs[j].Name
+	})
+	execLanes := make(map[string][]*lane)
+	execLane := make(map[*Span]*lane)
+	for _, s := range execs {
+		var l *lane
+		for _, cand := range execLanes[s.Node] {
+			if cand.end <= s.StartUs {
+				l = cand
+				break
+			}
+		}
+		if l == nil {
+			l = &lane{node: s.Node, idx: len(execLanes[s.Node])}
+			execLanes[s.Node] = append(execLanes[s.Node], l)
+		}
+		l.end = s.EndUs
+		execLane[s] = l
+	}
+	var execNodes []string
+	for n := range execLanes {
+		execNodes = append(execNodes, n)
+	}
+	sort.Strings(execNodes)
+	execTid := execTidBase
+	for _, n := range execNodes {
+		for _, l := range execLanes[n] {
+			laneTid[l] = execTid
+			name := fmt.Sprintf("%s (worker)", l.node)
+			if l.idx > 0 {
+				name = fmt.Sprintf("%s (worker) #%d", l.node, l.idx+1)
+			}
+			meta("thread_name", execTid, map[string]any{"name": name})
+			execTid++
+		}
+	}
+
 	// Walk the tree: control spans on tid 0, attempts on node lanes,
 	// shuffle Parts synthesised as merge spans on partition lanes
 	// (their start is approximated at the phase start; the engine
@@ -168,9 +220,46 @@ func BuildChrome(t *Tree) *ChromeTrace {
 			}
 			name := fmt.Sprintf("%s/%d", s.Name, s.Attempt)
 			complete(name, s.Kind, laneTid[attemptLane[s]], s.StartUs, s.DurUs(), args)
+		case KindRPC:
+			// Nested inside the attempt on the same lane: assign→complete
+			// as seen from the driver, contained in the attempt span.
+			st, dur := clampSpan(s)
+			complete(fmt.Sprintf("rpc %s/%d", s.Name, s.Attempt), s.Kind,
+				laneTid[attemptLane[parentAttempt(attempts, s)]], st, dur, args)
+		case KindExec:
+			st, dur := clampSpan(s)
+			complete(fmt.Sprintf("exec %s/%d", s.Name, s.Attempt), s.Kind,
+				laneTid[execLane[s]], st, dur, args)
 		}
 	})
 	return ct
+}
+
+// clampSpan bounds a sub-attempt span at the tree origin: imperfect
+// clock correction can push a worker-side window slightly before the
+// root anchor, which DecodeChrome rejects as a negative timestamp.
+func clampSpan(s *Span) (startUs, durUs int64) {
+	startUs = s.StartUs
+	end := s.EndUs
+	if startUs < 0 {
+		startUs = 0
+	}
+	if end < startUs {
+		end = startUs
+	}
+	return startUs, end - startUs
+}
+
+// parentAttempt finds the attempt span owning a sub-attempt child.
+func parentAttempt(attempts []*Span, child *Span) *Span {
+	for _, a := range attempts {
+		for _, c := range a.Children {
+			if c == child {
+				return a
+			}
+		}
+	}
+	return nil
 }
 
 // DecodeChrome parses Chrome trace_event JSON back into the schema

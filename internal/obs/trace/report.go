@@ -44,6 +44,13 @@ func WriteReport(w io.Writer, t *Tree, a *Analysis) {
 					usDur(s.MedianUs), note)
 			}
 		}
+		if ja.RPC != nil {
+			r := ja.RPC
+			fmt.Fprintf(w, "  rpc overhead: %d remote attempt(s), roundtrip %s, worker-exec %s, coordination %s\n",
+				r.RemoteAttempts, usDur(r.RPCUs), usDur(r.ExecUs), usDur(r.CoordUs))
+			fmt.Fprintf(w, "    on critical path: %s (%.1f%% of wall)\n",
+				usDur(r.PathCoordUs), r.PathCoordPct)
+		}
 		if ja.Skew != nil {
 			sk := ja.Skew
 			fmt.Fprintf(w, "  shuffle skew: %d partition(s), %d records, %d bytes, imbalance %.2fx\n",

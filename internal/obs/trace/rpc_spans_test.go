@@ -1,0 +1,181 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// rpcFixtureEvents is one remote job: a single map attempt whose worker
+// reports a clock-corrected exec window (WorkerTaskDone) and whose
+// driver observes the assign→complete round trip (RPCRoundTrip).
+func rpcFixtureEvents() []obs.Event {
+	mk := func(t obs.EventType, us int64, f obs.Event) obs.Event {
+		f.Type = t
+		f.Time = at(us)
+		return f
+	}
+	return []obs.Event{
+		mk(obs.JobSubmitted, 0, obs.Event{Job: "job-r"}),
+		mk(obs.PhaseStart, 100, obs.Event{Job: "job-r", Phase: "map"}),
+		mk(obs.AttemptStarted, 200, obs.Event{Job: "job-r", Phase: "map", Task: "map-0000", Node: "n1"}),
+		// Worker-side execution [300, 900]us, inside the attempt.
+		mk(obs.WorkerTaskDone, 900, obs.Event{Job: "job-r", Phase: "map", Task: "map-0000", Node: "n1",
+			Dur: 600 * time.Microsecond}),
+		// Driver-side round trip [250, 1000]us: assign latency before the
+		// exec window, completion latency after it.
+		mk(obs.RPCRoundTrip, 1000, obs.Event{Job: "job-r", Phase: "map", Task: "map-0000", Node: "n1",
+			Dur: 750 * time.Microsecond}),
+		mk(obs.AttemptSucceeded, 1050, obs.Event{Job: "job-r", Phase: "map", Task: "map-0000", Node: "n1"}),
+		mk(obs.PhaseEnd, 1100, obs.Event{Job: "job-r", Phase: "map"}),
+		mk(obs.JobFinished, 1200, obs.Event{Job: "job-r"}),
+	}
+}
+
+func TestAssembleAttachesRPCAndExecSpans(t *testing.T) {
+	trees := Assemble(rpcFixtureEvents())
+	if len(trees) != 1 {
+		t.Fatalf("trees: %d, want 1", len(trees))
+	}
+	job := trees[0].Root
+	if job.Kind != KindJob {
+		job = trees[0].Root.Job("job-r")
+	}
+	if job == nil {
+		t.Fatal("job-r not found")
+	}
+	attempt := job.Children[0].Children[0]
+	if attempt.Kind != KindAttempt || attempt.Name != "map-0000" {
+		t.Fatalf("attempt = %s %q", attempt.Kind, attempt.Name)
+	}
+	var exec, rpcSpan *Span
+	for _, ch := range attempt.Children {
+		switch ch.Kind {
+		case KindExec:
+			exec = ch
+		case KindRPC:
+			rpcSpan = ch
+		}
+	}
+	if exec == nil || rpcSpan == nil {
+		t.Fatalf("attempt children = %+v, want one exec and one rpc span", attempt.Children)
+	}
+	if exec.StartUs != 300 || exec.EndUs != 900 || exec.Node != "n1" || exec.Status != StatusSucceeded {
+		t.Errorf("exec span [%d,%d] %s on %s, want [300,900] succeeded on n1",
+			exec.StartUs, exec.EndUs, exec.Status, exec.Node)
+	}
+	if rpcSpan.StartUs != 250 || rpcSpan.EndUs != 1000 {
+		t.Errorf("rpc span [%d,%d], want [250,1000]", rpcSpan.StartUs, rpcSpan.EndUs)
+	}
+}
+
+func TestAssembleDropsSubAttemptEventsWithoutJob(t *testing.T) {
+	evs := rpcFixtureEvents()
+	evs = append(evs[:3:3], append([]obs.Event{
+		{Type: obs.WorkerTaskDone, Time: at(500), Task: "map-9999", Node: "n9", Dur: 100 * time.Microsecond},
+	}, evs[3:]...)...)
+	trees := Assemble(evs)
+	if len(trees) != 1 {
+		t.Fatalf("trees: %d, want 1", len(trees))
+	}
+	trees[0].Root.Walk(func(s *Span) {
+		if s.Name == "map-9999" {
+			t.Error("jobless worker event grew a span")
+		}
+	})
+}
+
+func TestChromeExportPlacesExecOnWorkerLanes(t *testing.T) {
+	trees := Assemble(rpcFixtureEvents())
+	ct := BuildChrome(trees[0])
+	var execTid, rpcTid, attemptTid int
+	laneName := map[int]string{}
+	for _, e := range ct.TraceEvents {
+		switch {
+		case e.Ph == "M" && e.Name == "thread_name":
+			laneName[e.Tid] = e.Args["name"].(string)
+		case strings.HasPrefix(e.Name, "exec "):
+			execTid = e.Tid
+		case strings.HasPrefix(e.Name, "rpc "):
+			rpcTid = e.Tid
+		case e.Name == "map-0000/0":
+			attemptTid = e.Tid
+		}
+	}
+	if execTid < execTidBase {
+		t.Errorf("exec event on tid %d, want >= %d", execTid, execTidBase)
+	}
+	if got := laneName[execTid]; got != "n1 (worker)" {
+		t.Errorf("exec lane name = %q, want %q", got, "n1 (worker)")
+	}
+	if rpcTid != attemptTid {
+		t.Errorf("rpc event on tid %d, attempt on %d — must share the lane", rpcTid, attemptTid)
+	}
+	data, err := EncodeChrome(trees[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeChrome(data); err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+}
+
+// TestChromeExportClampsMiscorrectedSpans feeds an exec window whose
+// corrected timestamp lands before the tree origin (over-corrected
+// clock) and checks the export still satisfies DecodeChrome's
+// non-negative-timestamp rule.
+func TestChromeExportClampsMiscorrectedSpans(t *testing.T) {
+	evs := rpcFixtureEvents()
+	evs = append(evs[:4:4], append([]obs.Event{
+		{Type: obs.WorkerTaskDone, Time: at(50), Job: "job-r", Phase: "map", Task: "map-0000", Node: "n1",
+			Dur: 400 * time.Microsecond}, // window [-350, 50]us
+	}, evs[4:]...)...)
+	trees := Assemble(evs)
+	data, err := EncodeChrome(trees[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeChrome(data); err != nil {
+		t.Fatalf("miscorrected span broke the export: %v", err)
+	}
+}
+
+func TestAnalyzeReportsRPCOverhead(t *testing.T) {
+	trees := Assemble(rpcFixtureEvents())
+	a := AnalyzeTree(trees[0], Options{})
+	if len(a.Jobs) != 1 {
+		t.Fatalf("jobs: %d", len(a.Jobs))
+	}
+	r := a.Jobs[0].RPC
+	if r == nil {
+		t.Fatal("no RPC report")
+	}
+	if r.RemoteAttempts != 1 || r.RPCUs != 750 || r.ExecUs != 600 {
+		t.Errorf("report = %+v, want 1 attempt, rpc 750us, exec 600us", r)
+	}
+	// The attempt spans [200, 1050] = 850us; 600us of it executed on
+	// the worker, so 250us is assign/report coordination.
+	if r.CoordUs != 250 {
+		t.Errorf("coordination = %dus, want 250", r.CoordUs)
+	}
+	if r.PathCoordUs != 250 {
+		t.Errorf("critical-path coordination = %dus, want 250 (the only attempt is on the path)", r.PathCoordUs)
+	}
+
+	// A purely local tree (no rpc/exec children) must omit the report.
+	local := Assemble(fixtureEvents())
+	la := AnalyzeTree(local[0], Options{})
+	for _, ja := range la.Jobs {
+		if ja.RPC != nil {
+			t.Errorf("local job %s grew an RPC report: %+v", ja.Job, ja.RPC)
+		}
+	}
+
+	var buf strings.Builder
+	WriteReport(&buf, trees[0], a)
+	if !strings.Contains(buf.String(), "rpc overhead:") {
+		t.Errorf("report missing rpc overhead section:\n%s", buf.String())
+	}
+}

@@ -26,6 +26,12 @@ const (
 	KindJob      = "job"
 	KindPhase    = "phase"
 	KindAttempt  = "attempt"
+	// KindRPC and KindExec nest inside attempt spans of jobs run on the
+	// out-of-process backend: the driver-observed assign→complete round
+	// trip and the worker-side execution window (clock-corrected). The
+	// attempt time not covered by exec is coordination overhead.
+	KindRPC  = "rpc"
+	KindExec = "exec"
 )
 
 // Span statuses.
@@ -262,6 +268,39 @@ func (a *assembler) add(e obs.Event) {
 		case obs.AttemptKilled:
 			s.Status = StatusKilled
 		}
+	case obs.RPCRoundTrip, obs.WorkerTaskDone:
+		// Sub-attempt detail from the out-of-process backend. Both carry
+		// Dur and an end timestamp, so the child span is [ts−Dur, ts];
+		// WorkerTaskDone timestamps were clock-corrected at the
+		// jobtracker before reaching the bus. The attempt span is
+		// synthesised if these arrive before any attempt event (the
+		// worker reports before the driver marks the attempt terminal,
+		// but after AttemptStarted, so in practice it exists).
+		if e.Job == "" {
+			return
+		}
+		s, ok := a.attempts[attemptKey(e)]
+		if !ok {
+			s = &Span{Kind: KindAttempt, Name: e.Task, Attempt: e.Attempt,
+				Node: e.Node, Status: StatusRunning,
+				StartUs: ts - e.Dur.Microseconds(), EndUs: ts}
+			a.attempts[attemptKey(e)] = s
+			p := a.phase(e.Job, e.Phase, ts)
+			p.Children = append(p.Children, s)
+		}
+		kind := KindRPC
+		if e.Type == obs.WorkerTaskDone {
+			kind = KindExec
+		}
+		status := StatusSucceeded
+		if e.Err != "" {
+			status = StatusFailed
+		}
+		s.Children = append(s.Children, &Span{
+			Kind: kind, Name: e.Task, Attempt: e.Attempt, Node: e.Node,
+			Status: status, Error: e.Err,
+			StartUs: ts - e.Dur.Microseconds(), EndUs: ts,
+		})
 	}
 }
 
