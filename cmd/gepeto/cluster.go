@@ -17,7 +17,6 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -36,27 +35,6 @@ import (
 	"repro/internal/obs"
 	obstrace "repro/internal/obs/trace"
 )
-
-// newLogger builds the structured logger behind -log-level. Levels are
-// the slog names; "off" discards everything.
-func newLogger(level string) (*slog.Logger, error) {
-	var lvl slog.Level
-	switch strings.ToLower(level) {
-	case "debug":
-		lvl = slog.LevelDebug
-	case "info":
-		lvl = slog.LevelInfo
-	case "warn", "warning":
-		lvl = slog.LevelWarn
-	case "error":
-		lvl = slog.LevelError
-	case "off":
-		return slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.LevelError + 1})), nil
-	default:
-		return nil, fmt.Errorf("unknown -log-level %q (debug|info|warn|error|off)", level)
-	}
-	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl})), nil
-}
 
 // resolveJTAddr returns the jobtracker address from -jobtracker or,
 // when set, by polling -addr-file until the jobtracker writes it.
@@ -99,7 +77,7 @@ func cmdWorker(args []string) error {
 	if *node == "" {
 		return fmt.Errorf("-node is required")
 	}
-	logger, err := newLogger(*logLevel)
+	logger, err := obs.NewLevelLogger(*logLevel)
 	if err != nil {
 		return err
 	}
@@ -171,7 +149,7 @@ func cmdJobtracker(args []string) error {
 	if err != nil {
 		return err
 	}
-	logger, err := newLogger(*logLevel)
+	logger, err := obs.NewLevelLogger(*logLevel)
 	if err != nil {
 		return err
 	}
@@ -251,7 +229,9 @@ func cmdJobtracker(args []string) error {
 		defer func() {
 			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 			defer cancel()
-			_ = srv.Shutdown(ctx)
+			if err := srv.Shutdown(ctx); err != nil {
+				fmt.Fprintf(os.Stderr, "status server shutdown: %v\n", err)
+			}
 		}()
 	}
 

@@ -227,7 +227,9 @@ func deploy(nodes, racks, slots int, chunkMB int64) (*core.Toolkit, func(), erro
 		shutdown := func() {
 			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 			defer cancel()
-			_ = srv.Shutdown(ctx)
+			if err := srv.Shutdown(ctx); err != nil {
+				fmt.Fprintf(os.Stderr, "status server shutdown: %v\n", err)
+			}
 			stopSampler()
 		}
 		go func() {

@@ -63,7 +63,33 @@ type completeArgs struct {
 	Attempt int
 	Node    string
 	Err     string
-	Res     mapreduce.TaskResult
+	Res     resultWire
+}
+
+// resultWire mirrors the gob-safe face of mapreduce.TaskResult.
+// TaskResult itself carries unexported local* fields (the in-process
+// fast path); shipping it whole would gob-drop them silently, so the
+// wire form makes the boundary explicit: only these fields cross.
+type resultWire struct {
+	Records      int64
+	MapRuns      [][]mapreduce.RunDesc
+	OutFile      string
+	Stats        mapreduce.TaskStats
+	UserCounters map[string]map[string]int64
+}
+
+func toResultWire(r mapreduce.TaskResult) resultWire {
+	return resultWire{
+		Records: r.Records, MapRuns: r.MapRuns, OutFile: r.OutFile,
+		Stats: r.Stats, UserCounters: r.UserCounters,
+	}
+}
+
+func (r resultWire) taskResult() mapreduce.TaskResult {
+	return mapreduce.TaskResult{
+		Records: r.Records, MapRuns: r.MapRuns, OutFile: r.OutFile,
+		Stats: r.Stats, UserCounters: r.UserCounters,
+	}
 }
 
 type completeReply struct{}
@@ -310,10 +336,12 @@ func (jt *Jobtracker) Workers() []string {
 	return out
 }
 
-// WaitForWorkers blocks until n workers are registered or the timeout
-// expires.
+// WaitForWorkers blocks until n workers are registered, the timeout
+// expires, or the jobtracker is stopped.
 func (jt *Jobtracker) WaitForWorkers(n int, timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
+	tick := time.NewTicker(10 * time.Millisecond)
+	defer tick.Stop()
 	for {
 		jt.mu.Lock()
 		cur := len(jt.workers)
@@ -324,7 +352,11 @@ func (jt *Jobtracker) WaitForWorkers(n int, timeout time.Duration) error {
 		if time.Now().After(deadline) {
 			return fmt.Errorf("rpc: %d/%d workers registered after %v", cur, n, timeout)
 		}
-		time.Sleep(10 * time.Millisecond)
+		select {
+		case <-jt.stop:
+			return fmt.Errorf("rpc: jobtracker stopped while waiting for workers (%d/%d registered)", cur, n)
+		case <-tick.C:
+		}
 	}
 }
 
@@ -499,7 +531,7 @@ func (jt *Jobtracker) handleComplete(a *completeArgs) (*completeReply, error) {
 	}
 	jt.mu.Unlock()
 	jt.log.Debug("attempt completed", "job", a.Job, "task", a.TaskID, "attempt", a.Attempt, "worker", a.Node, "err", a.Err)
-	p.ch <- completion{res: a.Res, errMsg: a.Err} // buffered(1), sole sender
+	p.ch <- completion{res: a.Res.taskResult(), errMsg: a.Err} // buffered(1), sole sender
 	return &completeReply{}, nil
 }
 

@@ -258,7 +258,8 @@ func (w *Worker) runTask(a assignArgs) {
 	}
 	w.reg.Counter("worker_tasks_total", "Task attempts executed by this worker, by status.", obs.Labels{"status": status}).Inc()
 	comp := completeArgs{
-		Job: a.Job.Name, TaskID: a.TaskID, Attempt: a.Attempt, Node: w.cfg.Node, Res: res,
+		Job: a.Job.Name, TaskID: a.TaskID, Attempt: a.Attempt, Node: w.cfg.Node,
+		Res: toResultWire(res),
 	}
 	// Time is stamped on this worker's (possibly skewed) clock and Job
 	// is set so the trace collector can route the event; the jobtracker

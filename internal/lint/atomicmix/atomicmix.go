@@ -1,0 +1,130 @@
+// Package atomicmix flags the half-atomic race: a struct field or
+// package-level variable that is accessed through sync/atomic anywhere
+// in the package must be accessed atomically everywhere in the
+// package.
+//
+// Mixing `atomic.AddInt64(&c.n, 1)` with a plain `c.n` read is not a
+// smaller race than two plain accesses — it is the same undefined
+// behavior with better camouflage, and it is exactly the latent bug
+// PR 9 fixed by hand in the metrics registry. The repo's convention is
+// the atomic.Int64-style typed forms, which make mixing impossible;
+// this analyzer guards the word-function form for code that still
+// uses it.
+//
+// The first pass collects every field/global whose address is taken by
+// a sync/atomic word function (Add/Load/Store/Swap/CompareAndSwap);
+// the second flags every other mention of those objects, including
+// taking their address for non-atomic purposes (aliasing a word out of
+// the atomic protocol is how the plain access sneaks back in). Local
+// variables are out of scope: sharing one across goroutines already
+// requires the address to escape through a watched field or global.
+package atomicmix
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/engineapi"
+)
+
+// Analyzer flags non-atomic access to fields that are accessed
+// atomically elsewhere in the package.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicmix",
+	Doc: "a struct field or package variable accessed through sync/atomic anywhere must " +
+		"be accessed atomically everywhere; one plain read beside an atomic.Add is still " +
+		"a data race",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	info := pass.TypesInfo
+
+	// Pass 1: find the atomically-accessed words and remember the exact
+	// identifier nodes that name them inside atomic calls (sanctioned
+	// uses).
+	watched := map[*types.Var]bool{}
+	sanctioned := map[*ast.Ident]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 || !engineapi.AtomicFuncCall(info, call) {
+				return true
+			}
+			un, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok || un.Op != token.AND {
+				return true
+			}
+			if id := wordIdent(un.X); id != nil {
+				if v := wordVar(pass, id); v != nil {
+					watched[v] = true
+					sanctioned[id] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(watched) == 0 {
+		return nil
+	}
+
+	// Pass 2: every other mention of a watched word is a plain access.
+	for _, f := range pass.Files {
+		reported := map[*ast.Ident]bool{}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if v := wordVar(pass, n.Sel); v != nil && watched[v] && !sanctioned[n.Sel] && !reported[n.Sel] {
+					reported[n.Sel] = true
+					pass.Reportf(n.Pos(),
+						"%s is accessed atomically elsewhere in this package; this plain access races with those atomics (use sync/atomic here too)",
+						types.ExprString(n))
+				}
+			case *ast.Ident:
+				if reported[n] || sanctioned[n] {
+					return true
+				}
+				if v := wordVar(pass, n); v != nil && watched[v] && !v.IsField() {
+					reported[n] = true
+					pass.Reportf(n.Pos(),
+						"%s is accessed atomically elsewhere in this package; this plain access races with those atomics (use sync/atomic here too)",
+						n.Name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// wordIdent returns the identifier naming the addressed word: the Sel
+// of a field selector, or a bare identifier.
+func wordIdent(e ast.Expr) *ast.Ident {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		return e.Sel
+	case *ast.Ident:
+		return e
+	}
+	return nil
+}
+
+// wordVar resolves id to a watched-candidate variable: a struct field,
+// or a package-level var of this package.
+func wordVar(pass *analysis.Pass, id *ast.Ident) *types.Var {
+	// Only uses count: the declaration site itself (a Defs entry) is
+	// neither an access nor a race.
+	v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok {
+		return nil
+	}
+	if v.IsField() {
+		return v
+	}
+	if v.Parent() == pass.Pkg.Scope() {
+		return v
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package atomicmix_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/atomicmix"
+	"repro/internal/lint/linttest"
+)
+
+func TestAtomicMix(t *testing.T) {
+	linttest.Run(t, atomicmix.Analyzer, "halfatomic")
+}

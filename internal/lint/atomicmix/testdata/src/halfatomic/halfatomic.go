@@ -1,0 +1,66 @@
+// Package halfatomic exercises the atomicmix analyzer: words accessed
+// through sync/atomic anywhere must be accessed atomically everywhere.
+package halfatomic
+
+import "sync/atomic"
+
+type counter struct {
+	hits   int64
+	misses int64
+	total  int64
+}
+
+func (c *counter) hit() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func (c *counter) readHits() int64 {
+	return c.hits // want `c\.hits is accessed atomically elsewhere`
+}
+
+func (c *counter) resetHits() {
+	c.hits = 0 // want `c\.hits is accessed atomically elsewhere`
+}
+
+func (c *counter) aliasHits() *int64 {
+	return &c.hits // want `c\.hits is accessed atomically elsewhere`
+}
+
+// misses is plain everywhere: consistent, so out of scope (the race
+// detector's business, not this analyzer's).
+func (c *counter) miss() {
+	c.misses++
+}
+
+// total is atomic everywhere: the discipline this analyzer enforces.
+func (c *counter) bumpTotal() {
+	atomic.AddInt64(&c.total, 1)
+}
+
+func (c *counter) readTotal() int64 {
+	return atomic.LoadInt64(&c.total)
+}
+
+func (c *counter) swapTotal(v int64) int64 {
+	return atomic.SwapInt64(&c.total, v)
+}
+
+var generation uint64
+
+func bumpGeneration() {
+	atomic.AddUint64(&generation, 1)
+}
+
+func readGeneration() uint64 {
+	return generation // want `generation is accessed atomically elsewhere`
+}
+
+// typedForm uses the method forms, which the type system already keeps
+// honest; atomicmix has nothing to add.
+type typedForm struct {
+	n atomic.Int64
+}
+
+func (t *typedForm) bump() { t.n.Add(1) }
+
+func (t *typedForm) read() int64 { return t.n.Load() }

@@ -1,0 +1,199 @@
+// Package ctxflow enforces the cluster plane's cancellation contract:
+// contexts flow down, and waits can be interrupted.
+//
+// Two rules, modeled on how the rpc plane actually shuts down:
+//
+//  1. A function (or any literal nested in it) that already has a
+//     context.Context in scope must not mint a fresh root with
+//     context.Background()/TODO() — the fresh root detaches every
+//     callee from the caller's cancellation, which is how a "phase
+//     over" signal fails to reach a speculative attempt. Package main
+//     is exempt (roots have to come from somewhere), as are tests
+//     (never loaded here).
+//
+//  2. An unbounded retry/poll loop (`for {}` / `for cond {}`) that
+//     waits — time.Sleep, or receiving only from timer/ticker
+//     channels — must also be able to hear a stop signal: a receive
+//     from ctx.Done() or an ordinary (non-timer) channel such as the
+//     worker's stop channel, or a sync.Cond wait (Broadcast reaches
+//     it). Bounded three-clause loops terminate on their own and are
+//     exempt, matching worker.go's 20×20ms completion retry; the
+//     heartbeat ticker loops pass through the stop-channel clause of
+//     their selects.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/engineapi"
+)
+
+// Analyzer enforces context threading and interruptible poll loops.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc: "no context.Background()/TODO() where a ctx is already in scope (outside main), " +
+		"and unbounded retry/poll loops must select on ctx.Done() or a shutdown channel; " +
+		"a wait that cannot hear stop outlives the work it waits for",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Name() == "main" {
+		// Roots are minted in main; poll loops there end with the
+		// process.
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFresh(pass, fd.Body, sigHasCtx(pass.TypesInfo.Defs[fd.Name]))
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if loop, ok := n.(*ast.ForStmt); ok {
+				checkLoop(pass, loop)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// sigHasCtx reports whether obj is a function with a context.Context
+// parameter.
+func sigHasCtx(obj types.Object) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	sig := fn.Type().(*types.Signature)
+	for i := 0; i < sig.Params().Len(); i++ {
+		if engineapi.IsContextType(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// litHasCtx reports whether a function literal declares its own
+// context parameter.
+func litHasCtx(info *types.Info, lit *ast.FuncLit) bool {
+	sig, ok := info.Types[lit].Type.(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if engineapi.IsContextType(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkFresh flags fresh context roots minted while a ctx is in scope.
+// Nested literals keep the enclosing scope: a closure spawned by a
+// ctx-taking function still has that ctx to thread.
+func checkFresh(pass *analysis.Pass, body *ast.BlockStmt, inScope bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			checkFresh(pass, n.Body, inScope || litHasCtx(pass.TypesInfo, n))
+			return false
+		case *ast.CallExpr:
+			if name := engineapi.FreshContextCall(pass.TypesInfo, n); name != "" && inScope {
+				pass.Reportf(n.Pos(),
+					"%s() while a ctx is in scope; thread the surrounding context so cancellation reaches this call", name)
+			}
+		}
+		return true
+	})
+}
+
+// checkLoop flags unbounded loops that wait without an escape.
+func checkLoop(pass *analysis.Pass, loop *ast.ForStmt) {
+	if loop.Init != nil || loop.Post != nil {
+		// A three-clause loop is bounded by construction (worker.go's
+		// completion retry); termination is its counter's business.
+		return
+	}
+	waits, escapes := 0, 0
+	classify := func(recv ast.Expr) {
+		switch {
+		case ctxDoneRecv(pass.TypesInfo, recv):
+			escapes++
+		case timerChan(pass.TypesInfo, recv):
+			waits++
+		default:
+			// An ordinary channel is externally signallable — the stop
+			// channel pattern.
+			escapes++
+		}
+	}
+	ast.Inspect(loop.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// A nested literal runs on its own schedule; its waits are
+			// not this loop's waits.
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				classify(n.X)
+			}
+		case *ast.RangeStmt:
+			if t := pass.TypesInfo.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					classify(n.X)
+				}
+			}
+		case *ast.CallExpr:
+			switch {
+			case engineapi.TimeSleep(pass.TypesInfo, n):
+				waits++
+			case engineapi.CondWait(pass.TypesInfo, n):
+				// Cond.Wait wakes on Broadcast/Signal: externally
+				// signallable, like a stop channel (the scheduler's slot
+				// loop).
+				escapes++
+			}
+		}
+		return true
+	})
+	if waits > 0 && escapes == 0 {
+		pass.Reportf(loop.For,
+			"unbounded poll loop sleeps but never selects on ctx.Done or a shutdown channel; it cannot be cancelled")
+	}
+}
+
+// ctxDoneRecv reports whether e is ctx.Done() (or a variable is too
+// hard to prove — only the direct call form is recognized, which is
+// the repo's only form).
+func ctxDoneRecv(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	return ok && engineapi.CtxDoneCall(info, call)
+}
+
+// timerChan reports whether e is a time-source channel: time.After /
+// time.Tick, or the C field of a time.Ticker/time.Timer.
+func timerChan(info *types.Info, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		fn := engineapi.CalleeFunc(info, e)
+		return fn != nil && engineapi.StdPkg(fn, "time") &&
+			(fn.Name() == "After" || fn.Name() == "Tick")
+	case *ast.SelectorExpr:
+		if e.Sel.Name != "C" {
+			return false
+		}
+		v, ok := info.Uses[e.Sel].(*types.Var)
+		if !ok || !v.IsField() {
+			return false
+		}
+		return engineapi.StdPkg(v, "time")
+	}
+	return false
+}

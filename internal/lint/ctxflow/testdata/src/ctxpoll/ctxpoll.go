@@ -1,0 +1,189 @@
+// Package ctxpoll exercises the ctxflow analyzer. The loop fixtures
+// are copied from the production shapes in internal/cluster/rpc —
+// worker.go's heartbeat ticker and bounded 20×20ms completion retry,
+// jobtracker.go's monitor and WaitForWorkers — and must be kept in
+// sync with them: if a production idiom changes shape, change it here
+// too so the analyzer is tested against what the repo actually writes.
+package ctxpoll
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+type tracker struct {
+	stop    chan struct{}
+	queue   chan int
+	workers map[string]int
+}
+
+// freshInScope: a received ctx must flow; minting a new root detaches
+// callees from the caller's cancellation.
+func freshInScope(ctx context.Context, run func(context.Context) error) error {
+	sub := context.Background() // want `context\.Background\(\) while a ctx is in scope`
+	if err := run(sub); err != nil {
+		return err
+	}
+	return run(context.TODO()) // want `context\.TODO\(\) while a ctx is in scope`
+}
+
+// freshInNested: a closure inherits the enclosing ctx scope.
+func freshInNested(ctx context.Context, run func(context.Context) error) {
+	go func() {
+		_ = run(context.Background()) // want `context\.Background\(\) while a ctx is in scope`
+	}()
+}
+
+// freshDerived: deriving from the received ctx is the right move.
+func freshDerived(ctx context.Context, run func(context.Context) error) error {
+	sub, cancel := context.WithCancel(ctx)
+	defer cancel()
+	return run(sub)
+}
+
+// noCtxInScope: with no ctx to thread, a root is legitimate (the
+// scheduler's own cancellation root).
+func noCtxInScope(run func(context.Context) error) error {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	return run(ctx)
+}
+
+// litOwnCtx: a literal that declares its own ctx parameter has one in
+// scope even though the enclosing function does not.
+func litOwnCtx() func(context.Context) error {
+	return func(ctx context.Context) error {
+		_ = context.Background() // want `context\.Background\(\) while a ctx is in scope`
+		return nil
+	}
+}
+
+// pollNoEscape is the shape WaitForWorkers had before this analyzer:
+// an unbounded deadline poll that nothing can interrupt.
+func (t *tracker) pollNoEscape(n int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for { // want `unbounded poll loop sleeps but never selects`
+		if len(t.workers) >= n {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return nil
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// tickerNoEscape: waiting only on a ticker is still uninterruptible.
+func (t *tracker) tickerNoEscape() {
+	tick := time.NewTicker(time.Second)
+	defer tick.Stop()
+	for { // want `unbounded poll loop sleeps but never selects`
+		<-tick.C
+		t.workers["a"]++
+	}
+}
+
+// afterNoEscape: time.After in a condition-only loop, same verdict.
+func (t *tracker) afterNoEscape(done func() bool) {
+	for !done() { // want `unbounded poll loop sleeps but never selects`
+		<-time.After(20 * time.Millisecond)
+	}
+}
+
+// heartbeatLoop mirrors worker.go's heartbeatLoop: a ticker select
+// with a stop-channel clause is the canonical interruptible wait.
+func (t *tracker) heartbeatLoop(every time.Duration) {
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for {
+		select {
+		case <-t.stop:
+			return
+		case <-tick.C:
+			t.workers["a"]++
+		}
+	}
+}
+
+// completionRetry mirrors worker.go runTask's completion retry: the
+// three-clause loop is bounded (20×20ms) and exempt, and its inner
+// select hears stop anyway.
+func (t *tracker) completionRetry(send func() error) {
+	for i := 0; i < 20; i++ {
+		if send() == nil {
+			return
+		}
+		select {
+		case <-t.stop:
+			return
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+}
+
+// monitorLoop mirrors jobtracker.go's monitor: grace-period expiry
+// scan on a ticker, stopped by the stop channel.
+func (t *tracker) monitorLoop(grace time.Duration) {
+	tick := time.NewTicker(grace / 4)
+	defer tick.Stop()
+	for {
+		select {
+		case <-t.stop:
+			return
+		case <-tick.C:
+			for id := range t.workers {
+				delete(t.workers, id)
+			}
+		}
+	}
+}
+
+// ctxDoneEscape: selecting on ctx.Done is the other sanctioned escape.
+func ctxDoneEscape(ctx context.Context, tick *time.Ticker, work func()) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			work()
+		}
+	}
+}
+
+// queueDrain: receiving from an ordinary channel is externally
+// signallable (close unblocks it) — not a blind wait.
+func (t *tracker) queueDrain() {
+	for {
+		v := <-t.queue
+		if v < 0 {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// condSlack mirrors the scheduler's slot loop: the sleep window is
+// paired with a Cond.Wait that Broadcast reaches.
+func condSlack(cond *sync.Cond, slack time.Duration, ready func() bool) {
+	for {
+		if ready() {
+			return
+		}
+		if slack > 0 {
+			time.Sleep(slack / 4)
+			continue
+		}
+		cond.Wait()
+	}
+}
+
+// busyScan: no wait at all — spins on state; out of scope here.
+func (t *tracker) busyScan() {
+	for {
+		if len(t.workers) == 0 {
+			return
+		}
+		delete(t.workers, "a")
+	}
+}

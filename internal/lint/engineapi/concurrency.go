@@ -1,0 +1,209 @@
+// Recognizers for the cluster runtime surface: the rpc transport
+// protocol, sync primitives, blocking operations, context roots, and
+// gob self-encoding — the vocabulary of the lockheld, atomicmix,
+// ctxflow and gobwire analyzers. Standard-library packages are matched
+// by exact import path (suffix matching would let a fixture spoof
+// "sync"); the engine's own layers keep the suffix rules above so
+// fixture stubs work.
+package engineapi
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// StdPkg reports whether obj is declared in the standard-library
+// package with exactly this import path.
+func StdPkg(obj types.Object, path string) bool {
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == path
+}
+
+// CalleeFunc resolves a call expression to the *types.Func it invokes
+// (package function or method, through any selector), or nil.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// TransportCall reports whether call invokes the rpc transport's
+// Call(addr, method, args, reply) — on the Transport interface or any
+// implementation declared in the rpc package.
+func TransportCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := CalleeFunc(info, call)
+	if fn == nil || fn.Name() != "Call" || !FromPkg(fn, RPCPath) {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() != nil && sig.Params().Len() == 4
+}
+
+// MutexOp recognizes a call to Lock/Unlock/RLock/RUnlock (or a Try
+// variant) on a sync.Mutex or sync.RWMutex, returning the receiver
+// expression (the lock) and the method name.
+func MutexOp(info *types.Info, call *ast.CallExpr) (recv ast.Expr, op string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return nil, "", false
+	}
+	fn, isFn := info.Uses[sel.Sel].(*types.Func)
+	if !isFn || !StdPkg(fn, "sync") {
+		return nil, "", false
+	}
+	switch fn.Name() {
+	case "Lock", "Unlock", "RLock", "RUnlock", "TryLock", "TryRLock":
+	default:
+		return nil, "", false
+	}
+	sig, isSig := fn.Type().(*types.Signature)
+	if !isSig || sig.Recv() == nil {
+		return nil, "", false
+	}
+	n := namedOf(sig.Recv().Type())
+	if n == nil || (n.Obj().Name() != "Mutex" && n.Obj().Name() != "RWMutex") {
+		return nil, "", false
+	}
+	return sel.X, fn.Name(), true
+}
+
+// syncMethod reports whether call invokes the named method on the
+// named sync type.
+func syncMethod(info *types.Info, call *ast.CallExpr, typeName, method string) bool {
+	fn := CalleeFunc(info, call)
+	if fn == nil || fn.Name() != method || !StdPkg(fn, "sync") {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	n := namedOf(sig.Recv().Type())
+	return n != nil && n.Obj().Name() == typeName
+}
+
+// WaitGroupWait reports whether call is sync.WaitGroup.Wait.
+func WaitGroupWait(info *types.Info, call *ast.CallExpr) bool {
+	return syncMethod(info, call, "WaitGroup", "Wait")
+}
+
+// CondWait reports whether call is sync.Cond.Wait — a wait that is
+// externally signallable (Broadcast/Signal), unlike a plain sleep.
+func CondWait(info *types.Info, call *ast.CallExpr) bool {
+	return syncMethod(info, call, "Cond", "Wait")
+}
+
+// TimeSleep reports whether call is time.Sleep.
+func TimeSleep(info *types.Info, call *ast.CallExpr) bool {
+	fn := CalleeFunc(info, call)
+	if fn == nil || fn.Name() != "Sleep" || !StdPkg(fn, "time") {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// StoreIOCall recognizes a blocking storage I/O call — a method on
+// dfs.Store, *dfs.FileSystem, or the rpc RemoteStore proxy — and
+// returns a display name like "(dfs.Store).ReadRange".
+func StoreIOCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	fn := CalleeFunc(info, call)
+	if fn == nil {
+		return "", false
+	}
+	// Only the exported surface is the I/O boundary: unexported methods
+	// are intra-package helpers that follow the owning package's own
+	// locking conventions (dfs's readChunkLocked is *designed* to run
+	// under fs.mu).
+	if !fn.Exported() {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", false
+	}
+	for _, w := range []struct{ name, path, disp string }{
+		{"Store", DFSPath, "(dfs.Store)"},
+		{"FileSystem", DFSPath, "(*dfs.FileSystem)"},
+		{"RemoteStore", RPCPath, "(*rpc.RemoteStore)"},
+	} {
+		if NamedFrom(sig.Recv().Type(), w.name, w.path) != nil {
+			return w.disp + "." + fn.Name(), true
+		}
+	}
+	return "", false
+}
+
+// IsContextType reports whether t is context.Context.
+func IsContextType(t types.Type) bool {
+	n := namedOf(t)
+	return n != nil && n.Obj().Name() == "Context" && StdPkg(n.Obj(), "context")
+}
+
+// FreshContextCall returns "context.Background" or "context.TODO"
+// when call mints a fresh root context, else "".
+func FreshContextCall(info *types.Info, call *ast.CallExpr) string {
+	fn := CalleeFunc(info, call)
+	if fn == nil || !StdPkg(fn, "context") {
+		return ""
+	}
+	if fn.Name() == "Background" || fn.Name() == "TODO" {
+		return "context." + fn.Name()
+	}
+	return ""
+}
+
+// CtxDoneCall reports whether call is the Done() method of a
+// context.Context.
+func CtxDoneCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := CalleeFunc(info, call)
+	if fn == nil || fn.Name() != "Done" || !StdPkg(fn, "context") {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() != nil
+}
+
+// AtomicFuncCall reports whether call invokes one of sync/atomic's
+// package-level word functions (AddT/LoadT/StoreT/SwapT/
+// CompareAndSwapT), whose first argument is a pointer to the shared
+// word. The atomic.Int64-style method forms make mixing impossible at
+// the type level and are not matched.
+func AtomicFuncCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := CalleeFunc(info, call)
+	if fn == nil || !StdPkg(fn, "sync/atomic") {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil || sig.Params().Len() == 0 {
+		return false
+	}
+	_, isPtr := sig.Params().At(0).Type().Underlying().(*types.Pointer)
+	return isPtr
+}
+
+// GobSelfEncoding reports whether t controls its own gob wire form by
+// implementing gob.GobEncoder or encoding.BinaryMarshaler (time.Time
+// is the canonical case): its unexported fields are the encoder's
+// business, not gobwire's.
+func GobSelfEncoding(t types.Type) bool {
+	for _, name := range []string{"GobEncode", "MarshalBinary"} {
+		obj, _, _ := types.LookupFieldOrMethod(t, true, nil, name)
+		fn, ok := obj.(*types.Func)
+		if !ok {
+			continue
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if ok && sig.Params().Len() == 0 && sig.Results().Len() == 2 {
+			return true
+		}
+	}
+	return false
+}

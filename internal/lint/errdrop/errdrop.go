@@ -158,6 +158,16 @@ func flaggedCallee(info *types.Info, call *ast.CallExpr) (*types.Func, string) {
 			{"MemNetwork", engineapi.RPCPath, "(*rpc.MemNetwork)"},
 			{"TCPNetwork", engineapi.RPCPath, "(*rpc.TCPNetwork)"},
 			{"Unreliable", engineapi.RPCPath, "(*rpc.Unreliable)"},
+			// The cluster services themselves: a swallowed
+			// WaitForWorkers or Run error is a jobtracker/worker that
+			// silently never came up, and a dropped StatusServer
+			// shutdown error is a listener leaked past teardown. The
+			// Federation is watched for the same reason even though its
+			// current merge surface reports staleness as a bool.
+			{"Jobtracker", engineapi.RPCPath, "(*rpc.Jobtracker)"},
+			{"Worker", engineapi.RPCPath, "(*rpc.Worker)"},
+			{"Federation", engineapi.RPCPath, "(*rpc.Federation)"},
+			{"StatusServer", engineapi.ObsPath, "(*obs.StatusServer)"},
 		} {
 			if engineapi.NamedFrom(recv.Type(), w.name, w.path) != nil {
 				return fn, w.disp + "." + fn.Name()
@@ -170,6 +180,9 @@ func flaggedCallee(info *types.Info, call *ast.CallExpr) (*types.Func, string) {
 	}
 	if engineapi.FromPkg(fn, engineapi.RPCPath) {
 		return fn, "rpc." + fn.Name()
+	}
+	if engineapi.FromPkg(fn, engineapi.ObsPath) {
+		return fn, "obs." + fn.Name()
 	}
 	return nil, ""
 }

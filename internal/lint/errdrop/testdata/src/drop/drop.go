@@ -4,7 +4,9 @@
 package drop
 
 import (
+	"context"
 	"strconv"
+	"time"
 
 	"repro/internal/cluster/rpc"
 	"repro/internal/dfs"
@@ -78,6 +80,34 @@ func handleRPC(tr rpc.Transport, rs *rpc.RemoteStore, st dfs.Store) error {
 	data, err := st.ReadRange("p", 0, 1)
 	_ = data
 	return err
+}
+
+func dropCluster(jt *rpc.Jobtracker, w *rpc.Worker, srv *obs.StatusServer) {
+	jt.WaitForWorkers(4, time.Second)        // want `error returned by \(\*rpc\.Jobtracker\)\.WaitForWorkers is discarded`
+	go w.Run()                               // want `unobservable in a go statement`
+	_ = srv.Close()                          // want `error returned by \(\*obs\.StatusServer\)\.Close is assigned to _`
+	defer srv.Shutdown(context.Background()) // want `unobservable in a defer`
+	_, _ = obs.NewLevelLogger("debug")       // want `error returned by obs\.NewLevelLogger is assigned to _`
+}
+
+func handleCluster(jt *rpc.Jobtracker, w *rpc.Worker, srv *obs.StatusServer, fed *rpc.Federation) error {
+	if err := jt.WaitForWorkers(4, time.Second); err != nil {
+		return err
+	}
+	go func() {
+		if err := w.Run(); err != nil {
+			panic(err)
+		}
+	}()
+	logger, err := obs.NewLevelLogger("info")
+	if err != nil {
+		return err
+	}
+	_ = logger
+	// Federation.Apply reports staleness as a bool, not an error: out
+	// of errdrop's scope even though the type is on the watch list.
+	fed.Apply("n1", 7)
+	return srv.Shutdown(context.Background())
 }
 
 // otherPackages is out of scope: strconv is not a storage layer.

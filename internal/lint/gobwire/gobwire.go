@@ -1,0 +1,158 @@
+// Package gobwire checks that every request/reply type crossing the
+// rpc transport gob-round-trips faithfully.
+//
+// gob's failure modes at this boundary are asymmetric: a func or chan
+// field fails the encode loudly, but an unexported field is silently
+// dropped — the value arrives zeroed on the far side, which for a
+// federated metrics snapshot or a task spec means a quietly corrupted
+// result rather than a crash. The paper's whole contract is that the
+// distributed run returns byte-identical answers; a field gob forgot
+// is exactly the bug class that breaks it undetectably.
+//
+// At every Transport.Call(addr, method, args, reply) site, the static
+// types of args and reply are traversed — through named structs,
+// pointers, slices, arrays and maps, across package boundaries — and
+// each reachable struct must carry exported fields only, none of them
+// func, chan, or interface typed. Types that implement gob.GobEncoder
+// or encoding.BinaryMarshaler own their wire form and are exempt
+// (time.Time). Arguments whose static type is itself an interface
+// (the `args, reply any` of a transport wrapper forwarding opaquely)
+// are skipped: the concrete crossing is checked at the outer call
+// site, where the type is visible.
+package gobwire
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/engineapi"
+)
+
+// Analyzer checks gob-faithfulness of types crossing rpc.Transport.
+var Analyzer = &analysis.Analyzer{
+	Name: "gobwire",
+	Doc: "request/reply types crossing rpc.Transport must gob-round-trip faithfully: " +
+		"exported fields only, no func/chan/interface fields — gob silently drops " +
+		"unexported fields, zeroing them on the far side",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{pass: pass, reported: map[string]bool{}}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 4 || !engineapi.TransportCall(pass.TypesInfo, call) {
+				return true
+			}
+			for _, arg := range call.Args[2:] {
+				c.checkArg(arg)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+type checker struct {
+	pass *analysis.Pass
+	// reported dedups (position, message): one field can be reachable
+	// through several traversal paths of the same argument.
+	reported map[string]bool
+}
+
+// checkArg validates the static type of one args/reply argument.
+func (c *checker) checkArg(arg ast.Expr) {
+	t := c.pass.TypesInfo.TypeOf(arg)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Interface); ok {
+		// An opaque forward (`args any`): the concrete type crossed at
+		// the caller's call site, where it is checked.
+		return
+	}
+	c.validate(arg.Pos(), t, map[types.Type]bool{})
+}
+
+// validate walks t reporting gob-unfaithful struct fields.
+func (c *checker) validate(pos token.Pos, t types.Type, seen map[types.Type]bool) {
+	if t == nil || seen[t] {
+		return
+	}
+	seen[t] = true
+	if engineapi.GobSelfEncoding(t) {
+		return
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Pointer:
+		c.validate(pos, u.Elem(), seen)
+	case *types.Slice:
+		c.validate(pos, u.Elem(), seen)
+	case *types.Array:
+		c.validate(pos, u.Elem(), seen)
+	case *types.Map:
+		c.validate(pos, u.Key(), seen)
+		c.validate(pos, u.Elem(), seen)
+	case *types.Struct:
+		owner := ownerName(t)
+		for i := 0; i < u.NumFields(); i++ {
+			f := u.Field(i)
+			if !f.Exported() {
+				c.report(pos, "field %s.%s is unexported: gob silently drops it, so it crosses rpc.Transport zeroed; use an exported field or a wire-only mirror type",
+					owner, f.Name())
+				// The data never crosses; no point traversing into it.
+				continue
+			}
+			c.checkFieldType(pos, owner, f, seen)
+		}
+	}
+}
+
+// checkFieldType classifies one exported field's type and recurses.
+func (c *checker) checkFieldType(pos token.Pos, owner string, f *types.Var, seen map[types.Type]bool) {
+	ft := f.Type()
+	if engineapi.GobSelfEncoding(ft) {
+		return
+	}
+	switch ft.Underlying().(type) {
+	case *types.Signature:
+		c.report(pos, "field %s.%s is a func: gob cannot encode it across rpc.Transport; ship a name or wire form instead",
+			owner, f.Name())
+	case *types.Chan:
+		c.report(pos, "field %s.%s is a chan: gob cannot encode it across rpc.Transport; channels do not cross process boundaries",
+			owner, f.Name())
+	case *types.Interface:
+		c.report(pos, "field %s.%s is an interface: gob needs registered concrete types and the rpc wire contract forbids it; use a concrete wire type",
+			owner, f.Name())
+	default:
+		c.validate(pos, ft, seen)
+	}
+}
+
+// ownerName names the struct owning a field for diagnostics: the named
+// type when there is one, else the literal struct form.
+func ownerName(t types.Type) string {
+	switch t := t.(type) {
+	case *types.Named:
+		return t.Obj().Name()
+	case *types.Alias:
+		return ownerName(types.Unalias(t))
+	case *types.Pointer:
+		return ownerName(t.Elem())
+	}
+	return "struct"
+}
+
+func (c *checker) report(pos token.Pos, format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	key := fmt.Sprintf("%d|%s", pos, msg)
+	if c.reported[key] {
+		return
+	}
+	c.reported[key] = true
+	c.pass.Reportf(pos, "%s", msg)
+}

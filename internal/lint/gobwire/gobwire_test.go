@@ -1,0 +1,15 @@
+package gobwire_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/gobwire"
+	"repro/internal/lint/linttest"
+)
+
+// TestGobWire loads the using and the defining fixture packages in one
+// RunMulti shot: the analyzer must see the Transport.Call site in
+// `wire` and traverse field types declared in `wire/sub`.
+func TestGobWire(t *testing.T) {
+	linttest.RunMulti(t, gobwire.Analyzer, "wire", "wire/sub")
+}

@@ -1,0 +1,15 @@
+// Package sub supplies wire types defined outside the calling
+// package, exercising gobwire's cross-package type traversal.
+package sub
+
+// Part is a clean wire struct.
+type Part struct {
+	Key string
+	N   int64
+}
+
+// Leaky carries an unexported counter that gob silently drops.
+type Leaky struct {
+	Name  string
+	count int
+}

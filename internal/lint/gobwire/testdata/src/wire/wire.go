@@ -1,0 +1,71 @@
+// Package wire exercises the gobwire analyzer: request/reply types
+// shipped through rpc.Transport must gob-round-trip faithfully. The
+// wire/sub package supplies types defined outside this package, so the
+// analyzer's cross-package traversal is on the hook too.
+package wire
+
+import (
+	"time"
+
+	"repro/internal/cluster/rpc"
+	"wire/sub"
+)
+
+type goodArgs struct {
+	Name  string
+	N     int
+	When  time.Time // GobEncoder: owns its wire form
+	Parts []sub.Part
+	Tags  map[string]int64
+}
+
+type goodReply struct {
+	OK   bool
+	Dur  time.Duration
+	Rows [][]sub.Part
+}
+
+type badArgs struct {
+	Name   string
+	secret string
+	cache  map[string]int
+}
+
+type badReply struct {
+	Done   func()
+	Events chan int
+	Any    interface{}
+}
+
+type nestedArgs struct {
+	Inner sub.Leaky
+	More  []sub.Leaky
+}
+
+func shipGood(tr rpc.Transport) error {
+	var reply goodReply
+	return tr.Call("a", "m", &goodArgs{}, &reply)
+}
+
+func shipBad(tr rpc.Transport) error {
+	var reply badReply
+	return tr.Call("a", "m",
+		&badArgs{}, // want `badArgs\.secret is unexported` `badArgs\.cache is unexported`
+		&reply,     // want `badReply\.Done is a func` `badReply\.Events is a chan` `badReply\.Any is an interface`
+	)
+}
+
+func shipNested(tr rpc.Transport) error {
+	var reply goodReply
+	return tr.Call("a", "m",
+		&nestedArgs{}, // want `Leaky\.count is unexported`
+		&reply,
+	)
+}
+
+// shipOpaque forwards `any` args like the instrumented transport
+// wrapper: the static type is an interface, so the crossing is checked
+// at the outer caller, not here.
+func shipOpaque(tr rpc.Transport, args, reply any) error {
+	return tr.Call("a", "m", args, reply)
+}

@@ -27,8 +27,29 @@ import (
 
 // Run loads each fixture package from the test's testdata (plus the
 // suite-shared stub root) and verifies the analyzer's diagnostics
-// against the package's want comments.
+// against the package's want comments. Each package loads and checks
+// independently; use RunMulti when fixtures must see each other.
 func Run(t *testing.T, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	roots := fixtureRoots(t)
+	for _, pkg := range pkgs {
+		runPkgs(t, roots, a, pkg)
+	}
+}
+
+// RunMulti loads all the fixture packages in one shot — so they may
+// import each other, and an analyzer that follows types across package
+// boundaries (gobwire) sees both the defining and the using side —
+// then runs the analyzer over every named package and checks the
+// combined diagnostics against the combined want comments.
+func RunMulti(t *testing.T, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	runPkgs(t, fixtureRoots(t), a, pkgs...)
+}
+
+// fixtureRoots locates the fixture source roots: the test's own
+// testdata/src plus the suite-shared stub root one level up.
+func fixtureRoots(t *testing.T) []string {
 	t.Helper()
 	var roots []string
 	for _, r := range []string{
@@ -46,40 +67,45 @@ func Run(t *testing.T, a *analysis.Analyzer, pkgs ...string) {
 	if len(roots) == 0 {
 		t.Fatal("linttest: no testdata/src fixture root found")
 	}
-	for _, pkg := range pkgs {
-		runPkg(t, roots, a, pkg)
-	}
+	return roots
 }
 
-func runPkg(t *testing.T, roots []string, a *analysis.Analyzer, pkgPath string) {
+func runPkgs(t *testing.T, roots []string, a *analysis.Analyzer, pkgPaths ...string) {
 	t.Helper()
-	res, err := loader.LoadFixture(roots, pkgPath)
+	res, err := loader.LoadFixtures(roots, pkgPaths...)
 	if err != nil {
-		t.Fatalf("%s: loading fixture %s: %v", a.Name, pkgPath, err)
+		t.Fatalf("%s: loading fixtures %v: %v", a.Name, pkgPaths, err)
 	}
-	var target *loader.Package
-	for _, p := range res.Packages {
-		if p.Target {
-			target = p
+	targets := res.Targets()
+	if len(targets) != len(pkgPaths) {
+		t.Fatalf("%s: fixtures %v resolved to %d target packages", a.Name, pkgPaths, len(targets))
+	}
+	var wants []want
+	var diags []analysis.Diagnostic
+	for _, target := range targets {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      res.Fset,
+			Files:     target.Files,
+			Pkg:       target.Types,
+			TypesInfo: target.Info,
 		}
+		if err := a.Run(pass); err != nil {
+			t.Fatalf("%s: analyzer failed on %s: %v", a.Name, target.PkgPath, err)
+		}
+		diags = append(diags, pass.Diagnostics()...)
+		wants = append(wants, collectWants(t, res, target)...)
 	}
-	if target == nil {
-		t.Fatalf("%s: fixture %s has no target package", a.Name, pkgPath)
-	}
-	pass := &analysis.Pass{
-		Analyzer:  a,
-		Fset:      res.Fset,
-		Files:     target.Files,
-		Pkg:       target.Types,
-		TypesInfo: target.Info,
-	}
-	if err := a.Run(pass); err != nil {
-		t.Fatalf("%s: analyzer failed on %s: %v", a.Name, pkgPath, err)
-	}
+	matchWants(t, a, wants, diags)
+}
 
-	wants := collectWants(t, res, target)
+// matchWants pairs diagnostics with want expectations by file base
+// name and line, reporting both unexpected diagnostics and unmatched
+// wants.
+func matchWants(t *testing.T, a *analysis.Analyzer, wants []want, diags []analysis.Diagnostic) {
+	t.Helper()
 	matched := make([]bool, len(wants))
-	for _, d := range pass.Diagnostics() {
+	for _, d := range diags {
 		key := posKey{filepath.Base(d.Pos.Filename), d.Pos.Line}
 		ok := false
 		for i, w := range wants {

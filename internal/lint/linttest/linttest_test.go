@@ -1,0 +1,52 @@
+package linttest_test
+
+import (
+	"go/ast"
+	"testing"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/linttest"
+)
+
+// boomcall is a minimal analyzer for exercising the harness itself: it
+// flags every call to a function named Boom/boom, so fixtures can
+// place diagnostics on exact lines without any engine machinery.
+var boomcall = &analysis.Analyzer{
+	Name: "boomcall",
+	Doc:  "flags calls to functions named Boom (linttest harness self-test)",
+	Run: func(pass *analysis.Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				switch fun := call.Fun.(type) {
+				case *ast.Ident:
+					if fun.Name == "Boom" || fun.Name == "boom" {
+						pass.Reportf(call.Pos(), "call to %s", fun.Name)
+					}
+				case *ast.SelectorExpr:
+					if fun.Sel.Name == "Boom" {
+						pass.Reportf(call.Pos(), "call to Boom")
+					}
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+// TestRunSingle covers the one-package path: a multi-file fixture
+// package whose want comments span both files.
+func TestRunSingle(t *testing.T) {
+	linttest.Run(t, boomcall, "multi/b")
+}
+
+// TestRunMulti covers the combined load: two target packages checked
+// in one shot, where multi/b imports multi/a, and wants from every
+// target file must match against the pooled diagnostics.
+func TestRunMulti(t *testing.T) {
+	linttest.RunMulti(t, boomcall, "multi/a", "multi/b")
+}

@@ -1,0 +1,10 @@
+// Package a is the defining side of the linttest multi-package
+// harness fixture: it exports Boom for multi/b to call.
+package a
+
+// Boom exists to be flagged by the harness's boomcall analyzer.
+func Boom() {}
+
+func callLocal() {
+	Boom() // want `call to Boom`
+}

@@ -1,0 +1,9 @@
+// Package b is the using side of the linttest multi-package harness
+// fixture: it imports multi/a and spreads wants across two files.
+package b
+
+import "multi/a"
+
+func callImported() {
+	a.Boom() // want `call to Boom`
+}

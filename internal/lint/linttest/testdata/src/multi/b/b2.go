@@ -1,0 +1,9 @@
+package b
+
+func boom() {}
+
+func callLocal() {
+	boom() // want `call to boom`
+}
+
+func quiet() {}

@@ -227,11 +227,11 @@ var (
 	stdCache    = map[string]*types.Package{}
 )
 
-// fixtureLoad is the state of one LoadFixture call.
+// fixtureLoad is the state of one LoadFixture(s) call.
 type fixtureLoad struct {
 	res     *Result
 	roots   []string
-	target  string
+	targets map[string]bool
 	local   map[string]*types.Package
 	loading map[string]bool
 }
@@ -241,17 +241,32 @@ type fixtureLoad struct {
 // root/<import path>/*.go) and then against GOROOT sources. Only the
 // named package gets full body checking; everything else is API-only.
 func LoadFixture(roots []string, pkgPath string) (*Result, error) {
+	return LoadFixtures(roots, pkgPath)
+}
+
+// LoadFixtures type-checks several fixture packages into one Result,
+// so fixtures that import each other (a wire-type package and the
+// package that ships it over the transport, say) load and get body
+// checking in a single shot. Every named package is a target; shared
+// dependencies are loaded once, API-only.
+func LoadFixtures(roots []string, pkgPaths ...string) (*Result, error) {
 	stdMu.Lock()
 	defer stdMu.Unlock()
+	targets := make(map[string]bool, len(pkgPaths))
+	for _, p := range pkgPaths {
+		targets[p] = true
+	}
 	fl := &fixtureLoad{
 		res:     &Result{Fset: fixtureFset},
 		roots:   roots,
-		target:  pkgPath,
+		targets: targets,
 		local:   map[string]*types.Package{},
 		loading: map[string]bool{},
 	}
-	if _, err := fl.pkg(pkgPath); err != nil {
-		return nil, err
+	for _, p := range pkgPaths {
+		if _, err := fl.pkg(p); err != nil {
+			return nil, err
+		}
 	}
 	return fl.res, nil
 }
@@ -287,7 +302,7 @@ func (fl *fixtureLoad) pkg(path string) (*types.Package, error) {
 	if p, ok := fl.local[path]; ok {
 		return p, nil
 	}
-	if p, ok := stdCache[path]; ok && path != fl.target {
+	if p, ok := stdCache[path]; ok && !fl.targets[path] {
 		return p, nil
 	}
 	if fl.loading[path] {
@@ -312,7 +327,7 @@ func (fl *fixtureLoad) pkg(path string) (*types.Package, error) {
 		}
 		files = append(files, file)
 	}
-	full := path == fl.target
+	full := fl.targets[path]
 	imp := importerFunc(func(ipath string) (*types.Package, error) { return fl.pkg(ipath) })
 	tpkg, info, errs := check(fl.res.Fset, path, files, imp, full)
 	if full && len(errs) > 0 {

@@ -1,0 +1,12 @@
+package lockheld_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/lockheld"
+)
+
+func TestLockHeld(t *testing.T) {
+	linttest.Run(t, lockheld.Analyzer, "lockspan")
+}

@@ -1,0 +1,160 @@
+// Package lockspan exercises the lockheld analyzer: blocking
+// operations inside a mutex critical section are flagged; the
+// unlock-before-blocking idioms the cluster plane actually uses are
+// accepted.
+package lockspan
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/cluster/rpc"
+	"repro/internal/dfs"
+)
+
+type server struct {
+	mu    sync.Mutex
+	rw    sync.RWMutex
+	tr    rpc.Transport
+	store dfs.Store
+	ch    chan int
+	wg    sync.WaitGroup
+	cond  *sync.Cond
+	busy  int
+}
+
+func (s *server) badCallUnderLock() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tr.Call("a", "m", nil, nil) // want `blocking rpc Transport\.Call while s\.mu is held`
+}
+
+func (s *server) badSleep() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want `blocking time\.Sleep while s\.mu is held`
+	s.mu.Unlock()
+}
+
+func (s *server) badSend(v int) {
+	s.mu.Lock()
+	s.ch <- v // want `blocking channel send while s\.mu is held`
+	s.mu.Unlock()
+}
+
+func (s *server) badRecvUnderRLock() int {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	return <-s.ch // want `blocking channel receive while s\.rw is held`
+}
+
+func (s *server) badWaitGroup() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.wg.Wait() // want `blocking sync\.WaitGroup\.Wait while s\.mu is held`
+}
+
+func (s *server) badStoreIO() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.store.ReadRange("p", 0, 1) // want `blocking \(dfs\.Store\)\.ReadRange I/O while s\.mu is held`
+}
+
+func (s *server) badBlockingSelect() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want `blocking select while s\.mu is held`
+	case v := <-s.ch:
+		s.busy = v
+	case s.ch <- 1:
+	}
+}
+
+func (s *server) badRangeOverChannel() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for v := range s.ch { // want `blocking channel receive \(range over channel\) while s\.mu is held`
+		s.busy = v
+	}
+}
+
+func (s *server) badBothLocksNamed() {
+	s.mu.Lock()
+	s.rw.Lock()
+	time.Sleep(time.Millisecond) // want `blocking time\.Sleep while s\.mu, s\.rw is held`
+	s.rw.Unlock()
+	s.mu.Unlock()
+}
+
+// goodUnlockFirst is the plane's standard idiom: snapshot under the
+// lock, release, then do the slow thing.
+func (s *server) goodUnlockFirst() error {
+	s.mu.Lock()
+	addr := "a"
+	s.mu.Unlock()
+	return s.tr.Call(addr, "m", nil, nil)
+}
+
+// goodNonblockingSelect: a select with a default never waits.
+func (s *server) goodNonblockingSelect() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case s.ch <- 1:
+	default:
+	}
+}
+
+// goodBranchRelease: the lock is released on every path that blocks.
+func (s *server) goodBranchRelease(fast bool) error {
+	s.mu.Lock()
+	if fast {
+		s.mu.Unlock()
+		return s.tr.Call("a", "m", nil, nil)
+	}
+	s.busy++
+	s.mu.Unlock()
+	return nil
+}
+
+// goodLoopWindow mirrors the scheduler's slot loop: the lock is opened
+// for the sleep window and retaken before looping.
+func (s *server) goodLoopWindow(done func() bool) {
+	s.mu.Lock()
+	for {
+		if done() {
+			break
+		}
+		s.mu.Unlock()
+		time.Sleep(time.Millisecond)
+		s.mu.Lock()
+	}
+	s.mu.Unlock()
+}
+
+// goodCondWait: sync.Cond.Wait releases the lock by contract.
+func (s *server) goodCondWait() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.busy == 0 {
+		s.cond.Wait()
+	}
+}
+
+// goodGoroutine: the spawned body runs without the spawner's lock.
+func (s *server) goodGoroutine() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		time.Sleep(time.Millisecond)
+		s.ch <- 1
+	}()
+}
+
+// goodAfterScope: blocking after the critical section closes is fine.
+func (s *server) goodAfterScope() {
+	s.mu.Lock()
+	s.busy++
+	s.mu.Unlock()
+	<-s.ch
+	s.wg.Wait()
+}

@@ -55,7 +55,10 @@ func TestRepoIsClean(t *testing.T) {
 // TestSuiteStable pins the suite contents: dropping an analyzer from
 // the registry silently would gut the CI gate.
 func TestSuiteStable(t *testing.T) {
-	want := []string{"emitretain", "errdrop", "eventpairs", "rawkeyorder", "taskdeterminism"}
+	want := []string{
+		"atomicmix", "ctxflow", "emitretain", "errdrop", "eventpairs",
+		"gobwire", "lockheld", "rawkeyorder", "taskdeterminism",
+	}
 	suite := lint.Suite()
 	if len(suite) != len(want) {
 		t.Fatalf("suite has %d analyzers, want %d", len(suite), len(want))

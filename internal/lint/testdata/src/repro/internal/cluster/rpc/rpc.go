@@ -1,6 +1,8 @@
 // Package rpc is the fixture stub of the RPC transport layer.
 package rpc
 
+import "time"
+
 // Transport mirrors the transport interface.
 type Transport interface {
 	Call(addr, method string, args, reply any) error
@@ -41,3 +43,24 @@ func (s *RemoteStore) Size(path string) (int64, error) { return 0, nil }
 
 // Serve mirrors the accept loop (the real one takes a net.Listener).
 func Serve(ln any, srv *Server) error { return nil }
+
+// Jobtracker mirrors the cluster coordinator.
+type Jobtracker struct{}
+
+// WaitForWorkers mirrors Jobtracker.WaitForWorkers.
+func (jt *Jobtracker) WaitForWorkers(n int, timeout time.Duration) error { return nil }
+
+// Stop mirrors Jobtracker.Stop.
+func (jt *Jobtracker) Stop() {}
+
+// Worker mirrors the out-of-process worker loop.
+type Worker struct{}
+
+// Run mirrors Worker.Run.
+func (w *Worker) Run() error { return nil }
+
+// Federation mirrors the metrics federation sink.
+type Federation struct{}
+
+// Apply mirrors Federation.Apply (reports staleness as a bool).
+func (f *Federation) Apply(node string, seq uint64) bool { return false }

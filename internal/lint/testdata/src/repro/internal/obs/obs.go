@@ -1,7 +1,11 @@
 // Package obs is the fixture stub of the observability layer.
 package obs
 
-import "time"
+import (
+	"context"
+	"log/slog"
+	"time"
+)
 
 // EventType enumerates lifecycle events.
 type EventType string
@@ -67,3 +71,15 @@ type History struct{}
 
 // Save mirrors History.Save.
 func (h *History) Save(rec JobRecord) (string, error) { return "", nil }
+
+// StatusServer mirrors the cluster status HTTP server.
+type StatusServer struct{}
+
+// Close mirrors StatusServer.Close.
+func (s *StatusServer) Close() error { return nil }
+
+// Shutdown mirrors StatusServer.Shutdown.
+func (s *StatusServer) Shutdown(ctx context.Context) error { return nil }
+
+// NewLevelLogger mirrors the slog handler constructor.
+func NewLevelLogger(level string) (*slog.Logger, error) { return nil, nil }

@@ -1,0 +1,33 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"strings"
+)
+
+// NewLevelLogger builds the structured stderr logger behind the CLI's
+// -log-level flag. Levels are the slog names; "off" discards
+// everything. An unknown level is an error, not a silent default: a
+// typo'd -log-level on a cluster node would otherwise hide exactly the
+// logs someone asked for.
+func NewLevelLogger(level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info":
+		lvl = slog.LevelInfo
+	case "warn", "warning":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	case "off":
+		return slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.LevelError + 1})), nil
+	default:
+		return nil, fmt.Errorf("unknown log level %q (debug|info|warn|error|off)", level)
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl})), nil
+}

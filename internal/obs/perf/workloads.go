@@ -1,8 +1,10 @@
 package perf
 
 import (
+	"errors"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/cluster"
@@ -423,6 +425,10 @@ func setupDistributedKMeans(rc *RunContext) (RunFunc, error) {
 	jt := rpc.NewJobtracker(rpc.JobtrackerConfig{Cluster: c, FS: fs, Obs: rc.Bus, Transport: net})
 	net.Bind("jt", jt.Server())
 	workers := make([]*rpc.Worker, 0, len(c.Nodes()))
+	var (
+		runMu   sync.Mutex
+		runErrs []error
+	)
 	for _, n := range c.Nodes() {
 		addr := "worker:" + n.ID
 		w := rpc.NewWorker(rpc.WorkerConfig{
@@ -431,12 +437,21 @@ func setupDistributedKMeans(rc *RunContext) (RunFunc, error) {
 		})
 		net.Bind(addr, w.Server())
 		workers = append(workers, w)
-		go func() {
-			// Registration failure surfaces as a WaitForWorkers timeout.
-			_ = w.Run()
-		}()
+		go func(id string) {
+			// Registration failure surfaces as a WaitForWorkers
+			// timeout; keep the cause attached to that error instead
+			// of dropping it here.
+			if err := w.Run(); err != nil {
+				runMu.Lock()
+				runErrs = append(runErrs, fmt.Errorf("worker %s: %w", id, err))
+				runMu.Unlock()
+			}
+		}(n.ID)
 	}
 	if err := jt.WaitForWorkers(len(c.Nodes()), 10*time.Second); err != nil {
+		runMu.Lock()
+		err = errors.Join(append([]error{err}, runErrs...)...)
+		runMu.Unlock()
 		return nil, err
 	}
 	ds := geolife.Generate(geolife.Scaled(rc.Seed, rc.Scale))
